@@ -1,0 +1,33 @@
+"""Benchmark-suite fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures.  Besides
+timing (pytest-benchmark), each bench writes the rendered paper-style
+table to ``benchmarks/results/`` so the numbers quoted in EXPERIMENTS.md
+can be reproduced with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write a rendered table under benchmarks/results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _save

@@ -1,0 +1,50 @@
+"""Bench: regenerate Figure 3 (time panel (a) and memory panel (b)).
+
+Paper shape, asserted below:
+
+* ExtMCE completes **all** datasets under the shared memory budget.
+* in-mem completes the two small datasets but **runs out of memory** on
+  lj and web.
+* Where both run, ExtMCE's peak memory is well below in-mem's while its
+  time stays within a small factor (the paper's "comparable time,
+  significantly less memory").
+* streaming only runs on the smallest dataset and is slower than in-mem.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, save_result):
+    rows = benchmark.pedantic(figure3.run, rounds=1, iterations=1)
+    save_result("figure3", figure3.render(rows))
+    by_key = {(row.dataset, row.algorithm): row for row in rows}
+
+    # ExtMCE: bounded memory, completes everywhere.
+    for dataset in ("protein", "blogs", "lj", "web"):
+        assert by_key[(dataset, "ExtMCE")].status == "ok"
+
+    # in-mem: fits the small sets, dies on the big ones.
+    assert by_key[("protein", "in-mem")].status == "ok"
+    assert by_key[("blogs", "in-mem")].status == "ok"
+    assert by_key[("lj", "in-mem")].status == "out of memory"
+    assert by_key[("web", "in-mem")].status == "out of memory"
+
+    # Same answers where both complete.
+    for dataset in ("protein", "blogs"):
+        assert (
+            by_key[(dataset, "ExtMCE")].cliques
+            == by_key[(dataset, "in-mem")].cliques
+        )
+        # Less memory than in-mem (paper: ~1/4).
+        assert (
+            by_key[(dataset, "ExtMCE")].peak_memory_mb
+            < by_key[(dataset, "in-mem")].peak_memory_mb
+        )
+
+    # streaming runs only on protein, slower than the in-memory algorithm.
+    assert by_key[("protein", "streaming")].status == "ok"
+    assert by_key[("blogs", "streaming")].status == "skipped"
+    assert (
+        by_key[("protein", "streaming")].seconds
+        > by_key[("protein", "in-mem")].seconds
+    )

@@ -1,0 +1,73 @@
+"""Scaling sweep: ExtMCE's external-memory costs as the graph grows.
+
+Not a table in the paper, but the quantitative heart of its Section 4.4
+complexity argument: sequential scans grow like the recursion count
+``|G| / |G_H*|`` (a few passes per step), while peak memory grows like
+``|G_H*| + |T_H*|`` — strictly sublinearly in ``|G|``.
+"""
+
+import tempfile
+import time
+
+from repro.analysis.tables import render_table
+from repro.core.extmce import ExtMCE, ExtMCEConfig
+from repro.generators.scale_free import powerlaw_cluster_graph
+from repro.storage.diskgraph import DiskGraph
+
+SIZES = (1_000, 2_000, 4_000, 8_000)
+
+
+def _run_one(num_vertices):
+    graph = powerlaw_cluster_graph(num_vertices, 5, 0.7, seed=99)
+    with tempfile.TemporaryDirectory(prefix="scaling_") as tmp:
+        disk = DiskGraph.create(f"{tmp}/g.bin", graph)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp))
+        started = time.perf_counter()
+        cliques = sum(1 for _ in algo.enumerate_cliques())
+        elapsed = time.perf_counter() - started
+    report = algo.report
+    return {
+        "n": num_vertices,
+        "m": graph.num_edges,
+        "cliques": cliques,
+        "seconds": elapsed,
+        "recursions": report.num_recursions,
+        "scans": report.sequential_scans,
+        "peak_units": report.peak_memory_units,
+    }
+
+
+def test_scaling_sweep(benchmark, save_result):
+    results = benchmark.pedantic(
+        lambda: [_run_one(n) for n in SIZES], rounds=1, iterations=1
+    )
+    save_result(
+        "scaling",
+        render_table(
+            "Scaling: ExtMCE cost vs graph size (powerlaw-cluster, m=5, p=0.7)",
+            ["n", "m", "cliques", "seconds", "recursions", "scans", "peak units", "peak/m"],
+            [
+                (
+                    r["n"],
+                    r["m"],
+                    r["cliques"],
+                    f"{r['seconds']:.2f}",
+                    r["recursions"],
+                    r["scans"],
+                    r["peak_units"],
+                    f"{r['peak_units'] / (2 * r['m']):.2f}",
+                )
+                for r in results
+            ],
+        ),
+    )
+    # Scans stay a small multiple of the recursion count at every size.
+    for r in results:
+        assert r["scans"] <= 5 * r["recursions"] + 5
+    # Peak memory is sublinear in the graph: the peak/(2m) ratio falls
+    # as the graph grows (the paper's |G_H*|/|G| shrinkage, Eq. (7)).
+    ratios = [r["peak_units"] / (2 * r["m"]) for r in results]
+    assert ratios[-1] < ratios[0]
+    # And always below the in-memory requirement 2m + n.
+    for r in results:
+        assert r["peak_units"] < 2 * r["m"] + r["n"]

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table 2 (dataset sizes).
+
+Times dataset generation plus on-disk materialisation, and records the
+measured n/m/storage columns next to the paper's originals.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, save_result):
+    rows = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    save_result("table2", table2.render(rows))
+    # Shape checks: four datasets, ordered by scale as in the paper.
+    assert [row.dataset for row in rows] == ["protein", "blogs", "lj", "web"]
+    edges = [row.num_edges for row in rows]
+    assert edges == sorted(edges)
+    for row in rows:
+        assert row.storage_mb > 0
+        # The stand-ins are uniformly scaled-down versions.
+        assert row.num_edges < row.paper_edges

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 4 (sizes of H, Hnb, G_H, G_H*, G_H+).
+
+Paper shape: |G_H| is ~1% of |G| (too small to amortise scans), |G_H+| is
+25-68% (too large for memory), |G_H*| sits usefully in between.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, save_result):
+    rows = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    save_result("table4", table4.render(rows))
+    for row in rows:
+        sizes = row.sizes
+        # The sandwich that justifies the H*-graph (Section 3.3).
+        assert sizes.core_fraction < sizes.star_fraction < sizes.extended_fraction
+        # G_H is tiny; G_H* is a small-but-significant share of |G|.
+        assert sizes.core_fraction < 0.05
+        assert 0.04 <= sizes.star_fraction <= 0.45
+        assert sizes.extended_fraction <= 0.9
+        # Scale-free fit: negative rank exponent (paper: -0.8..-0.7 for
+        # internet snapshots; co-occurrence stand-ins fit shallower).
+        assert row.rank_exponent < -0.2

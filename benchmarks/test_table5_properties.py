@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 5 (closeness, reachability, clique counts,
+|T_H*| estimate accuracy).
+
+Paper shape: h-vertices reach (almost) the whole graph within a few hops;
+cliques containing h-vertices are a small minority (which is what makes
+maintaining only them cheap); cliques touching h-neighbors are the vast
+majority; the Knuth estimate is within a small factor of the true size.
+"""
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, save_result):
+    rows = benchmark.pedantic(table5.run, rounds=1, iterations=1)
+    save_result("table5", table5.render(rows))
+    for row in rows:
+        # Few-hop closeness (paper: 3.1-7.1).
+        assert 1.0 < row.closeness < 8.0
+        # High reachability (paper: 47-100%).
+        assert row.reachability > 0.4
+        # Cliques containing h-vertices are a proper minority...
+        assert row.cliques.containing_core < 0.6 * row.cliques.total
+        # ...while cliques touching h-neighbors dominate (paper: >90%).
+        assert row.cliques.containing_periphery > 0.6 * row.cliques.total
+        # Against its true target (the backtracking tree) the estimate is
+        # unbiased: close to 1, like the paper's 0.93-1.01 row.
+        assert 0.6 <= row.backtrack_ratio <= 1.7
+        # Against the minimal prefix tree it is a conservative upper
+        # bound, so memory is never under-provisioned.
+        assert row.estimate_ratio >= 0.8

@@ -1,0 +1,73 @@
+"""Maintaining maximal cliques on a growing network (paper Section 5).
+
+A network that gains edges continuously cannot afford full re-enumeration
+per update, and the complete clique set is too large to maintain.  The
+paper's answer: maintain only the H*-graph's clique tree ``T_H*`` — cheap
+because few updates touch the core — and recompute the full answer on
+demand, seeded with the maintained tree.
+
+Run with::
+
+    python examples/dynamic_maintenance.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.dynamic import HStarMaintainer
+from repro.generators import DATASETS
+from repro.generators.streams import edge_stream, split_into_periods
+
+
+def main() -> None:
+    spec = DATASETS["protein"]
+    stream = edge_stream(spec.edges())
+    warmup, periods = split_into_periods(stream, num_periods=4, warmup_fraction=0.2)
+    print(
+        f"replaying the growth of a {spec.num_vertices}-protein network: "
+        f"{len(warmup)} warm-up edges, then {len(periods)} periods"
+    )
+
+    maintainer = HStarMaintainer()
+    maintainer.apply_stream(warmup)
+    print(
+        f"after warm-up: {maintainer.graph.num_edges} edges, "
+        f"h = {maintainer.h}, {len(maintainer.star_cliques())} core cliques"
+    )
+
+    for index, period in enumerate(periods, start=1):
+        before = maintainer.stats.updates_hitting_star
+        started = time.perf_counter()
+        maintainer.apply_stream(period)
+        elapsed = time.perf_counter() - started
+        hits = maintainer.stats.updates_hitting_star - before
+        print(
+            f"\nperiod {index}: +{len(period)} edges in {elapsed:.2f}s — "
+            f"{hits} touched the H*-graph "
+            f"({100 * hits / len(period):.0f}%), h is now {maintainer.h}"
+        )
+
+        with tempfile.TemporaryDirectory() as tmp:
+            cliques, report = maintainer.compute_all_max_cliques(
+                Path(tmp) / "mce", use_maintained_tree=True
+            )
+        print(
+            f"  on-demand full enumeration: {len(cliques)} maximal cliques "
+            f"in {report.elapsed_seconds:.2f}s (seeded by the maintained tree)"
+        )
+
+    stats = maintainer.stats
+    print(
+        f"\ntotals: {stats.updates_total} updates, "
+        f"{stats.updates_hitting_star} core hits "
+        f"({100 * stats.hit_fraction:.0f}%), "
+        f"avg {stats.average_hit_milliseconds:.2f} ms per core hit, "
+        f"{stats.core_rebuilds} core rebuilds"
+    )
+
+
+if __name__ == "__main__":
+    main()

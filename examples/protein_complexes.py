@@ -1,0 +1,66 @@
+"""Protein-complex detection on a protein-interaction network.
+
+A classic MCE application (the paper cites [29], [23]): candidate protein
+complexes are dense, mutually-interacting protein groups — maximal cliques
+of the interaction network.  This example runs ExtMCE over a synthetic
+HPRD-like network, filters complexes by size, and shows where the
+h-vertices (hub proteins) sit in them.
+
+Run with::
+
+    python examples/protein_complexes.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import DiskGraph, ExtMCE, ExtMCEConfig, extract_hstar_graph
+from repro.generators import generate_dataset
+
+MIN_COMPLEX_SIZE = 3
+
+
+def main() -> None:
+    network = generate_dataset("protein")
+    print(
+        f"protein interaction network: {network.num_vertices} proteins, "
+        f"{network.num_edges} interactions"
+    )
+
+    star = extract_hstar_graph(network)
+    print(f"hub proteins (h-vertices): {star.h} — each with >= {star.h} interactions")
+
+    complexes = []
+    with tempfile.TemporaryDirectory() as tmp:
+        disk = DiskGraph.create(Path(tmp) / "ppi.bin", network)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp))
+        for clique in algo.enumerate_cliques():
+            if len(clique) >= MIN_COMPLEX_SIZE:
+                complexes.append(clique)
+    print(f"\ntotal maximal cliques     : {algo.report.total_cliques}")
+    print(f"candidate complexes (>= {MIN_COMPLEX_SIZE}): {len(complexes)}")
+
+    complexes.sort(key=len, reverse=True)
+    print("\nlargest candidate complexes:")
+    for clique in complexes[:5]:
+        hubs = len(clique & star.core)
+        print(
+            f"  size {len(clique):2d}  proteins {sorted(clique)[:6]}..."
+            f"  ({hubs} hub protein{'s' if hubs != 1 else ''})"
+        )
+
+    with_hub = sum(1 for clique in complexes if clique & star.core)
+    print(
+        f"\ncomplexes containing a hub protein: {with_hub}/{len(complexes)} "
+        f"({100 * with_hub / max(len(complexes), 1):.0f}%)"
+    )
+    print(
+        "hub-centred complexes are exactly the ones the dynamic maintainer\n"
+        "keeps current as the interaction network grows (paper Section 5)."
+    )
+
+
+if __name__ == "__main__":
+    main()

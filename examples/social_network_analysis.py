@@ -1,0 +1,73 @@
+"""Core-periphery analysis of a social network via the H*-graph.
+
+The paper's Section 6.1 argument: the h-vertices form a small core that is
+close to everything and touches most of the network's clique structure.
+This example measures that on a blogs-like co-occurrence network — the
+centrality of the core, how far it reaches, and how the maximal cliques
+distribute over core and periphery.
+
+Run with::
+
+    python examples/social_network_analysis.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import CliqueCounter, DiskGraph, ExtMCE, ExtMCEConfig, extract_hstar_graph
+from repro.analysis import hstar_sizes
+from repro.generators import generate_dataset
+from repro.graph.stats import average_closeness, reachability_fraction
+
+
+def main() -> None:
+    network = generate_dataset("blogs")
+    print(
+        f"blogs network: {network.num_vertices} blogs, "
+        f"{network.num_edges} co-occurrence edges"
+    )
+
+    star = extract_hstar_graph(network)
+    sizes = hstar_sizes(network, star)
+    print(f"\ncore (h-vertices)      : {sizes.h}")
+    print(f"periphery (h-neighbors): {sizes.num_periphery}")
+    print(f"|G_H|  = {sizes.core_graph_edges} edges ({100 * sizes.core_fraction:.0f}% of G)")
+    print(f"|G_H*| = {sizes.star_graph_edges} edges ({100 * sizes.star_fraction:.0f}% of G)")
+    print(f"|G_H+| = {sizes.extended_graph_edges} edges ({100 * sizes.extended_fraction:.0f}% of G)")
+
+    closeness = average_closeness(network, star.core, sample_size=16, seed=0)
+    reach = reachability_fraction(network, star.core)
+    print(f"\ncore closeness (avg hops to anyone): {closeness:.1f}")
+    print(f"core reachability                  : {100 * reach:.0f}% of the network")
+
+    counter = CliqueCounter(
+        tracked_sets={"core": star.core, "periphery": star.periphery}
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        disk = DiskGraph.create(Path(tmp) / "blogs.bin", network)
+        ExtMCE(disk, ExtMCEConfig(workdir=tmp)).run(sink=counter)
+
+    print(f"\nmaximal cliques (communities)      : {counter.total}")
+    print(
+        f"  touching the core                : {counter.tracked_counts['core']} "
+        f"({100 * counter.tracked_counts['core'] / counter.total:.0f}%)"
+    )
+    print(
+        f"  touching the periphery           : {counter.tracked_counts['periphery']} "
+        f"({100 * counter.tracked_counts['periphery'] / counter.total:.0f}%)"
+    )
+    print(f"  largest community                : {counter.max_size} members")
+    print(f"  mean community size              : {counter.average_size:.1f}")
+    print(
+        "\nreading: a core of "
+        f"{sizes.h} blogs anchors "
+        f"{100 * counter.tracked_counts['core'] / counter.total:.0f}% of all "
+        "communities — maintaining just those (Section 5) keeps the most\n"
+        "important structure current at a fraction of the full cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

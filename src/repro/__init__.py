@@ -1,0 +1,133 @@
+"""repro — Finding Maximal Cliques in Massive Networks by H*-graph.
+
+A from-scratch reproduction of Cheng, Ke, Fu, Yu & Zhu (SIGMOD 2010):
+**ExtMCE**, the first external-memory maximal clique enumeration (MCE)
+algorithm, built around the *H\\*-graph* — the h-index core of a scale-free
+network plus every edge touching it.
+
+Quick start::
+
+    from repro import AdjacencyGraph, DiskGraph, ExtMCE, ExtMCEConfig
+
+    graph = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    disk = DiskGraph.create("graph.bin", graph)
+    for clique in ExtMCE(disk).enumerate_cliques():
+        print(sorted(clique))
+
+Package layout:
+
+* :mod:`repro.core` — the paper's contribution (H*-graph, ``T_H*``,
+  Algorithms 1-3, the Knuth tree-size estimator).
+* :mod:`repro.storage` — the external-memory substrate (metered disk
+  graphs, spill partitions, the explicit memory model).
+* :mod:`repro.baselines` — the in-memory (Tomita 2006) and streaming
+  (Stix 2004) comparators plus extra oracles.
+* :mod:`repro.dynamic` — Section 5's incremental maintenance of the
+  H*-max-clique tree under edge updates.
+* :mod:`repro.generators` — deterministic scale-free workload generators
+  standing in for the paper's proprietary datasets.
+* :mod:`repro.analysis` — network statistics and table rendering.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.applications import (
+    k_clique_communities,
+    maximal_independent_sets,
+    maximum_clique,
+    top_k_cliques,
+)
+from repro.baselines import (
+    StixDynamicMCE,
+    bron_kerbosch_maximal_cliques,
+    degeneracy_maximal_cliques,
+    tomita_maximal_cliques,
+)
+from repro.core import (
+    CliqueCollector,
+    CliqueCounter,
+    CliqueFileSink,
+    CliqueTree,
+    ExtMCE,
+    ExtMCEConfig,
+    ExtMCEReport,
+    StarGraph,
+    build_clique_tree,
+    compute_h_index_reference,
+    enumerate_star_cliques,
+    estimate_tree_size,
+    extract_hstar_graph,
+    extract_lstar_graph,
+)
+from repro.errors import (
+    EdgeNotFoundError,
+    EstimationError,
+    GraphError,
+    MemoryBudgetExceeded,
+    ReproError,
+    StorageError,
+    StorageFormatError,
+    VertexNotFoundError,
+)
+from repro.dynamic import HStarMaintainer
+from repro.graph import AdjacencyGraph
+from repro.storage import (
+    BufferPool,
+    DiskGraph,
+    IOStats,
+    MemoryModel,
+    RandomAccessDiskGraph,
+    edge_list_file_to_disk_graph,
+    edge_list_to_disk_graph,
+)
+from repro.telemetry import TraceWriter, load_trace, summarize_trace
+from repro.verification import VerificationReport, verify_clique_set
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdjacencyGraph",
+    "BufferPool",
+    "CliqueCollector",
+    "CliqueCounter",
+    "CliqueFileSink",
+    "CliqueTree",
+    "DiskGraph",
+    "EdgeNotFoundError",
+    "EstimationError",
+    "ExtMCE",
+    "ExtMCEConfig",
+    "ExtMCEReport",
+    "GraphError",
+    "HStarMaintainer",
+    "IOStats",
+    "MemoryBudgetExceeded",
+    "MemoryModel",
+    "RandomAccessDiskGraph",
+    "ReproError",
+    "StarGraph",
+    "StixDynamicMCE",
+    "StorageError",
+    "StorageFormatError",
+    "TraceWriter",
+    "VerificationReport",
+    "VertexNotFoundError",
+    "__version__",
+    "bron_kerbosch_maximal_cliques",
+    "build_clique_tree",
+    "compute_h_index_reference",
+    "degeneracy_maximal_cliques",
+    "edge_list_file_to_disk_graph",
+    "edge_list_to_disk_graph",
+    "enumerate_star_cliques",
+    "estimate_tree_size",
+    "extract_hstar_graph",
+    "extract_lstar_graph",
+    "k_clique_communities",
+    "load_trace",
+    "maximal_independent_sets",
+    "maximum_clique",
+    "summarize_trace",
+    "tomita_maximal_cliques",
+    "top_k_cliques",
+    "verify_clique_set",
+]

@@ -1,0 +1,18 @@
+"""Network analysis helpers and text-table rendering for the experiments."""
+
+from repro.analysis.metrics import (
+    CliqueStatistics,
+    HStarSizes,
+    clique_statistics,
+    hstar_sizes,
+)
+from repro.analysis.tables import format_quantity, render_table
+
+__all__ = [
+    "CliqueStatistics",
+    "HStarSizes",
+    "clique_statistics",
+    "format_quantity",
+    "hstar_sizes",
+    "render_table",
+]

@@ -1,0 +1,104 @@
+"""Aggregate metrics behind Tables 4 and 5.
+
+Table 4 reports the sizes of ``H``, ``Hnb``, ``G_H``, ``G_H*`` and
+``G_H+`` (with their share of ``|G|``); Table 5 reports h-vertex
+closeness/reachability and how the maximal cliques distribute over
+h-vertices and h-neighbors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.hstar import StarGraph
+from repro.graph.adjacency import AdjacencyGraph
+
+Clique = frozenset
+
+
+@dataclass(frozen=True)
+class HStarSizes:
+    """The Table 4 row for one dataset."""
+
+    h: int
+    num_periphery: int
+    core_graph_edges: int
+    star_graph_edges: int
+    extended_graph_edges: int
+    total_edges: int
+
+    @property
+    def core_fraction(self) -> float:
+        """``|G_H| / |G|``."""
+        return self.core_graph_edges / self.total_edges if self.total_edges else 0.0
+
+    @property
+    def star_fraction(self) -> float:
+        """``|G_H*| / |G|`` (the paper measures 4-31%)."""
+        return self.star_graph_edges / self.total_edges if self.total_edges else 0.0
+
+    @property
+    def extended_fraction(self) -> float:
+        """``|G_H+| / |G|`` (the paper measures 25-68%)."""
+        return self.extended_graph_edges / self.total_edges if self.total_edges else 0.0
+
+
+def hstar_sizes(graph: AdjacencyGraph, star: StarGraph) -> HStarSizes:
+    """Measure the Table 4 size columns for a graph and its H*-graph."""
+    extended = star.extended
+    extended_edges = sum(
+        1
+        for v in extended
+        for u in graph.neighbors(v)
+        if u in extended and u > v
+    )
+    return HStarSizes(
+        h=star.h,
+        num_periphery=len(star.periphery),
+        core_graph_edges=star.core_edge_count,
+        star_graph_edges=star.size_edges,
+        extended_graph_edges=extended_edges,
+        total_edges=graph.num_edges,
+    )
+
+
+@dataclass(frozen=True)
+class CliqueStatistics:
+    """Clique-set breakdown for Table 5."""
+
+    total: int
+    containing_core: int
+    containing_periphery: int
+    max_size: int
+    average_size: float
+
+
+def clique_statistics(
+    cliques: Iterable[Clique],
+    core: frozenset[int],
+    periphery: frozenset[int],
+) -> CliqueStatistics:
+    """Count cliques touching the h-vertices / h-neighbors (Table 5)."""
+    total = 0
+    with_core = 0
+    with_periphery = 0
+    max_size = 0
+    size_sum = 0
+    for clique in cliques:
+        total += 1
+        size = len(clique)
+        size_sum += size
+        if size > max_size:
+            max_size = size
+        if clique & core:
+            with_core += 1
+        if clique & periphery:
+            with_periphery += 1
+    return CliqueStatistics(
+        total=total,
+        containing_core=with_core,
+        containing_periphery=with_periphery,
+        max_size=max_size,
+        average_size=size_sum / total if total else 0.0,
+    )

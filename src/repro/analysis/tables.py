@@ -1,0 +1,48 @@
+"""Plain-text table rendering in the paper's style.
+
+The experiment harness prints the same rows the paper's tables report, so
+a reader can put the two side by side.  Quantities use the paper's K/M
+suffix convention (Table 2's caption: "K = 1,000 and M = 1,000,000").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_quantity(value: float) -> str:
+    """Format a count the way the paper's tables do (20K, 6.5M, 173M)."""
+    if value >= 1_000_000:
+        return _trim(value / 1_000_000) + "M"
+    if value >= 1_000:
+        return _trim(value / 1_000) + "K"
+    if isinstance(value, float) and not float(value).is_integer():
+        return f"{value:.2f}"
+    return str(int(value))
+
+
+def _trim(scaled: float) -> str:
+    """Two/one/zero decimals depending on magnitude, no trailing zeros."""
+    if scaled >= 100:
+        text = f"{scaled:.0f}"
+    elif scaled >= 10:
+        text = f"{scaled:.1f}"
+    else:
+        text = f"{scaled:.2f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("-" * len(lines[1]))
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Applications built on maximal clique enumeration.
+
+Section 1 of the paper motivates MCE through the problems it feeds:
+maximal independent sets, clustering and community detection in social
+networks, and dense-module detection in biological networks.  This package
+implements those consumers on top of the library's enumerators, each in an
+ExtMCE-friendly streaming form where the problem allows it.
+"""
+
+from repro.applications.cliques import (
+    k_clique_communities,
+    maximum_clique,
+    top_k_cliques,
+)
+from repro.applications.independent_sets import (
+    complement_graph,
+    maximal_independent_sets,
+    minimal_vertex_covers,
+)
+
+__all__ = [
+    "complement_graph",
+    "k_clique_communities",
+    "maximal_independent_sets",
+    "maximum_clique",
+    "minimal_vertex_covers",
+    "top_k_cliques",
+]

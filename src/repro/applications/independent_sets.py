@@ -1,0 +1,64 @@
+"""Maximal independent sets and minimal vertex covers via MCE.
+
+The oldest connection in the paper's Section 1: a maximal independent set
+of ``G`` is a maximal clique of the complement graph (Tsukiyama et al.,
+reference [28]), and its complement within ``V`` is a minimal vertex
+cover.  Materialising the complement is Θ(n²), so these helpers are meant
+for moderately sized graphs — the library enforces an explicit limit
+rather than silently degrading.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+
+Clique = frozenset
+
+#: Complementing beyond this many vertices is refused (Θ(n²) blow-up).
+MAX_COMPLEMENT_VERTICES = 3_000
+
+
+def complement_graph(graph: AdjacencyGraph) -> AdjacencyGraph:
+    """The complement of ``graph`` on the same vertex set.
+
+    Raises :class:`~repro.errors.GraphError` above
+    ``MAX_COMPLEMENT_VERTICES`` vertices.
+    """
+    if graph.num_vertices > MAX_COMPLEMENT_VERTICES:
+        raise GraphError(
+            f"refusing to complement a graph with {graph.num_vertices} vertices "
+            f"(> {MAX_COMPLEMENT_VERTICES}); the complement would be dense"
+        )
+    vertices = sorted(graph.vertices())
+    complement = AdjacencyGraph()
+    for v in vertices:
+        complement.add_vertex(v)
+    for i, u in enumerate(vertices):
+        neighbors = graph.neighbors(u)
+        for v in vertices[i + 1 :]:
+            if v not in neighbors:
+                complement.add_edge(u, v)
+    return complement
+
+
+def maximal_independent_sets(graph: AdjacencyGraph) -> Iterator[Clique]:
+    """Enumerate all maximal independent sets of ``graph``.
+
+    Each yielded set is pairwise non-adjacent and cannot be extended.
+    """
+    yield from tomita_maximal_cliques(complement_graph(graph))
+
+
+def minimal_vertex_covers(graph: AdjacencyGraph) -> Iterator[Clique]:
+    """Enumerate all minimal vertex covers of ``graph``.
+
+    A vertex set is a minimal cover iff its complement in ``V`` is a
+    maximal independent set.
+    """
+    everything = frozenset(graph.vertices())
+    for independent in maximal_independent_sets(graph):
+        yield everything - independent

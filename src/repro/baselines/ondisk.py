@@ -1,0 +1,68 @@
+"""The naive external-memory strawman: in-memory MCE over a page cache.
+
+Section 1 of the paper: "MCE computations access vertices in a rather
+arbitrary manner.  This potential random disk access requirement makes it
+difficult to divide the graph and process it in a part-by-part manner."
+This module is that strawman, built properly — Tomita's pivoted search
+fetching every neighborhood through a bounded buffer pool — so the random
+access blowup can be *measured* against ExtMCE's sequential scans
+(``benchmarks/test_random_access.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.baselines.bron_kerbosch import Clique
+from repro.storage.random_access import RandomAccessDiskGraph
+
+
+def tomita_maximal_cliques_on_disk(
+    graph: RandomAccessDiskGraph,
+) -> Iterator[Clique]:
+    """Enumerate all maximal cliques with adjacency fetched from disk.
+
+    Identical search tree to
+    :func:`~repro.baselines.bron_kerbosch.tomita_maximal_cliques`; the
+    only difference is where ``nb(v)`` comes from.  Every neighborhood
+    request goes through the buffer pool, so the pool's hit/miss counters
+    and the store's seek counter quantify the access pattern.
+    """
+    yield from _expand(graph, [], set(graph.vertices()), set())
+
+
+def _expand(
+    graph: RandomAccessDiskGraph,
+    current: list[int],
+    candidates: set[int],
+    excluded: set[int],
+) -> Iterator[Clique]:
+    if not candidates and not excluded:
+        if current:
+            yield frozenset(current)
+        return
+    pivot = _choose_pivot(graph, candidates, excluded)
+    extension = candidates - graph.neighbors(pivot)
+    for v in sorted(extension):
+        neighbors = graph.neighbors(v)
+        current.append(v)
+        yield from _expand(graph, current, candidates & neighbors, excluded & neighbors)
+        current.pop()
+        candidates.discard(v)
+        excluded.add(v)
+
+
+def _choose_pivot(
+    graph: RandomAccessDiskGraph,
+    candidates: set[int],
+    excluded: set[int],
+) -> int:
+    best_vertex = None
+    best_score = -1
+    for u in candidates | excluded:
+        score = len(candidates & graph.neighbors(u))
+        if score > best_score or (score == best_score and (best_vertex is None or u < best_vertex)):
+            best_vertex = u
+            best_score = score
+    assert best_vertex is not None
+    return best_vertex

@@ -1,0 +1,278 @@
+"""Command-line interface: ``repro-mce``.
+
+Subcommands::
+
+    repro-mce convert edges.txt graph.bin      # edge list -> disk graph
+    repro-mce stats graph.bin                  # n, m, h, H*-graph sizes
+    repro-mce enumerate graph.bin -o out.txt   # ExtMCE over a disk graph
+    repro-mce generate blogs edges.txt         # synthesize a dataset
+    repro-mce maintain graph.bin stream.txt    # replay a dynamic stream
+    repro-mce experiments table4 figure3       # paper tables
+
+``enumerate`` accepts either a binary DiskGraph or a plain text edge list
+(converted on the fly); memory budgets are expressed in accounting units
+(8 bytes each, see ``repro.storage.memory``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.tables import render_table
+from repro.core.estimator import estimate_tree_size
+from repro.core.extmce import ExtMCE, ExtMCEConfig
+from repro.core.hstar import extract_hstar_graph
+from repro.core.result import CliqueCounter, CliqueFileSink
+from repro.dynamic.maintainer import HStarMaintainer
+from repro.errors import ReproError, StorageError
+from repro.generators.datasets import DATASETS
+from repro.graph.powerlaw import fit_rank_exponent
+from repro.storage.convert import edge_list_file_to_disk_graph
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.edgelist import (
+    read_timestamped_edge_list,
+    write_edge_list,
+)
+from repro.storage.memory import MemoryModel
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-mce`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mce",
+        description="External-memory maximal clique enumeration (SIGMOD 2010 H*-graph).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    convert = sub.add_parser("convert", help="convert a text edge list to a DiskGraph")
+    convert.add_argument("edge_list", type=Path)
+    convert.add_argument("output", type=Path)
+    convert.add_argument("--run-pairs", type=int, default=1 << 18,
+                         help="external-sort buffer size in directed pairs")
+
+    stats = sub.add_parser("stats", help="summarise a graph and its H*-graph")
+    stats.add_argument("graph", type=Path)
+
+    enumerate_ = sub.add_parser("enumerate", help="run ExtMCE over a graph")
+    enumerate_.add_argument("graph", type=Path,
+                            help="DiskGraph (.bin) or text edge list")
+    enumerate_.add_argument("-o", "--output", type=Path,
+                            help="write cliques here (one sorted line each)")
+    enumerate_.add_argument("--budget", type=int,
+                            help="memory budget in accounting units")
+    enumerate_.add_argument("--min-size", type=int, default=1,
+                            help="only output cliques of at least this size")
+    enumerate_.add_argument("--seed", type=int, default=0)
+    enumerate_.add_argument("--checkpoint-dir", type=Path,
+                            help="persist a resumable checkpoint after every "
+                                 "recursion step into this directory")
+    enumerate_.add_argument("--resume", action="store_true",
+                            help="resume an interrupted run from "
+                                 "--checkpoint-dir instead of starting over")
+    enumerate_.add_argument("--trace", type=Path,
+                            help="append JSONL run telemetry to this file "
+                                 "and print a per-step summary")
+
+    generate = sub.add_parser("generate", help="synthesize a dataset stand-in")
+    generate.add_argument("dataset", choices=sorted(DATASETS))
+    generate.add_argument("output", type=Path, help="edge list destination")
+
+    maintain = sub.add_parser("maintain", help="replay a timestamped update stream")
+    maintain.add_argument("graph", type=Path, help="initial DiskGraph (.bin)")
+    maintain.add_argument("stream", type=Path, help="'timestamp u v' lines")
+
+    verify = sub.add_parser("verify", help="audit a clique file against a graph")
+    verify.add_argument("graph", type=Path, help="DiskGraph (.bin) or text edge list")
+    verify.add_argument("cliques", type=Path,
+                        help="clique file (one space-separated clique per line)")
+    verify.add_argument("--soundness-only", action="store_true",
+                        help="skip the completeness check (no full enumeration)")
+
+    experiments = sub.add_parser("experiments", help="print the paper's tables")
+    experiments.add_argument("names", nargs="*",
+                             help="table2..table7, figure3 (default: all)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "convert": _cmd_convert,
+        "stats": _cmd_stats,
+        "enumerate": _cmd_enumerate,
+        "generate": _cmd_generate,
+        "maintain": _cmd_maintain,
+        "verify": _cmd_verify,
+        "experiments": _cmd_experiments,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def _cmd_convert(args: argparse.Namespace) -> int:
+    with tempfile.TemporaryDirectory(prefix="repro_convert_") as tmp:
+        disk = edge_list_file_to_disk_graph(
+            args.edge_list, args.output, tmp, run_pairs=args.run_pairs
+        )
+    print(f"wrote {args.output}: {disk.num_vertices} vertices, {disk.num_edges} edges")
+    return 0
+
+
+def _open_graph(path: Path) -> DiskGraph:
+    """Open a DiskGraph, converting a text edge list transparently."""
+    try:
+        return DiskGraph.open(path)
+    except StorageError:
+        converted = path.with_suffix(path.suffix + ".converted.bin")
+        with tempfile.TemporaryDirectory(prefix="repro_convert_") as tmp:
+            return edge_list_file_to_disk_graph(path, converted, tmp)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    disk = _open_graph(args.graph)
+    star = extract_hstar_graph(disk)
+    graph = disk.to_adjacency_graph()
+    fit = fit_rank_exponent(graph) if graph.num_edges else None
+    estimate = estimate_tree_size(star) if star.core else 1.0
+    rows = [
+        ("vertices (n)", disk.num_vertices),
+        ("edges (m = |G|)", disk.num_edges),
+        ("h-index (|H|)", star.h),
+        ("h-neighbors (|Hnb|)", len(star.periphery)),
+        ("|G_H| edges", star.core_edge_count),
+        ("|G_H*| edges", star.size_edges),
+        ("|G_H*| / |G|", f"{star.size_edges / disk.num_edges:.1%}" if disk.num_edges else "-"),
+        ("rank exponent R", f"{fit.rank_exponent:.3f}" if fit else "-"),
+        ("estimated |T_H*| nodes", f"{estimate:.0f}"),
+    ]
+    print(render_table(f"Graph statistics: {args.graph}", ["metric", "value"], rows))
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    memory = MemoryModel(budget=args.budget)
+    counter = CliqueCounter()
+    sink = CliqueFileSink(args.output) if args.output else None
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro_mce_") as tmp:
+        if args.resume:
+            algo = ExtMCE.resume(
+                args.checkpoint_dir,
+                config=ExtMCEConfig(
+                    memory_budget_units=args.budget, trace_path=args.trace
+                ),
+                memory=memory,
+            )
+        else:
+            disk = _open_graph(args.graph)
+            workdir = args.checkpoint_dir if args.checkpoint_dir else tmp
+            config = ExtMCEConfig(
+                workdir=workdir,
+                seed=args.seed,
+                memory_budget_units=args.budget,
+                checkpoint=args.checkpoint_dir is not None,
+                trace_path=args.trace,
+            )
+            algo = ExtMCE(disk, config, memory=memory)
+        try:
+            for clique in algo.enumerate_cliques():
+                if len(clique) < args.min_size:
+                    continue
+                counter.accept(clique)
+                if sink is not None:
+                    sink.accept(clique)
+        finally:
+            if sink is not None:
+                sink.close()
+    elapsed = time.perf_counter() - started
+    print(f"maximal cliques : {counter.total}"
+          + (f" (size >= {args.min_size})" if args.min_size > 1 else ""))
+    print(f"largest clique  : {counter.max_size}")
+    print(f"time            : {elapsed:.2f} s")
+    print(f"peak memory     : {memory.peak_units} units ({memory.peak_megabytes:.3f} MB)")
+    print(f"recursions      : {algo.report.num_recursions}")
+    print(f"graph scans     : {algo.report.sequential_scans}")
+    if args.output:
+        print(f"cliques written : {args.output}")
+    if args.trace:
+        from repro.telemetry import load_trace, summarize_trace
+
+        print()
+        print(summarize_trace(load_trace(args.trace)))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = DATASETS[args.dataset]
+    count = write_edge_list(args.output, spec.edges())
+    print(
+        f"wrote {args.output}: {args.dataset} stand-in, "
+        f"{spec.num_vertices} vertices, {count} edges "
+        f"(paper original: {spec.paper_vertices} / {spec.paper_edges})"
+    )
+    return 0
+
+
+def _cmd_maintain(args: argparse.Namespace) -> int:
+    disk = _open_graph(args.graph)
+    maintainer = HStarMaintainer(disk.to_adjacency_graph())
+    print(f"initial graph: {maintainer.graph.num_edges} edges, h = {maintainer.h}")
+    started = time.perf_counter()
+    maintainer.apply_stream(read_timestamped_edge_list(args.stream))
+    elapsed = time.perf_counter() - started
+    stats = maintainer.stats
+    print(f"applied {stats.updates_total} updates in {elapsed:.2f} s")
+    print(f"updates touching the H*-graph: {stats.updates_hitting_star} "
+          f"({100 * stats.hit_fraction:.1f}%)")
+    print(f"avg cost per core-touching update: {stats.average_hit_milliseconds:.2f} ms")
+    print(f"core rebuilds: {stats.core_rebuilds}")
+    print(f"h is now {maintainer.h}; {len(maintainer.star_cliques())} core cliques maintained")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verification import verify_clique_set
+
+    disk = _open_graph(args.graph)
+    graph = disk.to_adjacency_graph()
+    cliques = (
+        frozenset(int(token) for token in line.split())
+        for line in args.cliques.read_text().splitlines()
+        if line.strip()
+    )
+    report = verify_clique_set(
+        graph, cliques, check_completeness=not args.soundness_only
+    )
+    print(report.summary())
+    for label, offenders in (
+        ("not a clique", report.not_cliques),
+        ("not maximal", report.not_maximal),
+        ("missing", report.missing),
+    ):
+        for clique in offenders[:5]:
+            print(f"  {label}: {sorted(clique)}")
+    return 0 if report.ok else 1
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(list(args.names))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""The paper's contribution: H*-graph machinery and the ExtMCE algorithm.
+
+Module map (paper section in parentheses):
+
+* :mod:`repro.core.hindex` — Algorithm 1: one-scan h-vertex extraction (3.4)
+* :mod:`repro.core.hstar` — H/Hnb/G_H/G_H*/G_H+ structures (3.1)
+* :mod:`repro.core.clique_tree` — the H*-max-clique tree ``T_H*`` (4.1)
+* :mod:`repro.core.estimator` — Knuth-style ``|T_H*|`` estimation (4.1.3)
+* :mod:`repro.core.categories` — Algorithm 2: ``M1 ∪ M2 ∪ M3`` (4.2)
+* :mod:`repro.core.lstar` — L*-graph extraction, Definition 10 (4.3)
+* :mod:`repro.core.extmce` — Algorithm 3: the recursive driver (4.4)
+* :mod:`repro.core.result` — clique sinks/collectors for streaming output
+"""
+
+from repro.core.categories import CategorizedCliques, compute_core_plus_max_cliques
+from repro.core.checkpoint import (
+    CheckpointState,
+    clear_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.clique_tree import CliqueTree, build_clique_tree, enumerate_star_cliques
+from repro.core.estimator import (
+    count_backtrack_tree_nodes,
+    estimate_tree_size,
+    shrink_core_to_budget,
+)
+from repro.core.extmce import ExtMCE, ExtMCEConfig, ExtMCEReport, RecursionStats
+from repro.core.hindex import compute_h_index_reference, compute_h_vertices
+from repro.core.hstar import StarGraph, extract_hstar_graph
+from repro.core.lstar import extract_lstar_graph
+from repro.core.result import CliqueCollector, CliqueCounter, CliqueFileSink
+
+__all__ = [
+    "CategorizedCliques",
+    "CheckpointState",
+    "CliqueCollector",
+    "CliqueCounter",
+    "CliqueFileSink",
+    "CliqueTree",
+    "ExtMCE",
+    "ExtMCEConfig",
+    "ExtMCEReport",
+    "RecursionStats",
+    "StarGraph",
+    "build_clique_tree",
+    "compute_core_plus_max_cliques",
+    "compute_h_index_reference",
+    "clear_checkpoint",
+    "compute_h_vertices",
+    "count_backtrack_tree_nodes",
+    "enumerate_star_cliques",
+    "estimate_tree_size",
+    "extract_hstar_graph",
+    "extract_lstar_graph",
+    "read_checkpoint",
+    "shrink_core_to_budget",
+    "write_checkpoint",
+]

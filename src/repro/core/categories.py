@@ -1,0 +1,198 @@
+"""Algorithm 2: lifting H*-max-cliques to H+-max-cliques (Section 4.2).
+
+An H*-max-clique is maximal only *locally* in ``G_H*``.  The paper proves
+(Theorem 2) that the maximal cliques of ``G_H+`` containing at least one
+core vertex — the H+-max-cliques — are maximal in the whole graph ``G``,
+and computes them from ``T_H*`` in three disjoint categories:
+
+* ``M1`` (Lemma 4): cliques of core vertices only — the members of ``M_H``
+  with no common periphery neighbor.
+* ``M2`` (Lemma 5): ``C1 ∪ C2`` where ``C1 ∈ M_H`` has common periphery
+  neighbors and ``C2`` is a maximal clique of the subgraph induced by
+  ``HNB(C1)`` (fetched from the on-disk h-neighbor partitions).
+* ``M3`` (Lemma 6): ``C1 ∪ C2`` where ``C1`` is a *non-maximal* core
+  clique from the candidate set ``X`` of Eq. (10) and ``C2 ∈ EXT(C1)``
+  per Eq. (11).
+
+Two implementation notes, both verified against brute force by the tests:
+
+1. Eq. (10)'s subsumption condition ("no proper superset with the same
+   ``HNB``") reduces to a *single-vertex* test: ``C1`` survives iff every
+   common core neighbor ``u`` of ``C1`` strictly shrinks the periphery
+   intersection (``HNB(C1 ∪ {u}) ⊊ HNB(C1)``).  If a larger superset had
+   equal ``HNB``, any intermediate one-vertex extension would too, since
+   ``HNB`` is antitone.
+2. Eq. (11)'s two maximality clauses are exactly "no core vertex extends
+   ``C1 ∪ C2``": a periphery extension is impossible because ``C2`` is
+   already maximal within ``HNB(C1)``, so the direct neighborhood test
+   against the star graph's lists decides membership.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.graph.adjacency import AdjacencyGraph
+from repro.core.hstar import StarGraph
+
+Clique = frozenset
+
+
+class PeripheryAdjacency(Protocol):
+    """Provider of induced subgraphs among periphery vertices.
+
+    Satisfied by :class:`~repro.storage.partitions.HnbPartitionStore`
+    (disk-backed, the paper's Section 4.2.3 machinery) and by
+    :class:`InMemoryPeripheryAdjacency` (tests, dynamic maintenance).
+    """
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> AdjacencyGraph:
+        """Subgraph induced on ``vertices`` by periphery-periphery edges."""
+        ...  # pragma: no cover - protocol
+
+
+class InMemoryPeripheryAdjacency:
+    """Periphery adjacency served from an in-memory graph."""
+
+    def __init__(self, graph: AdjacencyGraph) -> None:
+        self._graph = graph
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> AdjacencyGraph:
+        """Delegate to :meth:`AdjacencyGraph.induced_subgraph`."""
+        return self._graph.induced_subgraph(vertices)
+
+
+@dataclass
+class CategorizedCliques:
+    """The three disjoint H+-max-clique categories of Section 4.2.2."""
+
+    m1: list[Clique] = field(default_factory=list)
+    m2: list[Clique] = field(default_factory=list)
+    m3: list[Clique] = field(default_factory=list)
+
+    def all_cliques(self) -> Iterator[Clique]:
+        """Iterate ``M1 ∪ M2 ∪ M3`` — the full ``M_H+`` (Theorem 3)."""
+        yield from self.m1
+        yield from self.m2
+        yield from self.m3
+
+    @property
+    def total(self) -> int:
+        """``|M_H+|``."""
+        return len(self.m1) + len(self.m2) + len(self.m3)
+
+
+def compute_core_plus_max_cliques(
+    star: StarGraph,
+    core_maximal: set[Clique],
+    periphery_adjacency: PeripheryAdjacency,
+) -> CategorizedCliques:
+    """Compute ``M_H+ = M1 ∪ M2 ∪ M3`` (Algorithm 2).
+
+    Parameters
+    ----------
+    star:
+        The current step's star graph (``G_H*`` or ``G_L*``).
+    core_maximal:
+        ``M_H``: the maximal cliques of the core graph, as returned by
+        :func:`~repro.core.clique_tree.build_clique_tree`.
+    periphery_adjacency:
+        Access to edges among periphery vertices (on disk in the real
+        algorithm; the star graph does not store them).
+    """
+    result = CategorizedCliques()
+
+    # Phase 1 — collect every (kernel, HNB) work item without touching the
+    # disk: M2 items come from M_H (Lemma 5), M3 items from X (Lemma 6).
+    m2_items: list[tuple[Clique, Clique]] = []
+    for kernel in sorted(core_maximal, key=sorted):
+        shared = star.common_periphery(kernel)
+        if not shared:
+            result.m1.append(kernel)
+        else:
+            m2_items.append((kernel, shared))
+    m3_items = list(enumerate_x_candidates(star))
+
+    # Phase 2 — resolve the distinct HNB sets against the periphery
+    # adjacency, visiting them grouped by partition so each spill file is
+    # loaded once per batch (the locality the paper gets from ordering
+    # h-neighbor leaves by DFS traversal, Section 4.2.3).
+    distinct = {shared for _, shared in m2_items}
+    distinct.update(shared for _, shared in m3_items)
+    partition_key = getattr(periphery_adjacency, "partitions_for", None)
+    if partition_key is not None:
+        ordered = sorted(distinct, key=lambda s: (sorted(partition_key(s)), sorted(s)))
+    else:
+        ordered = sorted(distinct, key=sorted)
+    max_cliques_of: dict[Clique, list[Clique]] = {}
+    for shared in ordered:
+        induced = periphery_adjacency.induced_subgraph(shared)
+        max_cliques_of[shared] = list(tomita_maximal_cliques(induced))
+
+    # Phase 3 — assemble the categories.
+    for kernel, shared in m2_items:
+        for extension in max_cliques_of[shared]:
+            result.m2.append(kernel | extension)
+    for kernel, shared in m3_items:
+        blockers = star.common_core_neighbors(kernel)
+        for extension in max_cliques_of[shared]:
+            if _extendable_by_core(star, blockers, extension):
+                continue
+            result.m3.append(kernel | extension)
+    return result
+
+
+def enumerate_x_candidates(star: StarGraph) -> Iterator[tuple[Clique, Clique]]:
+    """Enumerate the set ``X`` of Eq. (10) as ``(C1, HNB(C1))`` pairs.
+
+    ``X`` holds the non-maximal core cliques with common periphery
+    neighbors that are not subsumed by a one-vertex extension with the
+    same ``HNB`` (see the module docstring for why one vertex suffices).
+    Cliques are generated by ordered set enumeration, pruning branches
+    whose periphery intersection is already empty, so each candidate is
+    visited exactly once.
+    """
+    for start in sorted(star.core):
+        shared = star.periphery_neighbors(start)
+        if not shared:
+            continue
+        extenders = frozenset(u for u in star.core_neighbors(start) if u > start)
+        yield from _grow_x(star, frozenset((start,)), shared, extenders)
+
+
+def _grow_x(
+    star: StarGraph,
+    kernel: Clique,
+    shared: Clique,
+    extenders: frozenset[int],
+) -> Iterator[tuple[Clique, Clique]]:
+    blockers = star.common_core_neighbors(kernel)
+    if blockers and all(
+        shared & star.periphery_neighbors(u) != shared for u in blockers
+    ):
+        yield kernel, shared
+    for vertex in sorted(extenders):
+        next_shared = shared & star.periphery_neighbors(vertex)
+        if not next_shared:
+            continue
+        next_extenders = frozenset(
+            u for u in extenders if u > vertex and u in star.core_neighbors(vertex)
+        )
+        yield from _grow_x(star, kernel | {vertex}, next_shared, next_extenders)
+
+
+def _extendable_by_core(
+    star: StarGraph,
+    blockers: Iterable[int],
+    extension: Clique,
+) -> bool:
+    """Whether some core vertex is adjacent to all of ``C1 ∪ C2``.
+
+    ``blockers`` are the core vertices already known to be adjacent to all
+    of ``C1``; the candidate is non-maximal exactly when one of them also
+    covers the periphery extension ``C2``.
+    """
+    return any(extension <= star.periphery_neighbors(u) for u in blockers)

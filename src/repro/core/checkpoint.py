@@ -1,0 +1,115 @@
+"""Checkpoint/restart for ExtMCE runs.
+
+An external-memory enumeration over a truly massive graph runs for hours;
+Algorithm 3's structure makes it naturally resumable because all state
+that crosses a recursion step is tiny and explicit: the residual graph
+(already a file), the maximality hashtable, the step counter, the size
+bound ``b``, and the RNG seed.  After each completed step the driver can
+persist exactly that to ``checkpoint.json`` in the workdir; a crashed or
+interrupted run resumes from the last completed step.
+
+Semantics: the interrupted step re-runs from its beginning, so cliques it
+already emitted are emitted again.  The checkpoint records
+``cliques_emitted`` (the count through the last completed step) so a
+file-backed consumer can truncate before resuming; counting consumers can
+simply restart from that number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import StorageError
+
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+#: Format version; bump on layout changes so stale files fail loudly.
+_VERSION = 1
+
+
+@dataclass
+class CheckpointState:
+    """Everything needed to continue Algorithm 3 after a completed step."""
+
+    completed_step: int
+    residual_path: str
+    target_size: int
+    cliques_emitted: int
+    estimated_recursions: float
+    seed: int
+    hashtable: list[list[int]] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "version": _VERSION,
+            "completed_step": self.completed_step,
+            "residual_path": self.residual_path,
+            "target_size": self.target_size,
+            "cliques_emitted": self.cliques_emitted,
+            "estimated_recursions": self.estimated_recursions,
+            "seed": self.seed,
+            "hashtable": self.hashtable,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CheckpointState":
+        """Parse and validate a checkpoint document."""
+        if data.get("version") != _VERSION:
+            raise StorageError(
+                f"unsupported checkpoint version {data.get('version')!r} "
+                f"(expected {_VERSION})"
+            )
+        try:
+            return cls(
+                completed_step=int(data["completed_step"]),
+                residual_path=str(data["residual_path"]),
+                target_size=int(data["target_size"]),
+                cliques_emitted=int(data["cliques_emitted"]),
+                estimated_recursions=float(data["estimated_recursions"]),
+                seed=int(data["seed"]),
+                hashtable=[[int(v) for v in entry] for entry in data["hashtable"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed checkpoint document: {exc}") from exc
+
+
+def write_checkpoint(workdir: str | Path, state: CheckpointState) -> Path:
+    """Atomically persist a checkpoint into ``workdir``."""
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    target = workdir / CHECKPOINT_FILENAME
+    scratch = workdir / (CHECKPOINT_FILENAME + ".tmp")
+    scratch.write_text(json.dumps(state.to_json(), indent=2))
+    os.replace(scratch, target)
+    return target
+
+
+def read_checkpoint(workdir: str | Path) -> CheckpointState:
+    """Load the checkpoint from ``workdir``.
+
+    Raises :class:`~repro.errors.StorageError` when absent or malformed.
+    """
+    path = Path(workdir) / CHECKPOINT_FILENAME
+    if not path.exists():
+        raise StorageError(f"no checkpoint found at {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt checkpoint at {path}: {exc}") from exc
+    state = CheckpointState.from_json(data)
+    if not Path(state.residual_path).exists():
+        raise StorageError(
+            f"checkpoint references missing residual graph {state.residual_path}"
+        )
+    return state
+
+
+def clear_checkpoint(workdir: str | Path) -> None:
+    """Remove the checkpoint file (called when a run completes)."""
+    path = Path(workdir) / CHECKPOINT_FILENAME
+    if path.exists():
+        path.unlink()

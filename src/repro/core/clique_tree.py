@@ -1,0 +1,298 @@
+"""The H*-max-clique tree ``T_H*`` (paper Section 4.1).
+
+``T_H*`` is a prefix tree over the maximal cliques of the star graph
+``G_H*``, laid out along the total order ``≺`` of Definition 8 (core
+vertices before periphery vertices, ids ascending within each class).
+Root-to-terminal paths correspond one-to-one to H*-max-cliques; by
+Lemma 1/2 a periphery vertex can only appear as a leaf and every child of
+the root is a core vertex.
+
+Construction exploits the structure the paper's two Lemma-2 optimisations
+point at: because the periphery is an independent set in ``G_H*``, the
+H*-max-cliques are exactly
+
+* the maximal cliques ``K`` of the core graph ``G_H`` with no common
+  periphery neighbor (``HNB(K) = ∅``), plus
+* ``K ∪ {w}`` for each periphery vertex ``w`` and each maximal clique
+  ``K`` of ``G_H`` restricted to ``nb(w) ∩ H``.
+
+:func:`enumerate_star_cliques` implements that specialised enumeration;
+setting ``use_structure=False`` falls back to running the generic pivoted
+algorithm on ``G_H*`` (the ablation bench compares the two).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.errors import GraphError
+from repro.core.hstar import StarGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.memory import MemoryModel
+
+Clique = frozenset
+
+
+class _Node:
+    """One prefix-tree node; the root carries ``vertex = None``."""
+
+    __slots__ = ("vertex", "children", "is_terminal", "core_maximal")
+
+    def __init__(self, vertex: int | None) -> None:
+        self.vertex = vertex
+        self.children: dict[int, _Node] = {}
+        self.is_terminal = False
+        self.core_maximal = False
+
+
+class CliqueTree:
+    """Prefix tree over ranked cliques with metered node count.
+
+    The rank order must place every core vertex before every periphery
+    vertex (Definition 8); :meth:`for_star` wires that up from a
+    :class:`~repro.core.hstar.StarGraph`.
+    """
+
+    def __init__(
+        self,
+        core: frozenset[int],
+        memory: "MemoryModel | None" = None,
+    ) -> None:
+        self._core = core
+        self._root = _Node(None)
+        self._num_nodes = 1  # the root λ
+        self._num_cliques = 0
+        self._memory = memory
+        if memory is not None:
+            memory.allocate(1, label="clique tree")
+
+    @classmethod
+    def for_star(
+        cls,
+        star: StarGraph,
+        memory: "MemoryModel | None" = None,
+    ) -> "CliqueTree":
+        """A tree whose rank order matches the star graph's core."""
+        return cls(star.core, memory=memory)
+
+    # ------------------------------------------------------------------
+    # Order ≺ (Definition 8)
+    # ------------------------------------------------------------------
+    def rank_key(self, vertex: int) -> tuple[int, int]:
+        """Sort key realising ``≺``: core first, then ids ascending."""
+        return (0 if vertex in self._core else 1, vertex)
+
+    def ordered(self, clique: Iterable[int]) -> list[int]:
+        """The members of ``clique`` sorted by ``≺``."""
+        return sorted(clique, key=self.rank_key)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, clique: Iterable[int]) -> bool:
+        """Insert a clique; returns ``False`` if it was already present."""
+        path = self.ordered(clique)
+        if not path:
+            raise GraphError("cannot insert an empty clique")
+        node = self._root
+        for vertex in path:
+            child = node.children.get(vertex)
+            if child is None:
+                child = _Node(vertex)
+                node.children[vertex] = child
+                self._num_nodes += 1
+                if self._memory is not None:
+                    self._memory.allocate(1, label="clique tree")
+            node = child
+        if node.is_terminal:
+            return False
+        node.is_terminal = True
+        self._num_cliques += 1
+        return True
+
+    def remove(self, clique: Iterable[int]) -> bool:
+        """Remove a clique and prune now-useless nodes; ``False`` if absent."""
+        path = self.ordered(clique)
+        nodes = [self._root]
+        for vertex in path:
+            child = nodes[-1].children.get(vertex)
+            if child is None:
+                return False
+            nodes.append(child)
+        terminal = nodes[-1]
+        if not terminal.is_terminal:
+            return False
+        terminal.is_terminal = False
+        self._num_cliques -= 1
+        # Prune upward: a node survives if it still ends or routes cliques.
+        for index in range(len(nodes) - 1, 0, -1):
+            node = nodes[index]
+            if node.children or node.is_terminal:
+                break
+            del nodes[index - 1].children[node.vertex]
+            self._num_nodes -= 1
+            if self._memory is not None:
+                self._memory.release(1, label="clique tree")
+        return True
+
+    def mark_core_maximal(self, core_clique: Iterable[int]) -> None:
+        """Flag the node ending ``core_clique`` as a maximal clique of
+        ``G_H`` (the marking used by Algorithm 2, Line 7)."""
+        node = self._find(core_clique)
+        if node is None:
+            raise GraphError(f"clique {sorted(core_clique)} is not a path in the tree")
+        node.core_maximal = True
+
+    def release(self) -> None:
+        """Return all tree nodes to the memory model and detach from it
+        (end of a recursion step: "GH* and TH* are discarded", Section
+        4.3).  The tree resets to an empty, unaccounted state."""
+        if self._memory is not None:
+            self._memory.release(self._num_nodes, label="clique tree")
+            self._memory = None
+        self._root = _Node(None)
+        self._num_nodes = 1
+        self._num_cliques = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Node count including the root λ — the paper's ``|T_H*|``."""
+        return self._num_nodes
+
+    @property
+    def num_cliques(self) -> int:
+        """Number of stored cliques (terminal paths)."""
+        return self._num_cliques
+
+    def __contains__(self, clique: Iterable[int]) -> bool:
+        node = self._find(clique)
+        return node is not None and node.is_terminal
+
+    def is_core_maximal(self, core_clique: Iterable[int]) -> bool:
+        """Whether the path for ``core_clique`` is marked as ``G_H``-maximal."""
+        node = self._find(core_clique)
+        return node is not None and node.core_maximal
+
+    def cliques(self) -> Iterator[Clique]:
+        """Iterate all stored cliques (root-to-terminal paths), DFS order."""
+        yield from self._walk(self._root, [])
+
+    def cliques_containing(self, vertices: Iterable[int]) -> Iterator[Clique]:
+        """Stored cliques that contain every vertex of ``vertices``.
+
+        This is the traversal behind the paper's update sets ``S`` and
+        ``S'`` (Section 5).
+        """
+        wanted = frozenset(vertices)
+        for clique in self.cliques():
+            if wanted <= clique:
+                yield clique
+
+    def periphery_leaves(self) -> Iterator[tuple[Clique, int]]:
+        """Yield ``(core part, periphery leaf)`` for every stored clique
+        ending in a periphery vertex — the h-neighbor leaves of Lemma 2."""
+        for clique in self.cliques():
+            path = self.ordered(clique)
+            last = path[-1]
+            if last not in self._core:
+                yield frozenset(path[:-1]), last
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _find(self, clique: Iterable[int]) -> _Node | None:
+        node = self._root
+        for vertex in self.ordered(clique):
+            node = node.children.get(vertex)
+            if node is None:
+                return None
+        return node
+
+    def _walk(self, node: _Node, prefix: list[int]) -> Iterator[Clique]:
+        if node.is_terminal:
+            yield frozenset(prefix)
+        for vertex in sorted(node.children, key=self.rank_key):
+            prefix.append(vertex)
+            yield from self._walk(node.children[vertex], prefix)
+            prefix.pop()
+
+
+def enumerate_star_cliques(
+    star: StarGraph,
+    use_structure: bool = True,
+) -> Iterator[Clique]:
+    """Enumerate the maximal cliques of ``G_H*`` (the H*-max-cliques).
+
+    With ``use_structure=True`` (default) the independent-periphery
+    structure is exploited as described in the module docstring; otherwise
+    the generic pivoted enumerator runs on the materialised star graph.
+    Both yield the same set — a property the test suite asserts.
+    """
+    if not use_structure:
+        yield from tomita_maximal_cliques(star.star_graph())
+        return
+
+    core_graph = star.core_graph()
+    for kernel in tomita_maximal_cliques(core_graph):
+        if not star.common_periphery(kernel):
+            yield kernel
+    anchors_of: dict[int, set[int]] = {}
+    for v in star.core:
+        for w in star.periphery_neighbors(v):
+            anchors_of.setdefault(w, set()).add(v)
+    for w in sorted(anchors_of):
+        induced = core_graph.induced_subgraph(anchors_of[w])
+        for kernel in tomita_maximal_cliques(induced):
+            yield kernel | {w}
+
+
+def build_clique_tree_from_cliques(
+    star: StarGraph,
+    cliques: Iterable[Clique],
+    memory: "MemoryModel | None" = None,
+) -> tuple[CliqueTree, set[Clique]]:
+    """Construct ``T_H*`` from an already-known H*-max-clique set.
+
+    Used when a dynamically maintained ``M_H*`` is available (Section 5's
+    "compute the whole set of maximal cliques on demand"): inserting known
+    cliques skips the backtracking enumeration entirely, which is exactly
+    the saving Table 7's "Time w/ T_H*" column measures.  ``M_H`` is still
+    recomputed from the (small) core graph for the Algorithm 2 markings.
+    """
+    tree = CliqueTree.for_star(star, memory=memory)
+    for clique in cliques:
+        tree.insert(clique)
+    core_maximal = set(tomita_maximal_cliques(star.core_graph()))
+    for kernel in core_maximal:
+        node = tree._find(kernel)
+        if node is not None:
+            node.core_maximal = True
+    return tree, core_maximal
+
+
+def build_clique_tree(
+    star: StarGraph,
+    memory: "MemoryModel | None" = None,
+    use_structure: bool = True,
+) -> tuple[CliqueTree, set[Clique]]:
+    """Construct ``T_H*`` and the core-maximal clique set ``M_H``.
+
+    Returns the populated tree and ``M_H`` (the maximal cliques of the
+    core graph), with the tree's ``M_H`` paths marked per Algorithm 2's
+    requirement.  Memory for every tree node is charged to ``memory``.
+    """
+    tree = CliqueTree.for_star(star, memory=memory)
+    for clique in enumerate_star_cliques(star, use_structure=use_structure):
+        tree.insert(clique)
+    core_maximal = set(tomita_maximal_cliques(star.core_graph()))
+    for kernel in core_maximal:
+        node = tree._find(kernel)
+        if node is not None:
+            node.core_maximal = True
+    return tree, core_maximal

@@ -1,0 +1,174 @@
+"""Knuth-style estimation of ``|T_H*|`` before the tree exists
+(paper Section 4.1.3).
+
+Knuth's method estimates the size of a backtracking tree by probing random
+root-to-leaf paths: along a path with branching factors ``f1, f2, ...`` the
+quantity ``n(p) = 1 + f1 + f1*f2 + ...`` is an unbiased estimator of the
+node count.  The paper's twist is probing *without* the tree: a path is
+grown virtually from a random h-vertex, at each step picking uniformly
+among the vertices that could extend the current path in the ``≺`` order —
+all of which is answerable from ``NB_H`` alone.
+
+When the estimate exceeds the available memory ``N``, the paper removes
+the ``(1 - N / n(T_H*)) * h`` lowest-degree vertices from ``H`` and
+re-estimates; :func:`shrink_core_to_budget` implements that loop.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import EstimationError, MemoryBudgetExceeded
+from repro.core.hstar import StarGraph
+
+
+def estimate_tree_size(
+    star: StarGraph,
+    num_probes: int = 64,
+    seed: int = 0,
+) -> float:
+    """Estimate the node count of ``T_H*`` (including the root λ).
+
+    Parameters
+    ----------
+    star:
+        The star graph whose clique tree is being sized.
+    num_probes:
+        Number of random paths; more probes cut the estimator's variance
+        (Table 5 reports ratios of 0.93-1.01 against the real size).
+    seed:
+        Seed for the probe RNG; estimates are deterministic per seed.
+    """
+    if num_probes <= 0:
+        raise EstimationError(f"need a positive probe count, got {num_probes}")
+    core_list = sorted(star.core)
+    if not core_list:
+        return 1.0
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(num_probes):
+        total += _probe_once(star, rng, core_list)
+    return total / num_probes
+
+
+def _probe_once(star: StarGraph, rng: random.Random, core_list: list[int]) -> float:
+    """Grow one virtual root-to-leaf path and return its ``n(p)``."""
+    estimate = 1.0  # the root λ
+    multiplier = float(len(core_list))  # children of λ are the h-vertices
+    estimate += multiplier
+    vertex = core_list[rng.randrange(len(core_list))]
+    candidates = _initial_candidates(star, vertex)
+    while candidates:
+        multiplier *= len(candidates)
+        estimate += multiplier
+        vertex = candidates[rng.randrange(len(candidates))]
+        candidates = [
+            w
+            for w in candidates
+            if _rank(star, w) > _rank(star, vertex) and star.adjacent_in_star(vertex, w)
+        ]
+    return estimate
+
+
+def _initial_candidates(star: StarGraph, vertex: int) -> list[int]:
+    """Vertices that can extend the path ``⟨λ, vertex⟩`` in ``≺`` order."""
+    rank = _rank(star, vertex)
+    return sorted(
+        (w for w in star.neighbor_lists[vertex] if _rank(star, w) > rank),
+        key=lambda w: _rank(star, w),
+    )
+
+
+def _rank(star: StarGraph, vertex: int) -> tuple[int, int]:
+    return (0 if vertex in star.core else 1, vertex)
+
+
+def count_backtrack_tree_nodes(star: StarGraph, max_nodes: int | None = None) -> int:
+    """Exact node count of the ≺-ordered backtracking tree over ``G_H*``.
+
+    This is the tree Knuth's method estimates: the root λ, one child per
+    h-vertex, and below each node one child per higher-ranked ``G_H*``
+    neighbor of the whole path — i.e., one node per clique of ``G_H*``
+    (plus λ).  The paper's ``T_H*`` is "essentially" this tree
+    (Section 4.1.2); the prefix tree the library stores keeps only the
+    paths of *maximal* cliques, so this count upper-bounds
+    :attr:`~repro.core.clique_tree.CliqueTree.num_nodes`.
+
+    ``max_nodes`` aborts the (potentially exponential) count early and
+    raises :class:`~repro.errors.EstimationError`; use it when calling on
+    untrusted inputs.
+    """
+    count = 1  # λ
+    # Iterative DFS.  candidate_sets[i] holds the candidates the node at
+    # depth i was drawn from (all adjacent to the whole path above it);
+    # frames[i] holds its not-yet-visited members.  The root's candidate
+    # universe is every vertex of G_H*, but only core vertices are
+    # children of λ (Lemma 2, statement 2) — matching the probe.
+    candidate_sets: list[list[int]] = [
+        sorted(star.core) + sorted(star.periphery)
+    ]
+    frames: list[list[int]] = [list(reversed(sorted(star.core)))]
+    depth = 0
+    while frames:
+        frame = frames[-1]
+        if not frame:
+            frames.pop()
+            candidate_sets.pop()
+            depth -= 1
+            continue
+        vertex = frame.pop()
+        count += 1
+        if max_nodes is not None and count > max_nodes:
+            raise EstimationError(
+                f"backtracking tree exceeds {max_nodes} nodes; aborting count"
+            )
+        rank = _rank(star, vertex)
+        next_candidates = [
+            w
+            for w in candidate_sets[-1]
+            if _rank(star, w) > rank and star.adjacent_in_star(vertex, w)
+        ]
+        candidate_sets.append(next_candidates)
+        frames.append(list(reversed(next_candidates)))
+        depth += 1
+    return count
+
+
+def shrink_core_to_budget(
+    star: StarGraph,
+    available_units: int,
+    num_probes: int = 64,
+    seed: int = 0,
+) -> tuple[StarGraph, float]:
+    """Shrink the core until ``|G_H*| + n(T_H*)`` fits ``available_units``.
+
+    Follows the paper's rule: remove approximately
+    ``(1 - N / needed) * h`` lowest-degree core vertices per round, then
+    re-estimate.  Returns the (possibly unchanged) star graph and the final
+    tree-size estimate.
+
+    Raises
+    ------
+    MemoryBudgetExceeded
+        If even a single-vertex core cannot fit the budget.
+    """
+    current = star
+    while True:
+        estimate = estimate_tree_size(current, num_probes=num_probes, seed=seed)
+        needed = current.memory_units + int(math.ceil(estimate))
+        if needed <= available_units:
+            return current, estimate
+        if len(current.core) <= 1:
+            raise MemoryBudgetExceeded(needed, 0, available_units)
+        shrink_count = max(
+            1,
+            int(math.ceil((1.0 - available_units / needed) * len(current.core))),
+        )
+        shrink_count = min(shrink_count, len(current.core) - 1)
+        by_degree = sorted(
+            current.core,
+            key=lambda v: (len(current.neighbor_lists[v]), v),
+        )
+        kept = frozenset(by_degree[shrink_count:])
+        current = current.restricted_to(kept)

@@ -1,0 +1,531 @@
+"""Algorithm 3: the recursive external-memory MCE driver (Section 4).
+
+The driver owns the full per-step pipeline::
+
+    extract star graph  ->  estimate / shrink  ->  build T_H*  ->
+    spill h-neighbor partitions  ->  Algorithm 2 (M1 ∪ M2 ∪ M3)  ->
+    global-maximality filter via the hashtable  ->  emit  ->
+    rewrite residual graph on disk  ->  recurse
+
+Step 1 uses the H*-graph (Algorithm 1); every later step uses a random
+L*-graph of at most the same size (Definition 10).  The hashtable keeps
+the periphery parts ``C ∩ Hnb`` (``|·| > 1``) of emitted cliques so a
+later step can recognise — and suppress — a locally-maximal clique that a
+previous step already covered (Section 4.3).  Theorem 5's soundness and
+completeness are exercised in the test suite by comparing against
+in-memory enumeration on hundreds of graphs.
+
+Memory accounting: the star graph, the clique tree, resident h-neighbor
+partitions, and the hashtable are all charged to the
+:class:`~repro.storage.memory.MemoryModel`, so the reported peak is the
+paper's ``O(|G_H*| + |T_H*|)`` bound measured, not assumed.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.categories import compute_core_plus_max_cliques
+from repro.core.checkpoint import (
+    CheckpointState,
+    clear_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.clique_tree import build_clique_tree, build_clique_tree_from_cliques
+from repro.core.estimator import estimate_tree_size, shrink_core_to_budget
+from repro.errors import GraphError
+from repro.core.hstar import StarGraph, extract_hstar_graph
+from repro.core.lstar import extract_lstar_graph
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.memory import MemoryModel
+from repro.storage.partitions import HnbPartitionStore
+
+Clique = frozenset
+
+
+@dataclass(frozen=True)
+class ExtMCEConfig:
+    """Tunable knobs of the ExtMCE driver.
+
+    Attributes
+    ----------
+    memory_budget_units:
+        Optional hard memory cap (accounting units).  When set, the
+        Section 4.1.3 shrinking loop trims the h-vertex core until the
+        estimated ``|G_H*| + |T_H*|`` fits.
+    workdir:
+        Directory for residual graphs and partition spill files; a
+        temporary directory is created (and removed) when omitted.
+    seed:
+        Base RNG seed; the L-selection of step ``k`` uses ``seed + k``.
+    estimator_probes:
+        Path probes for the Knuth tree-size estimator.
+    use_structure:
+        Use the Lemma-2 structured enumeration when building the clique
+        tree (the ablation bench flips this off).
+    hashtable_cleanup:
+        Apply the end-of-round hashtable purge of Section 4.3 (entries
+        containing a consumed core vertex can never match again).
+    partition_fraction:
+        Fraction of ``|G_H*|`` used as the per-partition budget for the
+        h-neighbor spill files — Section 4.2.3's available memory ``N``,
+        which the paper sets to the space freed by discarding ``G_H*``
+        after ``T_H*`` is built.
+    checkpoint:
+        Persist a resumable checkpoint into the workdir after every
+        completed recursion step (see :mod:`repro.core.checkpoint`).
+        Requires an explicit ``workdir``.
+    trace_path:
+        Append structured run telemetry to this JSON-lines file (see
+        :mod:`repro.telemetry`).
+    """
+
+    memory_budget_units: int | None = None
+    workdir: str | Path | None = None
+    seed: int = 0
+    estimator_probes: int = 64
+    use_structure: bool = True
+    hashtable_cleanup: bool = True
+    partition_fraction: float = 1.0
+    checkpoint: bool = False
+    trace_path: str | Path | None = None
+
+
+@dataclass
+class RecursionStats:
+    """Measurements for one recursion step (feeds Tables 3 and 6)."""
+
+    step: int
+    core_size: int
+    periphery_size: int
+    star_edges: int
+    tree_nodes: int
+    tree_estimate: float
+    cliques_emitted: int
+    cliques_suppressed: int
+    hashtable_entries: int
+    elapsed_seconds: float
+    residual_vertices: int
+    residual_edges: int
+
+
+@dataclass
+class ExtMCEReport:
+    """Run-level summary returned by :meth:`ExtMCE.run`."""
+
+    steps: list[RecursionStats] = field(default_factory=list)
+    total_cliques: int = 0
+    peak_memory_units: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    sequential_scans: int = 0
+    elapsed_seconds: float = 0.0
+    estimated_recursions: float = 0.0
+
+    @property
+    def num_recursions(self) -> int:
+        """Actual recursion count (Table 6, "# of recursions")."""
+        return len(self.steps)
+
+    @property
+    def first_step_time_fraction(self) -> float:
+        """Share of total time spent in step 1 (Table 6, last row)."""
+        if not self.steps or self.elapsed_seconds == 0:
+            return 0.0
+        return self.steps[0].elapsed_seconds / self.elapsed_seconds
+
+
+class ExtMCE:
+    """External-memory maximal clique enumeration over a disk graph.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.graph import AdjacencyGraph
+    >>> from repro.storage import DiskGraph
+    >>> g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     dg = DiskGraph.create(f"{tmp}/g.bin", g)
+    ...     algo = ExtMCE(dg, ExtMCEConfig(workdir=tmp))
+    ...     sorted(sorted(c) for c in algo.enumerate_cliques())
+    [[0, 1, 2], [2, 3]]
+    """
+
+    def __init__(
+        self,
+        disk_graph: DiskGraph,
+        config: ExtMCEConfig | None = None,
+        memory: MemoryModel | None = None,
+        first_step: tuple[StarGraph, list[Clique]] | None = None,
+    ) -> None:
+        self._input = disk_graph
+        self._config = config if config is not None else ExtMCEConfig()
+        self._memory = memory if memory is not None else MemoryModel()
+        self._first_step = first_step
+        self._resume_state: CheckpointState | None = None
+        if self._config.checkpoint and self._config.workdir is None:
+            raise GraphError("checkpointing requires an explicit workdir")
+        self.report = ExtMCEReport()
+
+    @classmethod
+    def resume(
+        cls,
+        workdir: str | Path,
+        config: ExtMCEConfig | None = None,
+        memory: MemoryModel | None = None,
+    ) -> "ExtMCE":
+        """Continue an interrupted checkpointed run from its workdir.
+
+        The returned instance's :meth:`enumerate_cliques` re-runs the
+        step that was interrupted (its cliques are emitted again — see
+        :mod:`repro.core.checkpoint` for the consumer contract) and then
+        proceeds to completion.  The original input graph is not needed;
+        the checkpointed residual graph carries everything.
+        """
+        state = read_checkpoint(workdir)
+        residual = DiskGraph.open(state.residual_path)
+        if config is None:
+            config = ExtMCEConfig(workdir=workdir, seed=state.seed, checkpoint=True)
+        else:
+            config = ExtMCEConfig(
+                **{**config.__dict__, "workdir": workdir, "seed": state.seed,
+                   "checkpoint": True}
+            )
+        algo = cls(residual, config, memory=memory)
+        algo._resume_state = state
+        algo.report.estimated_recursions = state.estimated_recursions
+        return algo
+
+    @property
+    def memory(self) -> MemoryModel:
+        """The memory model charged during the run."""
+        return self._memory
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, sink=None) -> ExtMCEReport:
+        """Enumerate every maximal clique, optionally feeding a sink.
+
+        ``sink`` is any object with an ``accept(clique)`` method (see
+        :mod:`repro.core.result`).  Returns the run report.
+        """
+        for clique in self.enumerate_cliques():
+            if sink is not None:
+                sink.accept(clique)
+        return self.report
+
+    def enumerate_cliques(self) -> Iterator[Clique]:
+        """Stream the maximal cliques of the input graph (Theorem 5)."""
+        start = time.perf_counter()
+        owns_workdir = self._config.workdir is None
+        workdir = Path(
+            tempfile.mkdtemp(prefix="extmce_")
+            if owns_workdir
+            else self._config.workdir
+        )
+        workdir.mkdir(parents=True, exist_ok=True)
+        if self._config.trace_path is not None:
+            from repro.telemetry import TraceWriter
+
+            self._trace = TraceWriter(self._config.trace_path)
+            self._trace.emit(
+                "run_started",
+                vertices=self._input.num_vertices,
+                edges=self._input.num_edges,
+                resumed_from_step=(
+                    self._resume_state.completed_step if self._resume_state else 0
+                ),
+            )
+        else:
+            self._trace = None
+        try:
+            yield from self._drive(workdir)
+            if self._trace is not None:
+                self._trace.emit(
+                    "run_completed",
+                    total_cliques=self.report.total_cliques,
+                    steps=self.report.num_recursions,
+                    peak_memory_units=self._memory.peak_units,
+                )
+        finally:
+            self.report.elapsed_seconds = time.perf_counter() - start
+            self.report.peak_memory_units = self._memory.peak_units
+            io = self._input.io_stats
+            self.report.pages_read = io.pages_read
+            self.report.pages_written = io.pages_written
+            self.report.sequential_scans = io.sequential_scans
+            if self._trace is not None:
+                self._trace.close()
+            if owns_workdir:
+                shutil.rmtree(workdir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # The recursion
+    # ------------------------------------------------------------------
+    def _drive(self, workdir: Path) -> Iterator[Clique]:
+        current = self._input
+        hashtable: set[Clique] = set()
+        target_size = 0
+        step = 0
+        if self._resume_state is not None:
+            state = self._resume_state
+            step = state.completed_step
+            target_size = state.target_size
+            for entry in state.hashtable:
+                clique = frozenset(entry)
+                hashtable.add(clique)
+                self._memory.allocate(len(clique), label="maximality hashtable")
+        while current.num_vertices > 0:
+            step += 1
+            step_start = time.perf_counter()
+            if step == 1:
+                if self._first_step is not None:
+                    star = self._first_step[0]
+                else:
+                    star = extract_hstar_graph(current, memory=self._memory)
+                if star.h == 0:
+                    # Degenerate graph: every vertex is isolated.  Emit the
+                    # singleton cliques directly and stop.
+                    emitted = 0
+                    for record in current.scan():
+                        if record.original_degree == 0:
+                            emitted += 1
+                            yield frozenset((record.vertex,))
+                    self._finish_step(
+                        step, star, 0, 0.0, emitted, 0, hashtable,
+                        step_start, 0, 0,
+                    )
+                    break
+                if self._config.memory_budget_units is not None:
+                    # Reserve half the budget for what the star and tree do
+                    # not cover: resident h-neighbor partitions, the
+                    # maximality hashtable, and later steps' transients.
+                    star, _ = shrink_core_to_budget(
+                        star,
+                        self._config.memory_budget_units // 2,
+                        num_probes=self._config.estimator_probes,
+                        seed=self._config.seed,
+                    )
+                target_size = max(star.size_edges, 1)
+                if self.report.estimated_recursions == 0:
+                    self.report.estimated_recursions = (
+                        current.num_edges / max(star.size_edges, 1)
+                    )
+            else:
+                step_target = target_size
+                if self._config.memory_budget_units is not None:
+                    # The hashtable grows across steps; size this step's
+                    # L*-graph to the headroom it actually leaves (the
+                    # tree and resident partitions scale with the star).
+                    headroom = self._memory.available_units
+                    if headroom is not None:
+                        step_target = max(16, min(target_size, headroom // 4))
+                star = extract_lstar_graph(
+                    current, step_target, seed=self._config.seed + step
+                )
+            yield from self._process_step(step, star, current, workdir, hashtable, step_start)
+            residual = current.rewrite_without(
+                star.core, workdir / f"residual_{step:04d}.bin"
+            )
+            if self._config.checkpoint:
+                write_checkpoint(
+                    workdir,
+                    CheckpointState(
+                        completed_step=step,
+                        residual_path=str(residual.path),
+                        target_size=target_size,
+                        cliques_emitted=self.report.total_cliques,
+                        estimated_recursions=self.report.estimated_recursions,
+                        seed=self._config.seed,
+                        hashtable=[sorted(entry) for entry in hashtable],
+                    ),
+                )
+                if self._trace is not None:
+                    self._trace.emit(
+                        "checkpoint_written",
+                        step=step,
+                        cliques_emitted=self.report.total_cliques,
+                    )
+            if current is not self._input:
+                current.delete()
+            current = residual
+        if current is not self._input:
+            current.delete()
+        if self._config.checkpoint:
+            clear_checkpoint(workdir)
+
+    def _process_step(
+        self,
+        step: int,
+        star: StarGraph,
+        current: DiskGraph,
+        workdir: Path,
+        hashtable: set[Clique],
+        step_start: float,
+    ) -> Iterator[Clique]:
+        tree_estimate = estimate_tree_size(
+            star, num_probes=self._config.estimator_probes, seed=self._config.seed
+        )
+        with self._memory.allocation(star.memory_units, label="star graph"):
+            if step == 1 and self._first_step is not None:
+                tree, core_maximal = build_clique_tree_from_cliques(
+                    star, self._first_step[1], memory=self._memory
+                )
+            else:
+                tree, core_maximal = build_clique_tree(
+                    star, memory=self._memory, use_structure=self._config.use_structure
+                )
+            partition_budget = max(
+                int(star.size_edges * self._config.partition_fraction), 64
+            )
+            max_resident = 4
+            headroom = self._memory.available_units
+            if headroom is not None:
+                # Resident partitions must fit what the budget leaves after
+                # the star and tree; shrink the per-partition size (more,
+                # smaller partitions) rather than overshooting.
+                partition_budget = min(
+                    partition_budget, max(headroom // (max_resident + 1), 16)
+                )
+            periphery_order = self._periphery_leaf_order(tree, star)
+            store = HnbPartitionStore.build(
+                current,
+                periphery_order,
+                workdir / f"partitions_{step:04d}",
+                partition_budget,
+                memory=self._memory,
+                max_resident=max_resident,
+            )
+            try:
+                categories = compute_core_plus_max_cliques(star, core_maximal, store)
+                emitted = 0
+                suppressed = 0
+                for clique in categories.all_cliques():
+                    verdict = self._globally_maximal(clique, star, hashtable)
+                    if verdict:
+                        emitted += 1
+                        yield clique
+                    else:
+                        suppressed += 1
+                if self._config.hashtable_cleanup:
+                    self._purge_hashtable(hashtable, star.core)
+            finally:
+                store.close()
+                tree_nodes = tree.num_nodes
+                tree.release()
+        self._finish_step(
+            step, star, tree_nodes, tree_estimate, emitted, suppressed,
+            hashtable, step_start, current.num_vertices, current.num_edges,
+        )
+
+    # ------------------------------------------------------------------
+    # Global maximality bookkeeping (Section 4.3)
+    # ------------------------------------------------------------------
+    def _globally_maximal(
+        self,
+        clique: Clique,
+        star: StarGraph,
+        hashtable: set[Clique],
+    ) -> bool:
+        if len(clique) == 1:
+            (vertex,) = clique
+            return star.original_degree(vertex) == 0
+        emit = clique not in hashtable
+        if not emit:
+            # A previous step covered this clique (it equals the surviving
+            # shadow of a strictly larger clique); it will never recur.
+            hashtable.discard(clique)
+            self._memory.release(len(clique), label="maximality hashtable")
+        # Register the clique's periphery part *whether or not it was
+        # emitted*: it is the clique's shadow in the next residual graph,
+        # and a later step may compute exactly that shadow as a locally
+        # maximal clique.  (The paper's Section 4.3 prose registers it only
+        # on emission; the inductive invariant — every non-maximal clique
+        # that is locally maximal in the residual graph has its shadow in
+        # the hashtable — requires registration on suppression too, and
+        # the equivalence tests fail without it.)
+        periphery_part = clique - star.core
+        if len(periphery_part) > 1 and periphery_part not in hashtable:
+            hashtable.add(periphery_part)
+            self._memory.allocate(len(periphery_part), label="maximality hashtable")
+        return emit
+
+    def _purge_hashtable(self, hashtable: set[Clique], consumed: frozenset[int]) -> None:
+        for entry in [entry for entry in hashtable if entry & consumed]:
+            hashtable.discard(entry)
+            self._memory.release(len(entry), label="maximality hashtable")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _periphery_leaf_order(tree, star: StarGraph) -> list[int]:
+        """H-neighbor leaves in DFS order (Section 4.2.3's partition order).
+
+        Periphery vertices that appear in no clique path cannot occur in
+        any ``HNB`` set, but they are appended at the end defensively so
+        every periphery vertex is covered by some partition.
+        """
+        order: list[int] = []
+        seen: set[int] = set()
+        for _, leaf in tree.periphery_leaves():
+            if leaf not in seen:
+                seen.add(leaf)
+                order.append(leaf)
+        for vertex in sorted(star.periphery):
+            if vertex not in seen:
+                order.append(vertex)
+        return order
+
+    def _finish_step(
+        self,
+        step: int,
+        star: StarGraph,
+        tree_nodes: int,
+        tree_estimate: float,
+        emitted: int,
+        suppressed: int,
+        hashtable: set[Clique],
+        step_start: float,
+        residual_vertices: int,
+        residual_edges: int,
+    ) -> None:
+        elapsed = time.perf_counter() - step_start
+        self.report.steps.append(
+            RecursionStats(
+                step=step,
+                core_size=len(star.core),
+                periphery_size=len(star.periphery),
+                star_edges=star.size_edges,
+                tree_nodes=tree_nodes,
+                tree_estimate=tree_estimate,
+                cliques_emitted=emitted,
+                cliques_suppressed=suppressed,
+                hashtable_entries=len(hashtable),
+                elapsed_seconds=elapsed,
+                residual_vertices=residual_vertices,
+                residual_edges=residual_edges,
+            )
+        )
+        self.report.total_cliques += emitted
+        if self._trace is not None:
+            self._trace.emit(
+                "step_completed",
+                step=step,
+                core_size=len(star.core),
+                periphery_size=len(star.periphery),
+                star_edges=star.size_edges,
+                tree_nodes=tree_nodes,
+                tree_estimate=tree_estimate,
+                emitted=emitted,
+                suppressed=suppressed,
+                hashtable_entries=len(hashtable),
+                elapsed=elapsed,
+            )

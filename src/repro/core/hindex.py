@@ -1,0 +1,127 @@
+"""Algorithm 1: one-scan extraction of the h-vertices and their adjacency.
+
+Definition 1 of the paper: ``H`` is a set of ``h`` vertices each with degree
+at least ``h`` such that every vertex outside ``H`` has degree at most ``h``
+— the graph analogue of Hirsch's h-index.  Algorithm 1 computes ``H``
+together with the neighbor lists ``NB_H`` (which *are* the H*-graph) in a
+single sequential scan of ``G`` using a min-heap keyed by degree
+(Theorem 1: ``O(h log h + n)`` time, ``O(|G_H*|)`` space).
+
+The scan maintains the invariant that every heap entry has degree at least
+the current heap size.  A vertex is pushed when its degree exceeds the heap
+size (it could raise ``h``); if the push breaks the invariant the minimum
+entry is evicted — it can never belong to a larger ``H``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.graph.adjacency import AdjacencyGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.diskgraph import DiskGraph
+    from repro.storage.memory import MemoryModel
+
+
+@dataclass(frozen=True)
+class HVertexResult:
+    """Output of Algorithm 1: ``H`` and the adjacency lists ``NB_H``."""
+
+    h: int
+    h_vertices: frozenset[int]
+    neighbor_lists: dict[int, frozenset[int]]
+
+    @property
+    def star_size_edges(self) -> int:
+        """``|G_H*|``: edges incident to at least one h-vertex.
+
+        Edges with both endpoints in ``H`` appear in two lists, hence the
+        correction term (Eq. (5)'s double-count argument).
+        """
+        directed = sum(len(nbrs) for nbrs in self.neighbor_lists.values())
+        internal = sum(
+            1
+            for v, nbrs in self.neighbor_lists.items()
+            for u in nbrs
+            if u in self.h_vertices and u > v
+        )
+        return directed - internal
+
+
+def compute_h_vertices(
+    records: Iterable[tuple[int, Sequence[int]]],
+    memory: "MemoryModel | None" = None,
+) -> HVertexResult:
+    """Run Algorithm 1 over ``(vertex, neighbors)`` records.
+
+    ``records`` may come from any single pass over the graph — an in-memory
+    adjacency or a :class:`~repro.storage.diskgraph.DiskGraph` scan.  When a
+    memory model is given, live heap entries are charged ``1 + degree``
+    units each, so peak usage reflects the ``O(|G_H*|)`` space bound.
+    """
+    heap: list[tuple[int, int, tuple[int, ...]]] = []
+
+    def charge(degree: int) -> None:
+        if memory is not None:
+            memory.allocate(1 + degree, label="h-vertex heap")
+
+    def refund(degree: int) -> None:
+        if memory is not None:
+            memory.release(1 + degree, label="h-vertex heap")
+
+    for vertex, neighbors in records:
+        degree = len(neighbors)
+        if degree <= len(heap):
+            continue
+        charge(degree)
+        heapq.heappush(heap, (degree, vertex, tuple(neighbors)))
+        if heap[0][0] < len(heap):
+            evicted_degree, _, _ = heapq.heappop(heap)
+            refund(evicted_degree)
+
+    result = HVertexResult(
+        h=len(heap),
+        h_vertices=frozenset(vertex for _, vertex, _ in heap),
+        neighbor_lists={vertex: frozenset(nbrs) for _, vertex, nbrs in heap},
+    )
+    for degree, _, _ in heap:
+        refund(degree)
+    return result
+
+
+def compute_h_vertices_of_graph(
+    graph: AdjacencyGraph,
+    memory: "MemoryModel | None" = None,
+) -> HVertexResult:
+    """Algorithm 1 driven by an in-memory graph (vertices in id order)."""
+    records = ((v, sorted(graph.neighbors(v))) for v in sorted(graph.vertices()))
+    return compute_h_vertices(records, memory=memory)
+
+
+def compute_h_vertices_of_disk(
+    disk_graph: "DiskGraph",
+    memory: "MemoryModel | None" = None,
+) -> HVertexResult:
+    """Algorithm 1 driven by one sequential scan of a disk graph."""
+    records = ((record.vertex, record.neighbors) for record in disk_graph.scan())
+    return compute_h_vertices(records, memory=memory)
+
+
+def compute_h_index_reference(degrees: Iterable[int]) -> int:
+    """Sort-based h-index used as an independent oracle in tests.
+
+    The largest ``h`` such that at least ``h`` of the given degrees are
+    ``>= h``.
+    """
+    ordered = sorted(degrees, reverse=True)
+    h = 0
+    for rank, degree in enumerate(ordered, start=1):
+        if degree >= rank:
+            h = rank
+        else:
+            break
+    return h

@@ -1,0 +1,93 @@
+"""L*-graph extraction for the recursive steps (paper Definition 10).
+
+After the first step removes ``G_H*``, every residual vertex has degree at
+most ``h``, so re-running Algorithm 1 would yield a uselessly tiny core
+(``|G'_H*| <= h**2``, Section 4.3).  Instead the paper picks a *random*
+vertex set ``L`` whose degree sum approximates ``|G_H*|`` and builds
+``G_L*`` the same way ``G_H*`` is built from ``H``.
+
+The selection here happens during one sequential scan of the residual
+disk graph: each record is admitted with probability
+``target / (2 * m')`` (so the expected admitted degree mass matches the
+target), stopping early once the target is reached.  The RNG is seeded,
+keeping runs reproducible.  When the entire residual graph fits the
+target, every vertex is taken — this is how the recursion terminates and
+how zero-degree leftovers get their singleton check (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.errors import GraphError
+from repro.core.hstar import StarGraph
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.diskgraph import DiskGraph
+
+
+def extract_lstar_graph(
+    residual: "DiskGraph",
+    target_size_edges: int,
+    seed: int = 0,
+) -> StarGraph:
+    """Select ``L`` and materialise ``G_L*`` from the residual graph.
+
+    Parameters
+    ----------
+    residual:
+        The on-disk residual graph ``G'``.
+    target_size_edges:
+        The size bound ``b`` of Algorithm 3 — ``|G_H*|`` from step one.
+        The selected core's degree sum stays within the bound except that
+        at least one vertex is always selected so progress is guaranteed.
+    seed:
+        Per-step RNG seed (the driver varies it by recursion depth).
+
+    The caller (the ExtMCE driver) is responsible for charging the
+    returned star graph's :attr:`~repro.core.hstar.StarGraph.memory_units`
+    to its memory model for the duration of the step.
+    """
+    if target_size_edges < 0:
+        raise GraphError(f"target size must be non-negative, got {target_size_edges}")
+
+    total_degree_mass = 2 * residual.num_edges
+    take_everything = total_degree_mass <= target_size_edges
+    probability = 1.0 if take_everything else max(
+        target_size_edges / total_degree_mass, 1e-9
+    )
+    rng = random.Random(seed)
+
+    neighbor_lists: dict[int, frozenset[int]] = {}
+    original_degrees: dict[int, int] = {}
+    degree_mass = 0
+    for record in residual.scan():
+        if not take_everything:
+            if degree_mass + record.degree > target_size_edges and neighbor_lists:
+                # The bound b would be breached; the paper keeps |G_i|
+                # within |G_H*|, so skip and let a later step take it.
+                continue
+            if rng.random() >= probability:
+                continue
+        neighbor_lists[record.vertex] = frozenset(record.neighbors)
+        original_degrees[record.vertex] = record.original_degree
+        degree_mass += record.degree
+        if not take_everything and degree_mass >= target_size_edges:
+            break
+
+    if not neighbor_lists:
+        # Random selection admitted nothing (tiny residual / unlucky draw):
+        # fall back to the first record so the recursion always advances.
+        for record in residual.scan():
+            neighbor_lists[record.vertex] = frozenset(record.neighbors)
+            original_degrees[record.vertex] = record.original_degree
+            break
+    if not neighbor_lists:
+        raise GraphError("cannot extract an L*-graph from an empty residual graph")
+
+    return StarGraph(
+        core=frozenset(neighbor_lists),
+        neighbor_lists=neighbor_lists,
+        original_degrees=original_degrees,
+    )

@@ -1,0 +1,97 @@
+"""Clique output sinks.
+
+ExtMCE *streams* maximal cliques — the paper outputs each H+/L+-max-clique
+as soon as its recursion step proves it globally maximal (Algorithm 3,
+Lines 10 and 13) precisely so the result set never has to sit in memory.
+These sinks are the supported consumers of that stream.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+Clique = frozenset
+
+
+class CliqueCollector:
+    """Accumulates every clique in memory.
+
+    Convenient for tests and small graphs; for massive runs prefer
+    :class:`CliqueCounter` or :class:`CliqueFileSink`, which keep O(1)
+    state per clique.
+    """
+
+    def __init__(self) -> None:
+        self.cliques: set[Clique] = set()
+
+    def accept(self, clique: Clique) -> None:
+        """Record one maximal clique."""
+        self.cliques.add(clique)
+
+    def __len__(self) -> int:
+        return len(self.cliques)
+
+
+class CliqueCounter:
+    """Streams cliques into summary statistics.
+
+    Tracks the counts Table 5 reports: the total number of maximal
+    cliques and how many intersect a designated vertex set (the paper
+    counts cliques containing h-vertices and h-neighbors).
+    """
+
+    def __init__(self, tracked_sets: dict[str, frozenset[int]] | None = None) -> None:
+        self.total = 0
+        self.size_histogram: dict[int, int] = {}
+        self.max_size = 0
+        self._tracked = tracked_sets or {}
+        self.tracked_counts = {name: 0 for name in self._tracked}
+
+    def accept(self, clique: Clique) -> None:
+        """Fold one clique into the running statistics."""
+        self.total += 1
+        size = len(clique)
+        self.size_histogram[size] = self.size_histogram.get(size, 0) + 1
+        if size > self.max_size:
+            self.max_size = size
+        for name, members in self._tracked.items():
+            if clique & members:
+                self.tracked_counts[name] += 1
+
+    @property
+    def average_size(self) -> float:
+        """Mean clique cardinality over everything seen so far."""
+        if self.total == 0:
+            return 0.0
+        weighted = sum(size * count for size, count in self.size_histogram.items())
+        return weighted / self.total
+
+
+class CliqueFileSink:
+    """Writes each clique as a sorted, space-separated line.
+
+    The file handle stays open between accepts; use as a context manager
+    or call :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._handle = open(self._path, "w", encoding="ascii")
+        self.count = 0
+
+    def accept(self, clique: Clique) -> None:
+        """Append one clique line to the file."""
+        self._handle.write(" ".join(str(v) for v in sorted(clique)))
+        self._handle.write("\n")
+        self.count += 1
+
+    def close(self) -> None:
+        """Flush and close the output file."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CliqueFileSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

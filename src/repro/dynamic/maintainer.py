@@ -1,0 +1,437 @@
+"""Incremental maintenance of ``H``, ``G_H*`` and ``T_H*`` under updates.
+
+The update rules follow Section 5 of the paper:
+
+* **Insertion of (u, v), neither endpoint an h-vertex** — ``G_H*`` is
+  untouched; nothing to do unless the insertion changes who the h-vertices
+  are.
+* **Insertion with an h-vertex endpoint** — the new H*-max-cliques are
+  ``C ∪ {u, v}`` for each maximal element ``C`` of
+  ``{C' ∩ NB_uv : C' ∈ M_H*}`` (the paper's ``S_M``), where ``NB_uv`` is
+  the common ``G_H*``-neighborhood of the endpoints; the subsumed cliques
+  ``C ∪ {u}`` / ``C ∪ {v}`` leave the tree.  When ``S`` is empty,
+  ``{u, v}`` itself is the new maximal clique.
+* **Deletion with an h-vertex endpoint** — every clique containing both
+  endpoints leaves the tree; its two "one endpoint removed" halves
+  re-enter when still maximal in the updated ``G_H*``.
+* **Core change** — when an update changes ``h`` or the membership of
+  ``H`` (degree crossings), the star graph and tree are rebuilt; the
+  experiment counts these separately because the paper's point is that
+  they are rare (Table 7's "% of h-vertices retained" row).
+
+The maintainer holds the evolving graph in memory — the substitution for
+the paper's disk-resident ``G`` — but reports as "memory" only the star
+graph and tree units, matching what the paper's maintenance keeps resident.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.clique_tree import CliqueTree, enumerate_star_cliques
+from repro.core.extmce import ExtMCE, ExtMCEConfig, ExtMCEReport
+from repro.core.hstar import StarGraph
+from repro.errors import EdgeNotFoundError, GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.memory import MemoryModel
+
+Clique = frozenset
+
+
+@dataclass
+class UpdateStats:
+    """Counters for one maintenance session (feeds Table 7)."""
+
+    updates_total: int = 0
+    updates_hitting_star: int = 0
+    insertions: int = 0
+    deletions: int = 0
+    core_rebuilds: int = 0
+    hit_seconds_total: float = 0.0
+
+    @property
+    def average_hit_milliseconds(self) -> float:
+        """Mean time per update that touched ``T_H*`` (Table 7, row 1)."""
+        if self.updates_hitting_star == 0:
+            return 0.0
+        return 1000.0 * self.hit_seconds_total / self.updates_hitting_star
+
+    @property
+    def hit_fraction(self) -> float:
+        """Share of updates that touched the H*-graph (paper: ~3.8%)."""
+        if self.updates_total == 0:
+            return 0.0
+        return self.updates_hitting_star / self.updates_total
+
+
+class HStarMaintainer:
+    """Keeps ``H``, ``G_H*`` and ``M_H*`` (as ``T_H*``) current.
+
+    Examples
+    --------
+    >>> maintainer = HStarMaintainer()
+    >>> for edge in [(0, 1), (1, 2), (0, 2)]:
+    ...     maintainer.insert_edge(*edge)
+    >>> sorted(sorted(c) for c in maintainer.star_cliques())
+    [[0, 1, 2]]
+    """
+
+    def __init__(
+        self,
+        graph: AdjacencyGraph | None = None,
+        memory: MemoryModel | None = None,
+    ) -> None:
+        self._graph = graph.copy() if graph is not None else AdjacencyGraph()
+        self._memory = memory if memory is not None else MemoryModel()
+        self.stats = UpdateStats()
+        self._core: set[int] = set()
+        self._h = 0
+        self._neighbor_lists: dict[int, set[int]] = {}
+        self._tree: CliqueTree | None = None
+        self._degree_count: dict[int, int] = {}
+        for w in self._graph.vertices():
+            d = self._graph.degree(w)
+            self._degree_count[d] = self._degree_count.get(d, 0) + 1
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> AdjacencyGraph:
+        """The maintained graph (live reference; mutate via this class)."""
+        return self._graph
+
+    @property
+    def h(self) -> int:
+        """Current h-index of the maintained graph."""
+        return self._h
+
+    @property
+    def core(self) -> frozenset[int]:
+        """Current h-vertex set ``H``."""
+        return frozenset(self._core)
+
+    def star(self) -> StarGraph:
+        """A frozen snapshot of the current star graph."""
+        return StarGraph(
+            core=frozenset(self._core),
+            neighbor_lists={v: frozenset(nbrs) for v, nbrs in self._neighbor_lists.items()},
+            h=self._h,
+        )
+
+    def star_cliques(self) -> list[Clique]:
+        """The maintained ``M_H*``."""
+        assert self._tree is not None
+        return list(self._tree.cliques())
+
+    @property
+    def tree(self) -> CliqueTree:
+        """The maintained ``T_H*``."""
+        assert self._tree is not None
+        return self._tree
+
+    @property
+    def resident_memory_units(self) -> int:
+        """Units for the resident state: ``|G_H*| + |T_H*|``."""
+        star_units = sum(1 + len(nbrs) for nbrs in self._neighbor_lists.values())
+        tree_units = self._tree.num_nodes if self._tree is not None else 0
+        return star_units + tree_units
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> None:
+        """Apply an edge insertion (Section 5, first case analysis)."""
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        for w in (u, v):
+            if w not in self._graph:
+                self._graph.add_vertex(w)
+                self._degree_count[0] = self._degree_count.get(0, 0) + 1
+        if not self._graph.add_edge(u, v):
+            return
+        self._bump_degree(u, +1)
+        self._bump_degree(v, +1)
+        self.stats.updates_total += 1
+        self.stats.insertions += 1
+        if not self._core_still_valid(u, v):
+            self._count_rebuild()
+            return
+        if u not in self._core and v not in self._core:
+            return  # G_H* untouched
+        started = time.perf_counter()
+        self._apply_insertion(u, v)
+        self.stats.updates_hitting_star += 1
+        self.stats.hit_seconds_total += time.perf_counter() - started
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Apply an edge deletion (Section 5, second case analysis)."""
+        if not self._graph.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._graph.remove_edge(u, v)
+        self._bump_degree(u, -1)
+        self._bump_degree(v, -1)
+        self.stats.updates_total += 1
+        self.stats.deletions += 1
+        if not self._core_still_valid(u, v):
+            self._count_rebuild()
+            return
+        if u not in self._core and v not in self._core:
+            return
+        started = time.perf_counter()
+        self._apply_deletion(u, v)
+        self.stats.updates_hitting_star += 1
+        self.stats.hit_seconds_total += time.perf_counter() - started
+
+    def apply_stream(self, edges: Iterable[tuple[int, int, int]]) -> None:
+        """Replay a ``(timestamp, u, v)`` stream of insertions."""
+        for _, u, v in edges:
+            self.insert_edge(u, v)
+
+    def insert_batch(self, edges: Iterable[tuple[int, int]]) -> None:
+        """Insert many edges with a single core-validity resolution.
+
+        Per-edge maintenance keeps the tree consistent with the *current*
+        core throughout; whether that core is still a valid Definition-1
+        h-vertex set only matters at the end, so a batch needs at most one
+        check — and at most one rebuild — no matter how many insertions it
+        carries.  On bursty streams this collapses the transient
+        degree-crossing rebuilds that per-edge application pays for.
+        """
+        touched: set[int] = set()
+        for u, v in edges:
+            if u == v:
+                raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+            for w in (u, v):
+                if w not in self._graph:
+                    self._graph.add_vertex(w)
+                    self._degree_count[0] = self._degree_count.get(0, 0) + 1
+            if not self._graph.add_edge(u, v):
+                continue
+            self._bump_degree(u, +1)
+            self._bump_degree(v, +1)
+            touched.update((u, v))
+            self.stats.updates_total += 1
+            self.stats.insertions += 1
+            if u in self._core or v in self._core:
+                started = time.perf_counter()
+                self._apply_insertion(u, v)
+                self.stats.updates_hitting_star += 1
+                self.stats.hit_seconds_total += time.perf_counter() - started
+        if touched and not self._batch_core_still_valid(touched):
+            self._count_rebuild()
+
+    def _batch_core_still_valid(self, touched: set[int]) -> bool:
+        """Definition-1 validity after a batch touching ``touched``."""
+        if self._current_h_index() != self._h:
+            return False
+        for w in touched:
+            degree = self._graph.degree(w)
+            if w in self._core and degree < self._h:
+                return False
+            if w not in self._core and degree > self._h:
+                return False
+        return True
+
+    def insert_vertex(self, v: int, neighbors: Iterable[int] = ()) -> None:
+        """Insert a vertex with its (possibly empty) initial neighborhood.
+
+        Per Section 5, vertex insertion is "the insertion of an isolated
+        vertex" — a trivial operation that cannot change ``H`` — followed
+        by a series of edge insertions.
+        """
+        if v in self._graph:
+            raise GraphError(f"vertex {v!r} already exists")
+        self._graph.add_vertex(v)
+        self._degree_count[0] = self._degree_count.get(0, 0) + 1
+        for u in neighbors:
+            self.insert_edge(v, u)
+
+    def delete_vertex(self, v: int) -> None:
+        """Delete a vertex: remove each incident edge, then the vertex.
+
+        The edge deletions carry all the ``T_H*`` maintenance; removing
+        the then-isolated vertex only touches the degree histogram (and
+        ``h``, which a vanishing zero-degree vertex cannot change).
+        """
+        if v not in self._graph:
+            raise GraphError(f"vertex {v!r} is not in the graph")
+        for u in list(self._graph.neighbors(v)):
+            self.delete_edge(v, u)
+        self._graph.remove_vertex(v)
+        count = self._degree_count.get(0, 0) - 1
+        if count:
+            self._degree_count[0] = count
+        else:
+            self._degree_count.pop(0, None)
+
+    # ------------------------------------------------------------------
+    # On-demand full enumeration (Section 5's closing paragraph)
+    # ------------------------------------------------------------------
+    def compute_all_max_cliques(
+        self,
+        workdir: str | Path,
+        use_maintained_tree: bool = True,
+        config: ExtMCEConfig | None = None,
+    ) -> tuple[list[Clique], ExtMCEReport]:
+        """Enumerate every maximal clique of the current graph.
+
+        With ``use_maintained_tree=True`` the run is seeded with the
+        maintained star graph and ``M_H*`` — skipping Algorithm 1's scan
+        and the step-1 tree construction (Table 7 "Time w/ T_H*").  With
+        ``False`` it recomputes everything from scratch ("Time w/o T_H*").
+        """
+        workdir = Path(workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+        disk = DiskGraph.create(workdir / "snapshot.bin", self._graph)
+        run_config = config if config is not None else ExtMCEConfig(workdir=workdir)
+        first_step = None
+        if use_maintained_tree:
+            first_step = (self.star(), self.star_cliques())
+        algo = ExtMCE(disk, run_config, first_step=first_step)
+        cliques = list(algo.enumerate_cliques())
+        disk.delete()
+        return cliques, algo.report
+
+    # ------------------------------------------------------------------
+    # Core validity (h-index bookkeeping)
+    # ------------------------------------------------------------------
+    def _core_still_valid(self, u: int, v: int) -> bool:
+        """Whether ``H`` remains a valid Definition-1 core after an update
+        that changed only the degrees of ``u`` and ``v``."""
+        new_h = self._current_h_index()
+        if new_h != self._h:
+            return False
+        for w in (u, v):
+            degree = self._graph.degree(w)
+            if w in self._core and degree < self._h:
+                return False
+            if w not in self._core and degree > self._h:
+                return False
+        return True
+
+    def _bump_degree(self, w: int, delta: int) -> None:
+        """Keep the degree histogram in sync after one degree change."""
+        new_degree = self._graph.degree(w)
+        old_degree = new_degree - delta
+        count = self._degree_count.get(old_degree, 0) - 1
+        if count:
+            self._degree_count[old_degree] = count
+        else:
+            self._degree_count.pop(old_degree, None)
+        self._degree_count[new_degree] = self._degree_count.get(new_degree, 0) + 1
+
+    def _count_degree_at_least(self, threshold: int) -> int:
+        return sum(
+            count for degree, count in self._degree_count.items() if degree >= threshold
+        )
+
+    def _current_h_index(self) -> int:
+        """h-index from the maintained degree histogram.
+
+        A single edge update moves ``h`` by at most one, so the search
+        starts from the previous value instead of sorting all degrees.
+        """
+        h = self._h
+        while self._count_degree_at_least(h + 1) >= h + 1:
+            h += 1
+        while h > 0 and self._count_degree_at_least(h) < h:
+            h -= 1
+        return h
+
+    def _count_rebuild(self) -> None:
+        self.stats.core_rebuilds += 1
+        self.stats.updates_hitting_star += 1
+        started = time.perf_counter()
+        self._rebuild()
+        self.stats.hit_seconds_total += time.perf_counter() - started
+
+    def _rebuild(self) -> None:
+        """Recompute ``H``, the star lists, and ``T_H*`` from the graph."""
+        if self._tree is not None:
+            self._tree.release()
+        self._h = self._current_h_index()
+        by_degree = sorted(
+            self._graph.vertices(),
+            key=lambda w: (-self._graph.degree(w), w),
+        )
+        self._core = set(by_degree[: self._h])
+        self._neighbor_lists = {
+            w: set(self._graph.neighbors(w)) for w in self._core
+        }
+        star = self.star()
+        self._tree = CliqueTree.for_star(star, memory=self._memory)
+        for clique in enumerate_star_cliques(star):
+            self._tree.insert(clique)
+
+    # ------------------------------------------------------------------
+    # Star-local update rules
+    # ------------------------------------------------------------------
+    def _star_neighbors(self, w: int) -> set[int]:
+        """``G_H*`` neighborhood of ``w`` (core: full list; periphery: its
+        core neighbors; outside vertices: empty)."""
+        if w in self._core:
+            return self._neighbor_lists[w]
+        return set(self._graph.neighbors(w)) & self._core
+
+    def _apply_insertion(self, u: int, v: int) -> None:
+        assert self._tree is not None
+        if u in self._core:
+            self._neighbor_lists[u].add(v)
+        if v in self._core:
+            self._neighbor_lists[v].add(u)
+
+        common = self._star_neighbors(u) & self._star_neighbors(v) - {u, v}
+        if not common:
+            self._tree.insert(frozenset((u, v)))
+            self._tree.remove(frozenset((u,)))
+            self._tree.remove(frozenset((v,)))
+            return
+        intersections = {
+            clique & common
+            for clique in self._tree.cliques()
+            if clique & common
+        }
+        maximal = [
+            kernel
+            for kernel in intersections
+            if not any(kernel < other for other in intersections)
+        ]
+        for kernel in maximal:
+            self._tree.insert(kernel | {u, v})
+            self._tree.remove(kernel | {u})
+            self._tree.remove(kernel | {v})
+
+    def _apply_deletion(self, u: int, v: int) -> None:
+        assert self._tree is not None
+        if u in self._core:
+            self._neighbor_lists[u].discard(v)
+        if v in self._core:
+            self._neighbor_lists[v].discard(u)
+        affected = list(self._tree.cliques_containing((u, v)))
+        for clique in affected:
+            self._tree.remove(clique)
+        for clique in affected:
+            for survivor in (clique - {u}, clique - {v}):
+                if self._survivor_is_star_maximal(survivor):
+                    self._tree.insert(survivor)
+
+    def _survivor_is_star_maximal(self, survivor: Clique) -> bool:
+        if not survivor:
+            return False
+        members = sorted(survivor)
+        if len(members) == 1 and members[0] not in self._core:
+            # A lone periphery vertex either left G_H* entirely or still
+            # has a core neighbor that extends it; never maximal alone.
+            return False
+        common = self._star_neighbors(members[0]) - survivor
+        for w in members[1:]:
+            common &= self._star_neighbors(w)
+            if not common:
+                break
+        return not (common - survivor)

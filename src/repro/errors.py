@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the specific failure modes that matter operationally
+(memory-budget exhaustion, malformed on-disk data, invalid graph input).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """An operation received an invalid graph or vertex argument."""
+
+
+class VertexNotFoundError(GraphError):
+    """A vertex referenced by an operation is not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge referenced by an operation is not present in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class MemoryBudgetExceeded(ReproError):
+    """A memory-model allocation would exceed the configured budget.
+
+    This is the reproduction's analogue of the paper's in-memory baseline
+    "running out of memory" on the larger datasets (Figure 3(b)).
+    """
+
+    def __init__(self, requested: int, in_use: int, budget: int) -> None:
+        super().__init__(
+            f"allocation of {requested} units would exceed the memory budget: "
+            f"{in_use} units in use of {budget} available"
+        )
+        self.requested = requested
+        self.in_use = in_use
+        self.budget = budget
+
+
+class StorageError(ReproError):
+    """The on-disk graph store is malformed or was used incorrectly."""
+
+
+class StorageFormatError(StorageError):
+    """A binary record on disk failed to decode."""
+
+
+class EstimationError(ReproError):
+    """The clique-tree size estimator was invoked on an unusable input."""

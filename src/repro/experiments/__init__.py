@@ -1,0 +1,34 @@
+"""Experiment harness: one module per table/figure of the paper's Section 6.
+
+Every module exposes ``run(...)`` returning structured rows and
+``render(rows)`` producing a paper-style text table; running a module as a
+script prints the table.  The benchmarks under ``benchmarks/`` wrap these
+same entry points, so the numbers in ``EXPERIMENTS.md`` regenerate with
+``pytest benchmarks/ --benchmark-only`` or with::
+
+    python -m repro.experiments
+
+which prints every table in order.
+"""
+
+from repro.experiments import (  # noqa: F401  (re-exported for discoverability)
+    figure3,
+    section32,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = [
+    "figure3",
+    "section32",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

@@ -1,0 +1,51 @@
+"""Run every experiment and print the paper-style tables in order.
+
+Usage::
+
+    python -m repro.experiments            # all tables
+    python -m repro.experiments table4     # just one
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    figure3,
+    section32,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+_MODULES = {
+    "section32": section32,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "figure3": figure3,
+    "table6": table6,
+    "table7": table7,
+}
+
+
+def main(argv: list[str]) -> int:
+    """Run the selected experiments (all when none named)."""
+    names = argv or list(_MODULES)
+    unknown = [name for name in names if name not in _MODULES]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(_MODULES)}", file=sys.stderr)
+        return 2
+    for name in names:
+        _MODULES[name].main()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,80 @@
+"""Table 2 — dataset sizes (n, m, physical storage).
+
+The paper lists the four datasets' vertex/edge counts and on-disk sizes.
+This experiment reports the same columns for the synthetic stand-ins next
+to the original figures, so the scale factor of the substitution is
+explicit.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_quantity, render_table
+from repro.experiments.common import DATASET_NAMES, dataset_graph, dataset_spec, make_disk_graph
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One dataset's size figures, measured and from the paper."""
+
+    dataset: str
+    num_vertices: int
+    num_edges: int
+    storage_mb: float
+    paper_vertices: int
+    paper_edges: int
+    paper_storage_mb: float
+
+
+def run(datasets: tuple[str, ...] = DATASET_NAMES) -> list[Table2Row]:
+    """Measure every dataset stand-in (writes each to temp disk storage)."""
+    rows = []
+    for name in datasets:
+        spec = dataset_spec(name)
+        graph = dataset_graph(name)
+        with tempfile.TemporaryDirectory(prefix="table2_") as tmp:
+            disk = make_disk_graph(name, tmp)
+            storage_mb = disk.path.stat().st_size / (1024 * 1024)
+        rows.append(
+            Table2Row(
+                dataset=name,
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+                storage_mb=storage_mb,
+                paper_vertices=spec.paper_vertices,
+                paper_edges=spec.paper_edges,
+                paper_storage_mb=spec.paper_storage_mb,
+            )
+        )
+    return rows
+
+
+def render(rows: list[Table2Row]) -> str:
+    """Paper-style table with measured and original columns."""
+    return render_table(
+        "Table 2: Datasets (synthetic stand-ins; paper figures for scale)",
+        ["dataset", "n", "m", "storage (MB)", "paper n", "paper m", "paper MB"],
+        [
+            (
+                row.dataset,
+                format_quantity(row.num_vertices),
+                format_quantity(row.num_edges),
+                f"{row.storage_mb:.2f}",
+                format_quantity(row.paper_vertices),
+                format_quantity(row.paper_edges),
+                f"{row.paper_storage_mb:.0f}",
+            )
+            for row in rows
+        ],
+    )
+
+
+def main() -> None:
+    """Print the table."""
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Deterministic workload generators.
+
+The paper evaluates on four proprietary/offline datasets (HPRD protein
+interactions, a Technorati blogs crawl, LiveJournal, and the Yahoo webspam
+Web graph).  These generators produce seeded synthetic stand-ins with the
+property the H*-graph analysis actually depends on — a power-law degree
+distribution (Section 3.2) — plus enough triadic closure that maximal
+cliques of non-trivial size exist, as they do in the real networks.
+"""
+
+from repro.generators.datasets import (
+    DATASETS,
+    DatasetSpec,
+    generate_dataset,
+    list_datasets,
+)
+from repro.generators.rank_law import (
+    rank_power_law_degrees,
+    rank_power_law_graph,
+)
+from repro.generators.scale_free import (
+    barabasi_albert_graph,
+    powerlaw_cluster_graph,
+    random_gnp_graph,
+)
+from repro.generators.streams import edge_stream, split_into_periods
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "barabasi_albert_graph",
+    "edge_stream",
+    "generate_dataset",
+    "list_datasets",
+    "powerlaw_cluster_graph",
+    "random_gnp_graph",
+    "rank_power_law_degrees",
+    "rank_power_law_graph",
+    "split_into_periods",
+]

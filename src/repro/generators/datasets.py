@@ -1,0 +1,120 @@
+"""Synthetic stand-ins for the paper's four datasets (Table 2).
+
+Each spec scales a real dataset down to a size a pure-Python MCE run
+completes in seconds while keeping its *shape*: the vertex-to-edge ratio
+and the power-law-with-clustering structure the H*-graph machinery relies
+on.  The ``paper_*`` fields carry the original Table 2 figures so the
+experiment harness can print paper-vs-measured side by side.
+
+=============  ==========================  =====================
+spec           original network            original size (n / m)
+=============  ==========================  =====================
+``protein``    HPRD protein interactions   20K / 40K
+``blogs``      Technorati blogs crawl      1M / 6.5M
+``lj``         LiveJournal friendships     4.8M / 43M
+``web``        Yahoo webspam Web graph     10M / 80M
+=============  ==========================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.generators.scale_free import powerlaw_cluster_edges
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one synthetic dataset."""
+
+    name: str
+    num_vertices: int
+    edges_per_vertex: int
+    triangle_probability: float
+    seed: int
+    paper_vertices: int
+    paper_edges: int
+    paper_storage_mb: float
+    description: str
+
+    def edges(self) -> list[tuple[int, int]]:
+        """The dataset's edges in creation order (the update stream)."""
+        return powerlaw_cluster_edges(
+            self.num_vertices,
+            self.edges_per_vertex,
+            self.triangle_probability,
+            seed=self.seed,
+        )
+
+    def graph(self) -> AdjacencyGraph:
+        """Materialise the dataset as an in-memory graph."""
+        return AdjacencyGraph.from_edges(self.edges(), vertices=range(self.num_vertices))
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="protein",
+            num_vertices=2_000,
+            edges_per_vertex=3,
+            triangle_probability=0.8,
+            seed=101,
+            paper_vertices=20_000,
+            paper_edges=40_000,
+            paper_storage_mb=1.0,
+            description="human protein-protein interaction network (HPRD)",
+        ),
+        DatasetSpec(
+            name="blogs",
+            num_vertices=6_000,
+            edges_per_vertex=6,
+            triangle_probability=0.75,
+            seed=202,
+            paper_vertices=1_000_000,
+            paper_edges=6_500_000,
+            paper_storage_mb=186.0,
+            description="blog co-occurrence network (Technorati crawl)",
+        ),
+        DatasetSpec(
+            name="lj",
+            num_vertices=12_000,
+            edges_per_vertex=9,
+            triangle_probability=0.6,
+            seed=303,
+            paper_vertices=4_800_000,
+            paper_edges=43_000_000,
+            paper_storage_mb=1310.0,
+            description="LiveJournal friendship network",
+        ),
+        DatasetSpec(
+            name="web",
+            num_vertices=20_000,
+            edges_per_vertex=8,
+            triangle_probability=0.5,
+            seed=404,
+            paper_vertices=10_000_000,
+            paper_edges=80_000_000,
+            paper_storage_mb=2613.0,
+            description="Web hyperlink graph (Yahoo webspam corpus)",
+        ),
+    )
+}
+
+
+def list_datasets() -> list[str]:
+    """Names of the available dataset specs, in Table 2 order."""
+    return list(DATASETS)
+
+
+def generate_dataset(name: str) -> AdjacencyGraph:
+    """Generate a dataset stand-in by name.
+
+    Raises :class:`~repro.errors.GraphError` for unknown names.
+    """
+    spec = DATASETS.get(name)
+    if spec is None:
+        raise GraphError(f"unknown dataset {name!r}; known: {', '.join(DATASETS)}")
+    return spec.graph()

@@ -1,0 +1,149 @@
+"""Scale-free graph generators (from scratch, seeded, reproducible).
+
+* :func:`barabasi_albert_graph` — classic preferential attachment; yields a
+  power-law degree distribution but little clustering.
+* :func:`powerlaw_cluster_graph` — Holme-Kim: preferential attachment with
+  triad-formation steps.  This is the workhorse behind the dataset
+  stand-ins because real social/biological networks combine a heavy-tailed
+  degree distribution with abundant triangles (hence non-trivial maximal
+  cliques).
+* :func:`random_gnp_graph` — Erdős–Rényi, used by tests and ablations as
+  the non-scale-free contrast.
+
+All generators also expose the edge *creation order*, which
+:mod:`repro.generators.streams` turns into the timestamped update stream
+of the Table 7 experiment.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+
+Edge = tuple[int, int]
+
+
+def barabasi_albert_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    seed: int = 0,
+) -> AdjacencyGraph:
+    """Preferential-attachment graph on ``num_vertices`` vertices."""
+    return AdjacencyGraph.from_edges(
+        barabasi_albert_edges(num_vertices, edges_per_vertex, seed),
+        vertices=range(num_vertices),
+    )
+
+
+def barabasi_albert_edges(
+    num_vertices: int,
+    edges_per_vertex: int,
+    seed: int = 0,
+) -> list[Edge]:
+    """The BA model's edges in creation order."""
+    return powerlaw_cluster_edges(
+        num_vertices, edges_per_vertex, triangle_probability=0.0, seed=seed
+    )
+
+
+def powerlaw_cluster_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    triangle_probability: float,
+    seed: int = 0,
+) -> AdjacencyGraph:
+    """Holme-Kim powerlaw-cluster graph (power law + triangles)."""
+    return AdjacencyGraph.from_edges(
+        powerlaw_cluster_edges(num_vertices, edges_per_vertex, triangle_probability, seed),
+        vertices=range(num_vertices),
+    )
+
+
+def powerlaw_cluster_edges(
+    num_vertices: int,
+    edges_per_vertex: int,
+    triangle_probability: float,
+    seed: int = 0,
+) -> list[Edge]:
+    """Holme-Kim edges in creation order.
+
+    Each arriving vertex ``v`` makes ``edges_per_vertex`` connections: the
+    first by preferential attachment; each further one is, with
+    ``triangle_probability``, a *triad formation* step (connect to a random
+    neighbor of the previously chosen target, closing a triangle) and
+    otherwise another preferential attachment.
+
+    Preferential attachment is implemented with the repeated-endpoints
+    list: sampling uniformly from the list of all edge endpoints picks a
+    vertex with probability proportional to its degree.
+    """
+    if edges_per_vertex < 1:
+        raise GraphError(f"edges_per_vertex must be >= 1, got {edges_per_vertex}")
+    if num_vertices <= edges_per_vertex:
+        raise GraphError(
+            f"need num_vertices > edges_per_vertex, got {num_vertices} <= {edges_per_vertex}"
+        )
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise GraphError(
+            f"triangle_probability must be in [0, 1], got {triangle_probability}"
+        )
+
+    rng = random.Random(seed)
+    edges: list[Edge] = []
+    adjacency: dict[int, set[int]] = {v: set() for v in range(num_vertices)}
+    endpoints: list[int] = []  # degree-weighted sampling pool
+
+    def connect(u: int, v: int) -> bool:
+        if u == v or v in adjacency[u]:
+            return False
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        endpoints.append(u)
+        endpoints.append(v)
+        edges.append((min(u, v), max(u, v)))
+        return True
+
+    # Seed component: a small clique so early attachments have targets
+    # and the graph starts with at least one non-trivial clique.
+    seed_size = edges_per_vertex + 1
+    for u in range(seed_size):
+        for v in range(u + 1, seed_size):
+            connect(u, v)
+
+    for vertex in range(seed_size, num_vertices):
+        target = endpoints[rng.randrange(len(endpoints))]
+        connect(vertex, target)
+        last_target = target
+        attempts = 0
+        made = 1
+        # Cap attempts so dense corner cases cannot loop forever.
+        while made < edges_per_vertex and attempts < 20 * edges_per_vertex:
+            attempts += 1
+            if rng.random() < triangle_probability and adjacency[last_target]:
+                candidates = sorted(adjacency[last_target] - adjacency[vertex] - {vertex})
+                if candidates:
+                    choice = candidates[rng.randrange(len(candidates))]
+                    if connect(vertex, choice):
+                        made += 1
+                    continue
+            target = endpoints[rng.randrange(len(endpoints))]
+            if connect(vertex, target):
+                made += 1
+                last_target = target
+    return edges
+
+
+def random_gnp_graph(num_vertices: int, probability: float, seed: int = 0) -> AdjacencyGraph:
+    """Erdős–Rényi ``G(n, p)`` graph with a seeded RNG."""
+    if not 0.0 <= probability <= 1.0:
+        raise GraphError(f"probability must be in [0, 1], got {probability}")
+    rng = random.Random(seed)
+    edges = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(u + 1, num_vertices)
+        if rng.random() < probability
+    ]
+    return AdjacencyGraph.from_edges(edges, vertices=range(num_vertices))

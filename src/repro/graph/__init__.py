@@ -1,0 +1,48 @@
+"""In-memory graph substrate.
+
+This package provides the undirected-graph data structure used throughout the
+library, together with the graph-analysis helpers the paper relies on:
+induced subgraphs (Section 2), vertex orderings (Definition 8), traversal
+statistics (Table 5), and power-law degree-distribution analysis
+(Section 3.2, Eqs. (1)-(9)).
+"""
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.cores import core_numbers, degeneracy, k_core
+from repro.graph.ordering import (
+    degeneracy_ordering,
+    degree_ordering,
+    hstar_vertex_order,
+)
+from repro.graph.powerlaw import (
+    PowerLawFit,
+    fit_rank_exponent,
+    predicted_h,
+    predicted_hstar_size_bounds,
+)
+from repro.graph.stats import (
+    average_closeness,
+    average_clustering,
+    degree_histogram,
+    local_clustering,
+    reachability_fraction,
+)
+
+__all__ = [
+    "AdjacencyGraph",
+    "PowerLawFit",
+    "average_closeness",
+    "average_clustering",
+    "core_numbers",
+    "degeneracy_ordering",
+    "degree_histogram",
+    "degeneracy",
+    "degree_ordering",
+    "fit_rank_exponent",
+    "k_core",
+    "hstar_vertex_order",
+    "local_clustering",
+    "predicted_h",
+    "predicted_hstar_size_bounds",
+    "reachability_fraction",
+]

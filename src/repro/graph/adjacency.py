@@ -1,0 +1,263 @@
+"""Undirected in-memory graph backed by adjacency sets.
+
+The paper (Section 2) works with undirected, unlabeled graphs ``G = (V, E)``
+where ``|G|`` is defined as the number of edges ``m``.  Vertices are integer
+identifiers; the total order on vertex ids doubles as the order ``≺``
+used by the H*-max-clique tree (Definition 8).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+Vertex = Hashable
+Edge = tuple[Vertex, Vertex]
+
+
+class AdjacencyGraph:
+    """An undirected graph stored as a dictionary of neighbor sets.
+
+    The structure mirrors the paper's notation: ``nb(v)`` is the neighbor set
+    of ``v`` and ``d(v) = |nb(v)|`` its degree.  Self-loops are rejected
+    because a clique never contains one, and parallel edges collapse (the
+    edge set is a set).
+
+    Examples
+    --------
+    >>> g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> g.degree(1)
+    2
+    >>> g.num_edges
+    3
+    """
+
+    def __init__(self) -> None:
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        vertices: Iterable[Vertex] = (),
+    ) -> "AdjacencyGraph":
+        """Build a graph from an edge iterable, plus optional extra vertices.
+
+        ``vertices`` lets callers register isolated vertices, which matter to
+        the paper's recursion (a singleton is a maximal clique only when its
+        *original* degree is zero, Section 4.3).
+        """
+        graph = cls()
+        for vertex in vertices:
+            graph.add_vertex(vertex)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_adjacency(cls, adjacency: dict[Vertex, Iterable[Vertex]]) -> "AdjacencyGraph":
+        """Build a graph from a mapping ``vertex -> neighbor iterable``.
+
+        The mapping is symmetrised: an entry ``u -> [v]`` implies the edge
+        ``(u, v)`` even when ``v``'s own list omits ``u``.
+        """
+        graph = cls()
+        for vertex, neighbors in adjacency.items():
+            graph.add_vertex(vertex)
+            for neighbor in neighbors:
+                graph.add_edge(vertex, neighbor)
+        return graph
+
+    def copy(self) -> "AdjacencyGraph":
+        """Return an independent deep copy of the graph."""
+        clone = AdjacencyGraph()
+        clone._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, v: Vertex) -> None:
+        """Add an isolated vertex; a no-op when the vertex already exists."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Add the undirected edge ``(u, v)``; return ``True`` if it is new.
+
+        Raises :class:`~repro.errors.GraphError` on a self-loop.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge ``(u, v)``.
+
+        Raises :class:`~repro.errors.EdgeNotFoundError` when absent.
+        """
+        if u not in self._adj or v not in self._adj[u]:
+            raise EdgeNotFoundError(u, v)
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Remove ``v`` and all incident edges.
+
+        Raises :class:`~repro.errors.VertexNotFoundError` when absent.
+        """
+        if v not in self._adj:
+            raise VertexNotFoundError(v)
+        for neighbor in self._adj[v]:
+            self._adj[neighbor].discard(v)
+        self._num_edges -= len(self._adj[v])
+        del self._adj[v]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """``n = |V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """``m = |E|``; the paper's ``|G|`` (Section 2)."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once, as ``(u, v)``.
+
+        For orderable vertex types each edge is reported with ``u < v``.
+        """
+        seen: set[Vertex] = set()
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if v not in seen:
+                    yield (u, v) if _orderable_le(u, v) else (v, u)
+            seen.add(u)
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return whether the undirected edge ``(u, v)`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, v: Vertex) -> set[Vertex]:
+        """``nb(v)``: the neighbor set of ``v`` (a live reference; do not
+        mutate).  Raises :class:`~repro.errors.VertexNotFoundError`."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise VertexNotFoundError(v) from None
+
+    def degree(self, v: Vertex) -> int:
+        """``d(v) = |nb(v)|``."""
+        return len(self.neighbors(v))
+
+    def degree_sequence(self) -> list[int]:
+        """All vertex degrees in descending order."""
+        return sorted((len(nbrs) for nbrs in self._adj.values()), reverse=True)
+
+    # ------------------------------------------------------------------
+    # Subgraphs (paper Section 2: G_S)
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, subset: Iterable[Vertex]) -> "AdjacencyGraph":
+        """``G_S``: the subgraph induced by the vertex set ``subset``.
+
+        Vertices absent from the graph are ignored, matching the paper's
+        convention that ``G_S`` is defined over ``S ⊆ V``.
+        """
+        chosen = {v for v in subset if v in self._adj}
+        sub = AdjacencyGraph()
+        for v in chosen:
+            sub.add_vertex(v)
+        for v in chosen:
+            for u in self._adj[v] & chosen:
+                sub.add_edge(v, u)
+        return sub
+
+    def is_clique(self, subset: Iterable[Vertex]) -> bool:
+        """Return whether ``subset`` induces a complete subgraph.
+
+        Raises :class:`~repro.errors.VertexNotFoundError` when a member is
+        missing from the graph.
+        """
+        members = list(dict.fromkeys(subset))
+        for v in members:
+            if v not in self._adj:
+                raise VertexNotFoundError(v)
+        for i, v in enumerate(members):
+            neighbors = self._adj[v]
+            for u in members[i + 1 :]:
+                if u not in neighbors:
+                    return False
+        return True
+
+    def is_maximal_clique(self, subset: Iterable[Vertex]) -> bool:
+        """Return whether ``subset`` is a clique with no common neighbor."""
+        members = set(subset)
+        if not members:
+            return False
+        if not self.is_clique(members):
+            return False
+        common = self.common_neighbors(members)
+        return not common
+
+    def common_neighbors(self, subset: Iterable[Vertex]) -> set[Vertex]:
+        """Vertices adjacent to *every* member of ``subset`` (excluding it).
+
+        For the empty set this returns all vertices, mirroring the convention
+        that an empty intersection ranges over the whole universe.
+        """
+        members = list(subset)
+        if not members:
+            return set(self._adj)
+        members.sort(key=self.degree)
+        common = set(self.neighbors(members[0]))
+        for v in members[1:]:
+            common &= self.neighbors(v)
+            if not common:
+                break
+        return common - set(members)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+
+def _orderable_le(u: Vertex, v: Vertex) -> bool:
+    """Best-effort ``u <= v`` that tolerates unorderable vertex types."""
+    try:
+        return u <= v  # type: ignore[operator]
+    except TypeError:
+        return True

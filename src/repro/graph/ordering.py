@@ -1,0 +1,83 @@
+"""Vertex orderings.
+
+Definition 8 of the paper requires a total order ``≺`` over ``H ∪ Hnb``
+where every h-vertex precedes every h-neighbor; within each class we order
+by vertex id.  Degeneracy ordering is provided for the Eppstein-Strash
+baseline used in the ablation benches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.graph.adjacency import AdjacencyGraph, Vertex
+
+
+def degree_ordering(graph: AdjacencyGraph, descending: bool = True) -> list[Vertex]:
+    """Vertices sorted by degree, ties broken by vertex id (deterministic)."""
+    return sorted(
+        graph.vertices(),
+        key=lambda v: (-graph.degree(v), v) if descending else (graph.degree(v), v),
+    )
+
+
+def hstar_vertex_order(h_vertices: Iterable[Vertex], h_neighbors: Iterable[Vertex]) -> dict[Vertex, int]:
+    """The total order ``≺`` of Definition 8 as a rank mapping.
+
+    Every h-vertex ranks before every h-neighbor; within each class vertices
+    are ranked by their id.  The returned dict maps vertex -> rank, usable as
+    a sort key when laying out root-to-leaf paths of the H*-max-clique tree.
+    """
+    rank: dict[Vertex, int] = {}
+    position = 0
+    for v in sorted(h_vertices):
+        rank[v] = position
+        position += 1
+    for v in sorted(h_neighbors):
+        if v in rank:
+            raise ValueError(f"vertex {v!r} is both an h-vertex and an h-neighbor")
+        rank[v] = position
+        position += 1
+    return rank
+
+
+def degeneracy_ordering(graph: AdjacencyGraph) -> tuple[list[Vertex], int]:
+    """Compute a degeneracy ordering and the degeneracy number.
+
+    Repeatedly removes a minimum-degree vertex (smallest id on ties).  The
+    returned list is in removal order; the second element is the graph's
+    degeneracy (the largest minimum degree seen).  Used by the
+    Eppstein-Strash maximal clique baseline.
+    """
+    degrees = {v: graph.degree(v) for v in graph.vertices()}
+    # Bucket queue over degrees for O(n + m) behaviour.
+    max_degree = max(degrees.values(), default=0)
+    buckets: list[set[Vertex]] = [set() for _ in range(max_degree + 1)]
+    for v, d in degrees.items():
+        buckets[d].add(v)
+
+    ordering: list[Vertex] = []
+    removed: set[Vertex] = set()
+    degeneracy = 0
+    current = 0
+    for _ in range(graph.num_vertices):
+        while current <= max_degree and not buckets[current]:
+            current += 1
+        if current > max_degree:
+            break
+        vertex = min(buckets[current])
+        buckets[current].discard(vertex)
+        degeneracy = max(degeneracy, current)
+        ordering.append(vertex)
+        removed.add(vertex)
+        for neighbor in graph.neighbors(vertex):
+            if neighbor in removed:
+                continue
+            d = degrees[neighbor]
+            buckets[d].discard(neighbor)
+            degrees[neighbor] = d - 1
+            buckets[d - 1].add(neighbor)
+        # A removal can only lower neighbor degrees, so the scan pointer
+        # steps back by at most one bucket.
+        current = max(0, current - 1)
+    return ordering, degeneracy

@@ -1,0 +1,154 @@
+"""Power-law degree-distribution analysis (paper Section 3.2).
+
+The paper bounds the memory footprint of the H*-graph using the rank
+exponent ``R`` of Faloutsos et al.: for a scale-free graph the degree of the
+``r``-th highest-degree vertex satisfies ``d(v) = (r / n) ** R`` (Eq. (1),
+with ``R < 0``).  From this follow the bound ``h <= n ** (R / (R - 1))``
+(Eq. (3)) and upper/lower bounds on ``|G_H*|`` (Eqs. (4)-(7)).
+
+These predictions are what let ExtMCE provision memory *before* reading the
+graph; :mod:`repro.core.hstar` compares them with measured values in the
+Table 4 experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of the rank/degree power law.
+
+    Attributes
+    ----------
+    rank_exponent:
+        The fitted ``R`` of Eq. (1); negative for scale-free graphs
+        (Faloutsos et al. measured -0.8 .. -0.7 for internet snapshots).
+    intercept:
+        Fitted intercept of ``log d = R * log r + intercept``.
+    r_squared:
+        Coefficient of determination of the log-log fit; values near 1
+        indicate the graph really is scale-free.
+    """
+
+    rank_exponent: float
+    intercept: float
+    r_squared: float
+
+
+def fit_rank_exponent(graph: AdjacencyGraph, min_degree: int = 1) -> PowerLawFit:
+    """Fit ``R`` by regressing ``log d(v)`` on ``log r(v)``.
+
+    ``r(v)`` is the degree rank (1 = highest degree).  Vertices with degree
+    below ``min_degree`` are excluded, since the power law concerns the
+    upper tail and zero-degree vertices have no logarithm.
+    """
+    degrees = [d for d in graph.degree_sequence() if d >= max(min_degree, 1)]
+    if len(degrees) < 2:
+        raise GraphError("rank-exponent fit needs at least two vertices with degree >= 1")
+    xs = [math.log(rank) for rank in range(1, len(degrees) + 1)]
+    ys = [math.log(d) for d in degrees]
+    slope, intercept, r_squared = _least_squares(xs, ys)
+    return PowerLawFit(rank_exponent=slope, intercept=intercept, r_squared=r_squared)
+
+
+def predicted_h(num_vertices: int, rank_exponent: float) -> int:
+    """Upper bound on ``h`` from Eq. (3): ``h <= n ** (R / (R - 1))``.
+
+    For example ``n = 10**6`` with ``R = -0.8`` gives roughly 464, matching
+    the paper's Section 3.2 worked example.
+    """
+    if num_vertices <= 0:
+        return 0
+    if rank_exponent >= 0:
+        raise GraphError(f"rank exponent must be negative, got {rank_exponent}")
+    exponent = rank_exponent / (rank_exponent - 1.0)
+    return int(math.floor(num_vertices**exponent))
+
+
+@dataclass(frozen=True)
+class HStarSizeBounds:
+    """Predicted bounds on ``|G_H*|`` (Eqs. (4)-(7))."""
+
+    h: int
+    upper_edges: float
+    lower_edges: float
+    total_edges_estimate: float
+
+    @property
+    def upper_fraction(self) -> float:
+        """Upper bound on ``|G_H*| / |G|`` per Eq. (7)."""
+        if self.total_edges_estimate == 0:
+            return 0.0
+        return self.upper_edges / self.total_edges_estimate
+
+    @property
+    def lower_fraction(self) -> float:
+        """Lower bound on ``|G_H*| / |G|`` per Eq. (7)."""
+        if self.total_edges_estimate == 0:
+            return 0.0
+        return self.lower_edges / self.total_edges_estimate
+
+
+def predicted_hstar_size_bounds(num_vertices: int, rank_exponent: float) -> HStarSizeBounds:
+    """Predict ``|G_H*|`` bounds for a scale-free graph of ``n`` vertices.
+
+    Follows the paper's derivation: the sum of the h-vertices' degrees
+    ``sum_{r=1..h} (r/n)**R`` upper-bounds ``|G_H*|`` (Eq. (4)); edges with
+    both endpoints in ``H`` are counted twice in that sum, and there are at
+    most ``h * (h - 1) / 2`` of them, giving the lower bound.  The total
+    edge count is estimated as half the full degree sum, which yields the
+    fraction-of-``|G|`` form of Eq. (7).
+    """
+    h = predicted_h(num_vertices, rank_exponent)
+    upper = _degree_sum(1, h, num_vertices, rank_exponent)
+    lower = max(upper - h * (h - 1) / 2.0, 0.0)
+    total = _degree_sum(1, num_vertices, num_vertices, rank_exponent) / 2.0
+    return HStarSizeBounds(
+        h=h,
+        upper_edges=upper,
+        lower_edges=lower,
+        total_edges_estimate=total,
+    )
+
+
+def _degree_sum(first_rank: int, last_rank: int, n: int, rank_exponent: float) -> float:
+    """``sum_{r=first..last} (r / n) ** R`` evaluated stably.
+
+    For wide rank ranges the sum is evaluated via the integral
+    approximation; for narrow ones (the h-vertex head) it is computed
+    exactly, since the head dominates the H*-graph bound.
+    """
+    if last_rank < first_rank:
+        return 0.0
+    width = last_rank - first_rank + 1
+    if width <= 100_000:
+        return sum((r / n) ** rank_exponent for r in range(first_rank, last_rank + 1))
+    # Integral of (r/n)^R dr = n/(R+1) * (r/n)^(R+1); R != -1 for real fits.
+    exponent = rank_exponent + 1.0
+    if abs(exponent) < 1e-12:
+        return n * (math.log(last_rank + 0.5) - math.log(first_rank - 0.5))
+    upper = n / exponent * ((last_rank + 0.5) / n) ** exponent
+    lower = n / exponent * ((first_rank - 0.5) / n) ** exponent
+    return upper - lower
+
+
+def _least_squares(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
+    """Plain least-squares line fit returning (slope, intercept, r**2)."""
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    ss_xx = sum((x - mean_x) ** 2 for x in xs)
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    ss_yy = sum((y - mean_y) ** 2 for y in ys)
+    if ss_xx == 0:
+        raise GraphError("degenerate degree sequence: all ranks identical")
+    slope = ss_xy / ss_xx
+    intercept = mean_y - slope * mean_x
+    r_squared = 0.0 if ss_yy == 0 else (ss_xy * ss_xy) / (ss_xx * ss_yy)
+    return slope, intercept, r_squared

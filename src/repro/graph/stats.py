@@ -1,0 +1,135 @@
+"""Traversal statistics used by the paper's Table 5.
+
+The paper reports, per dataset, the average *closeness* of the h-vertices
+(mean shortest-path distance to every reachable vertex) and their
+*reachability* (fraction of ``V`` reachable from the h-vertex set).  Both
+are computed with plain breadth-first search; closeness supports sampling
+so large graphs stay tractable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.graph.adjacency import AdjacencyGraph, Vertex
+
+
+def bfs_distances(graph: AdjacencyGraph, source: Vertex) -> dict[Vertex, int]:
+    """Shortest-path (hop) distances from ``source`` to reachable vertices."""
+    distances = {source: 0}
+    frontier = [source]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: list[Vertex] = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u not in distances:
+                    distances[u] = depth
+                    next_frontier.append(u)
+        frontier = next_frontier
+    return distances
+
+
+def closeness(graph: AdjacencyGraph, vertex: Vertex) -> float:
+    """Average distance from ``vertex`` to every *other* reachable vertex.
+
+    Matches the paper's ``AVG_{v in V, dist(u,v) != inf} dist(u, v)``;
+    returns ``0.0`` for a vertex with no reachable peers.
+    """
+    distances = bfs_distances(graph, vertex)
+    if len(distances) <= 1:
+        return 0.0
+    total = sum(distances.values())  # source contributes 0
+    return total / (len(distances) - 1)
+
+
+def average_closeness(
+    graph: AdjacencyGraph,
+    vertices: Iterable[Vertex],
+    sample_size: int | None = None,
+    seed: int = 0,
+) -> float:
+    """Mean closeness over ``vertices``, optionally BFS-sampling a subset.
+
+    Table 5 reports this for the h-vertex set.  With ``sample_size`` set, a
+    deterministic sample (seeded) is used, which is the standard approach
+    for closeness on large graphs.
+    """
+    pool = sorted(vertices)
+    if not pool:
+        return 0.0
+    if sample_size is not None and sample_size < len(pool):
+        rng = random.Random(seed)
+        pool = rng.sample(pool, sample_size)
+    return sum(closeness(graph, v) for v in pool) / len(pool)
+
+
+def reachability_fraction(graph: AdjacencyGraph, sources: Iterable[Vertex]) -> float:
+    """Fraction of all vertices reachable from the source set.
+
+    Sources count as reached.  Table 5's "reachability (h-vertices)" row.
+    """
+    if graph.num_vertices == 0:
+        return 0.0
+    reached: set[Vertex] = set()
+    frontier: list[Vertex] = []
+    for s in sources:
+        if s not in reached:
+            reached.add(s)
+            frontier.append(s)
+    while frontier:
+        next_frontier: list[Vertex] = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u not in reached:
+                    reached.add(u)
+                    next_frontier.append(u)
+        frontier = next_frontier
+    return len(reached) / graph.num_vertices
+
+
+def local_clustering(graph: AdjacencyGraph, vertex: Vertex) -> float:
+    """Local clustering coefficient of one vertex.
+
+    The fraction of the vertex's neighbor pairs that are themselves
+    adjacent; 0.0 for degree < 2.  Clustering is what turns a power-law
+    graph into one with non-trivial cliques, so the generators are
+    validated against it.
+    """
+    neighbors = sorted(graph.neighbors(vertex))
+    degree = len(neighbors)
+    if degree < 2:
+        return 0.0
+    closed = sum(
+        1
+        for i, u in enumerate(neighbors)
+        for w in neighbors[i + 1 :]
+        if graph.has_edge(u, w)
+    )
+    return 2.0 * closed / (degree * (degree - 1))
+
+
+def average_clustering(
+    graph: AdjacencyGraph,
+    sample_size: int | None = None,
+    seed: int = 0,
+) -> float:
+    """Mean local clustering coefficient (optionally over a seeded sample)."""
+    pool = sorted(graph.vertices())
+    if not pool:
+        return 0.0
+    if sample_size is not None and sample_size < len(pool):
+        rng = random.Random(seed)
+        pool = rng.sample(pool, sample_size)
+    return sum(local_clustering(graph, v) for v in pool) / len(pool)
+
+
+def degree_histogram(graph: AdjacencyGraph) -> dict[int, int]:
+    """Map ``degree -> number of vertices with that degree``."""
+    histogram: dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram

@@ -1,0 +1,25 @@
+"""Interoperability with common graph formats and libraries.
+
+Real MCE users arrive with graphs in DIMACS or METIS files or as networkx
+objects; these adapters move them in and out of the library's
+:class:`~repro.graph.adjacency.AdjacencyGraph` without losing vertices.
+The networkx bridge doubles as an *independent correctness oracle*: the
+test suite cross-checks every enumerator against ``networkx.find_cliques``.
+"""
+
+from repro.interop.formats import (
+    read_dimacs,
+    read_metis,
+    write_dimacs,
+    write_metis,
+)
+from repro.interop.nx import from_networkx, to_networkx
+
+__all__ = [
+    "from_networkx",
+    "read_dimacs",
+    "read_metis",
+    "to_networkx",
+    "write_dimacs",
+    "write_metis",
+]

@@ -1,0 +1,144 @@
+"""DIMACS and METIS graph file formats.
+
+Both formats are 1-indexed on disk; the adapters shift to the library's
+0-indexed vertices and back, so a graph round-trips exactly.
+
+* **DIMACS** (the clique/coloring challenge format): a ``p edge n m``
+  problem line, then ``e u v`` edge lines.  ``c`` comment lines are
+  skipped.
+* **METIS**: a header ``n m [fmt]``, then line ``i`` lists the neighbors
+  of vertex ``i``.  Only the unweighted format (fmt 0/absent) is
+  supported; weighted variants raise rather than silently dropping data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import StorageFormatError
+from repro.graph.adjacency import AdjacencyGraph
+
+
+# ---------------------------------------------------------------------------
+# DIMACS
+# ---------------------------------------------------------------------------
+def read_dimacs(path: str | Path) -> AdjacencyGraph:
+    """Parse a DIMACS ``p edge`` file into a graph (0-indexed vertices)."""
+    graph = AdjacencyGraph()
+    declared_vertices: int | None = None
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("c"):
+                continue
+            parts = stripped.split()
+            if parts[0] == "p":
+                if len(parts) != 4 or parts[1] not in ("edge", "col"):
+                    raise StorageFormatError(
+                        f"{path}:{line_number}: malformed problem line {stripped!r}"
+                    )
+                declared_vertices = int(parts[2])
+                for v in range(declared_vertices):
+                    graph.add_vertex(v)
+            elif parts[0] == "e":
+                if declared_vertices is None:
+                    raise StorageFormatError(
+                        f"{path}:{line_number}: edge before problem line"
+                    )
+                if len(parts) != 3:
+                    raise StorageFormatError(
+                        f"{path}:{line_number}: malformed edge line {stripped!r}"
+                    )
+                u, v = int(parts[1]) - 1, int(parts[2]) - 1
+                if not (0 <= u < declared_vertices and 0 <= v < declared_vertices):
+                    raise StorageFormatError(
+                        f"{path}:{line_number}: vertex out of declared range"
+                    )
+                graph.add_edge(u, v)
+            else:
+                raise StorageFormatError(
+                    f"{path}:{line_number}: unknown record type {parts[0]!r}"
+                )
+    if declared_vertices is None:
+        raise StorageFormatError(f"{path}: no 'p edge' problem line found")
+    return graph
+
+
+def write_dimacs(path: str | Path, graph: AdjacencyGraph) -> None:
+    """Write a graph as DIMACS ``p edge`` (vertices renumbered 1..n)."""
+    vertices = sorted(graph.vertices())
+    index = {v: i + 1 for i, v in enumerate(vertices)}
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("c written by repro (H*-graph MCE reproduction)\n")
+        handle.write(f"p edge {len(vertices)} {graph.num_edges}\n")
+        for u, v in sorted(
+            (min(index[a], index[b]), max(index[a], index[b]))
+            for a, b in graph.edges()
+        ):
+            handle.write(f"e {u} {v}\n")
+
+
+# ---------------------------------------------------------------------------
+# METIS
+# ---------------------------------------------------------------------------
+def read_metis(path: str | Path) -> AdjacencyGraph:
+    """Parse an unweighted METIS file into a graph (0-indexed vertices)."""
+    with open(path, "r", encoding="ascii") as handle:
+        lines = [
+            line.rstrip("\n")
+            for line in handle
+            if not line.lstrip().startswith("%")
+        ]
+    # Drop leading blank lines before the header; an isolated vertex's
+    # adjacency line is legitimately empty, so blanks after it stay.
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    if not lines:
+        raise StorageFormatError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise StorageFormatError(f"{path}: malformed METIS header {lines[0]!r}")
+    num_vertices, num_edges = int(header[0]), int(header[1])
+    if len(header) >= 3 and header[2] not in ("0", "00", "000"):
+        raise StorageFormatError(
+            f"{path}: weighted METIS format {header[2]!r} is not supported"
+        )
+    adjacency_lines = lines[1:]
+    while len(adjacency_lines) > num_vertices and not adjacency_lines[-1].strip():
+        adjacency_lines.pop()
+    if len(adjacency_lines) != num_vertices:
+        raise StorageFormatError(
+            f"{path}: header declares {num_vertices} vertices "
+            f"but file has {len(adjacency_lines)} adjacency lines"
+        )
+    lines = [lines[0]] + adjacency_lines
+    graph = AdjacencyGraph()
+    for v in range(num_vertices):
+        graph.add_vertex(v)
+    for v, line in enumerate(lines[1:]):
+        for token in line.split():
+            u = int(token) - 1
+            if not 0 <= u < num_vertices:
+                raise StorageFormatError(
+                    f"{path}: neighbor {token} of vertex {v + 1} out of range"
+                )
+            if u == v:
+                raise StorageFormatError(f"{path}: self-loop on vertex {v + 1}")
+            graph.add_edge(v, u)
+    if graph.num_edges != num_edges:
+        raise StorageFormatError(
+            f"{path}: header declares {num_edges} edges, found {graph.num_edges}"
+        )
+    return graph
+
+
+def write_metis(path: str | Path, graph: AdjacencyGraph) -> None:
+    """Write a graph in unweighted METIS format (vertices renumbered)."""
+    vertices = sorted(graph.vertices())
+    index = {v: i + 1 for i, v in enumerate(vertices)}
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"{len(vertices)} {graph.num_edges}\n")
+        for v in vertices:
+            neighbors = sorted(index[u] for u in graph.neighbors(v))
+            handle.write(" ".join(str(u) for u in neighbors))
+            handle.write("\n")

@@ -1,0 +1,39 @@
+"""networkx bridge.
+
+networkx is an optional convenience (and, in the test suite, an
+independent oracle: ``networkx.find_cliques`` is a third-party MCE
+implementation to cross-check against).  The import is deferred so the
+library itself stays dependency-free.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+
+
+def to_networkx(graph: AdjacencyGraph):
+    """Convert to a ``networkx.Graph`` (vertices and edges preserved)."""
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise GraphError("networkx is not installed") from exc
+    nx_graph = networkx.Graph()
+    nx_graph.add_nodes_from(graph.vertices())
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+def from_networkx(nx_graph) -> AdjacencyGraph:
+    """Convert from a ``networkx.Graph``.
+
+    Directed and multi-graphs are rejected rather than silently collapsed;
+    self-loops are rejected because cliques never contain them.
+    """
+    if nx_graph.is_directed() or nx_graph.is_multigraph():
+        raise GraphError(
+            "only simple undirected networkx graphs can be converted"
+        )
+    return AdjacencyGraph.from_edges(
+        nx_graph.edges(), vertices=nx_graph.nodes()
+    )

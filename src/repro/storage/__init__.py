@@ -1,0 +1,54 @@
+"""External-memory substrate.
+
+The paper evaluates ExtMCE against graphs that do not fit in RAM.  CPython
+offers no per-algorithm heap cap and this session has no multi-terabyte
+datasets, so the substrate makes both resources *explicit*:
+
+* :class:`~repro.storage.memory.MemoryModel` — an accounting model of main
+  memory.  Components charge the structures they keep resident (adjacency
+  entries, clique-tree nodes, hashtable entries); the model tracks the peak
+  and can enforce a budget, raising
+  :class:`~repro.errors.MemoryBudgetExceeded` exactly where the paper's
+  in-memory baseline runs out of RAM (Figure 3(b)).
+* :class:`~repro.storage.diskgraph.DiskGraph` — a page-granular binary
+  adjacency store on real files with a sequential-scan API and counted I/O,
+  so the ``O(|G| / |G_H*|)`` scan bound of Table 6 is measured.
+* :class:`~repro.storage.partitions.HnbPartitionStore` — the Section 4.2.3
+  spill files holding the h-neighbor adjacency partitions used to compute
+  ``maxCL(HNB(·))`` without random disk access.
+"""
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.convert import (
+    edge_list_file_to_disk_graph,
+    edge_list_to_disk_graph,
+)
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.edgelist import (
+    read_edge_list,
+    read_timestamped_edge_list,
+    write_edge_list,
+    write_timestamped_edge_list,
+)
+from repro.storage.iostats import IOStats
+from repro.storage.memory import MemoryModel
+from repro.storage.pagestore import PAGE_SIZE_BYTES, PageStore
+from repro.storage.partitions import HnbPartitionStore
+from repro.storage.random_access import RandomAccessDiskGraph
+
+__all__ = [
+    "PAGE_SIZE_BYTES",
+    "BufferPool",
+    "DiskGraph",
+    "HnbPartitionStore",
+    "IOStats",
+    "MemoryModel",
+    "PageStore",
+    "RandomAccessDiskGraph",
+    "edge_list_file_to_disk_graph",
+    "edge_list_to_disk_graph",
+    "read_edge_list",
+    "read_timestamped_edge_list",
+    "write_edge_list",
+    "write_timestamped_edge_list",
+]

@@ -1,0 +1,252 @@
+"""Disk-resident adjacency-list graph with sequential-scan access.
+
+This is the ``G`` that ExtMCE reads: records sorted by vertex id, one per
+vertex, streamed start-to-end.  The paper's algorithm touches it in exactly
+three ways, all provided here:
+
+* a full sequential scan (Algorithm 1's single pass, Section 4.2.3's
+  partition-building pass);
+* a rewrite dropping a vertex set and its incident edges (Algorithm 3,
+  Line 15: "Remove ``G_H*`` (or ``G_L*``) from ``G``");
+* targeted adjacency loads for a known vertex subset, implemented as one
+  sequential pass rather than per-vertex seeks, which is the
+  external-memory discipline the paper insists on.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import StorageError, StorageFormatError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.format import (
+    FILE_MAGIC,
+    VertexRecord,
+    decode_record,
+    encode_record,
+    record_size,
+)
+from repro.storage.iostats import IOStats
+from repro.storage.pagestore import PageStore
+
+_COUNTS = struct.Struct("<QQ")
+_HEADER_BYTES = len(FILE_MAGIC) + _COUNTS.size
+
+
+class DiskGraph:
+    """An undirected graph stored on disk as sorted adjacency records."""
+
+    def __init__(self, store: PageStore, num_vertices: int, num_edges: int) -> None:
+        self._store = store
+        self._num_vertices = num_vertices
+        self._num_edges = num_edges
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        graph: AdjacencyGraph,
+        io_stats: IOStats | None = None,
+    ) -> "DiskGraph":
+        """Write an in-memory graph to ``path`` and return a handle.
+
+        Vertex ids must be non-negative integers (enforced by the record
+        codec).  Original degrees are captured from the graph as given.
+        """
+        records = (
+            (v, sorted(graph.neighbors(v)), graph.degree(v))
+            for v in sorted(graph.vertices())
+        )
+        return cls.from_records(path, records, io_stats=io_stats)
+
+    @classmethod
+    def from_records(
+        cls,
+        path: str | Path,
+        records: Iterable[tuple[int, list[int], int]],
+        io_stats: IOStats | None = None,
+    ) -> "DiskGraph":
+        """Stream ``(vertex, sorted neighbors, original degree)`` records.
+
+        Records must arrive in ascending vertex order; counts are patched
+        into the header after the stream ends so nothing is buffered.
+        """
+        store = PageStore(path, io_stats)
+        store.write_all(FILE_MAGIC + _COUNTS.pack(0, 0))
+        num_vertices = 0
+        directed_degree_total = 0
+        previous_vertex = -1
+        buffer = bytearray()
+        for vertex, neighbors, original_degree in records:
+            if vertex <= previous_vertex:
+                raise StorageError(
+                    f"records out of order: vertex {vertex} after {previous_vertex}"
+                )
+            previous_vertex = vertex
+            num_vertices += 1
+            directed_degree_total += len(neighbors)
+            buffer += encode_record(vertex, neighbors, original_degree)
+            if len(buffer) >= 1 << 20:
+                store.append(bytes(buffer))
+                buffer.clear()
+        if buffer:
+            store.append(bytes(buffer))
+        if directed_degree_total % 2 != 0:
+            raise StorageError("adjacency records are not symmetric: odd degree total")
+        num_edges = directed_degree_total // 2
+        store.patch(len(FILE_MAGIC), _COUNTS.pack(num_vertices, num_edges))
+        return cls(store, num_vertices, num_edges)
+
+    @classmethod
+    def open(cls, path: str | Path, io_stats: IOStats | None = None) -> "DiskGraph":
+        """Open an existing graph file, validating its header."""
+        store = PageStore(path, io_stats)
+        header = store.read_at(0, _HEADER_BYTES)
+        if header[: len(FILE_MAGIC)] != FILE_MAGIC:
+            raise StorageFormatError(f"{path} is not a DiskGraph file")
+        num_vertices, num_edges = _COUNTS.unpack_from(header, len(FILE_MAGIC))
+        return cls(store, num_vertices, num_edges)
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """Backing file path."""
+        return self._store.path
+
+    @property
+    def io_stats(self) -> IOStats:
+        """I/O counters for this graph's storage stack."""
+        return self._store.io_stats
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertex records."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges (the paper's ``|G|``)."""
+        return self._num_edges
+
+    @property
+    def size_pages(self) -> int:
+        """On-disk size in accounting pages."""
+        return self._store.size_pages()
+
+    @property
+    def header_bytes(self) -> int:
+        """Byte offset of the first vertex record."""
+        return _HEADER_BYTES
+
+    @property
+    def page_store(self) -> PageStore:
+        """The underlying metered page store (for buffer-pool layering)."""
+        return self._store
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[VertexRecord]:
+        """Stream all records in vertex order (one metered sequential scan)."""
+        self._store.io_stats.record_scan()
+        pending = bytearray()
+        chunks = self._store.scan_chunks()
+        # Drop the fixed-size header from the first chunk.
+        to_skip = _HEADER_BYTES
+        for chunk in chunks:
+            if to_skip:
+                skip = min(to_skip, len(chunk))
+                chunk = chunk[skip:]
+                to_skip -= skip
+                if not chunk:
+                    continue
+            pending += chunk
+            offset = 0
+            while True:
+                record, next_offset = _try_decode(pending, offset)
+                if record is None:
+                    break
+                offset = next_offset
+                yield record
+            del pending[:offset]
+        if pending:
+            raise StorageFormatError(f"{len(pending)} trailing bytes after final record")
+
+    def load_adjacency(self, vertices: Iterable[int]) -> dict[int, tuple[int, ...]]:
+        """Adjacency lists for a vertex subset, via one sequential pass."""
+        wanted = set(vertices)
+        found: dict[int, tuple[int, ...]] = {}
+        for record in self.scan():
+            if record.vertex in wanted:
+                found[record.vertex] = record.neighbors
+                if len(found) == len(wanted):
+                    break
+        return found
+
+    def original_degrees(self, vertices: Iterable[int]) -> dict[int, int]:
+        """Original-graph degrees for a vertex subset (one pass)."""
+        wanted = set(vertices)
+        found: dict[int, int] = {}
+        for record in self.scan():
+            if record.vertex in wanted:
+                found[record.vertex] = record.original_degree
+                if len(found) == len(wanted):
+                    break
+        return found
+
+    def rewrite_without(self, removed: Iterable[int], new_path: str | Path) -> "DiskGraph":
+        """Write the residual graph after deleting a vertex set.
+
+        Removes every vertex in ``removed`` and all incident edges — the
+        per-recursion shrink step of Algorithm 3 — in one sequential read
+        of this file and one sequential write of the new one.  Original
+        degrees are carried over unchanged.
+        """
+        removed_set = set(removed)
+
+        def residual_records() -> Iterator[tuple[int, list[int], int]]:
+            for record in self.scan():
+                if record.vertex in removed_set:
+                    continue
+                survivors = [u for u in record.neighbors if u not in removed_set]
+                yield record.vertex, survivors, record.original_degree
+
+        return DiskGraph.from_records(new_path, residual_records(), io_stats=self.io_stats)
+
+    def to_adjacency_graph(self) -> AdjacencyGraph:
+        """Materialise the whole graph in memory (tests and baselines)."""
+        graph = AdjacencyGraph()
+        for record in self.scan():
+            graph.add_vertex(record.vertex)
+            for u in record.neighbors:
+                graph.add_edge(record.vertex, u)
+        return graph
+
+    def delete(self) -> None:
+        """Remove the backing file."""
+        self._store.delete()
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskGraph(path={str(self.path)!r}, n={self._num_vertices}, "
+            f"m={self._num_edges})"
+        )
+
+
+def _try_decode(buffer: bytearray, offset: int) -> tuple[VertexRecord | None, int]:
+    """Decode a record if the buffer holds it completely."""
+    header_end = offset + 16  # <QII
+    if header_end > len(buffer):
+        return None, offset
+    degree = int.from_bytes(buffer[offset + 8 : offset + 12], "little")
+    if offset + record_size(degree) > len(buffer):
+        return None, offset
+    record, next_offset = decode_record(bytes(buffer[offset : offset + record_size(degree)]))
+    return record, offset + next_offset

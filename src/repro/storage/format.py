@@ -1,0 +1,85 @@
+"""Binary record layout for on-disk adjacency lists.
+
+One record per vertex::
+
+    vertex id        uint64
+    current degree   uint32   (degree in the *residual* graph)
+    original degree  uint32   (degree in the graph as first written)
+    neighbors        current-degree x uint64
+
+The original degree is persisted because the paper's recursion needs it
+long after the residual graph has shed edges: a singleton ``{v}`` is a
+maximal clique of ``G`` only when ``d(v) = 0`` *in the original graph*
+(Section 4.3).  Keeping it in the record preserves the external-memory
+discipline — no in-memory map over all of ``V`` is required.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import StorageFormatError
+
+_HEADER = struct.Struct("<QII")
+
+#: Magic bytes identifying a DiskGraph file, followed by version.
+FILE_MAGIC = b"HSTARGR1"
+
+
+@dataclass(frozen=True)
+class VertexRecord:
+    """A decoded on-disk adjacency record."""
+
+    vertex: int
+    original_degree: int
+    neighbors: tuple[int, ...]
+
+    @property
+    def degree(self) -> int:
+        """Degree in the residual graph (length of the stored list)."""
+        return len(self.neighbors)
+
+
+def encode_record(vertex: int, neighbors: Sequence[int], original_degree: int) -> bytes:
+    """Serialise one vertex record.
+
+    Raises :class:`~repro.errors.StorageFormatError` for ids that do not
+    fit the fixed-width layout.
+    """
+    if vertex < 0:
+        raise StorageFormatError(f"vertex ids must be non-negative, got {vertex}")
+    if original_degree < 0:
+        raise StorageFormatError(f"original degree must be non-negative, got {original_degree}")
+    try:
+        header = _HEADER.pack(vertex, len(neighbors), original_degree)
+        body = struct.pack(f"<{len(neighbors)}Q", *neighbors)
+    except struct.error as exc:
+        raise StorageFormatError(f"record for vertex {vertex} failed to encode: {exc}") from exc
+    return header + body
+
+
+def decode_record(buffer: bytes, offset: int = 0) -> tuple[VertexRecord, int]:
+    """Decode one record at ``offset``; return it and the next offset.
+
+    Raises :class:`~repro.errors.StorageFormatError` on truncation.
+    """
+    end = offset + _HEADER.size
+    if end > len(buffer):
+        raise StorageFormatError("truncated record header")
+    vertex, degree, original_degree = _HEADER.unpack_from(buffer, offset)
+    body_end = end + 8 * degree
+    if body_end > len(buffer):
+        raise StorageFormatError(
+            f"truncated record body for vertex {vertex}: "
+            f"need {8 * degree} bytes, have {len(buffer) - end}"
+        )
+    neighbors = struct.unpack_from(f"<{degree}Q", buffer, end)
+    record = VertexRecord(vertex=vertex, original_degree=original_degree, neighbors=neighbors)
+    return record, body_end
+
+
+def record_size(degree: int) -> int:
+    """Size in bytes of a record with the given current degree."""
+    return _HEADER.size + 8 * degree

@@ -1,0 +1,143 @@
+"""Explicit main-memory accounting.
+
+The paper's central claim is a *space* bound: ExtMCE needs only
+``O(|G_H*| + |T_H*|)`` memory while in-memory MCE needs ``Ω(m + n)``
+(Sections 1 and 4.4).  Measuring CPython RSS would mix interpreter noise
+into that comparison, so the library instead charges every resident
+structure to a :class:`MemoryModel` in *units* (one unit = one stored
+vertex id: an adjacency entry, a clique-tree node, a hashtable member).
+
+A model can enforce a budget, in which case an allocation that would
+overflow raises :class:`~repro.errors.MemoryBudgetExceeded` — the
+reproduction of "in-mem runs out of memory" in Figure 3(b).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import MemoryBudgetExceeded
+
+#: Bytes per accounting unit when reporting MB figures.  One unit is one
+#: stored vertex id; 8 bytes matches the 64-bit ids a C implementation
+#: would store and keeps reported numbers comparable across algorithms.
+BYTES_PER_UNIT = 8
+
+
+@dataclass
+class MemoryModel:
+    """Tracks allocated memory units, their peak, and an optional budget.
+
+    Parameters
+    ----------
+    budget:
+        Maximum units that may be simultaneously live; ``None`` disables
+        enforcement (the model still records the peak).
+
+    Examples
+    --------
+    >>> model = MemoryModel(budget=10)
+    >>> model.allocate(6)
+    >>> model.release(6)
+    >>> model.peak_units
+    6
+    """
+
+    budget: int | None = None
+    in_use_units: int = 0
+    peak_units: int = 0
+    by_label: dict[str, int] = field(default_factory=dict)
+    reclaimers: list = field(default_factory=list, repr=False)
+
+    def add_reclaimer(self, reclaim) -> None:
+        """Register a cache-eviction callback for memory pressure.
+
+        ``reclaim()`` must release some units through :meth:`release` and
+        return ``True``, or return ``False`` when it has nothing left to
+        give.  This is the buffer-pool discipline: under a budget, caches
+        (the resident h-neighbor partitions) yield before an allocation
+        fails.
+        """
+        self.reclaimers.append(reclaim)
+
+    def remove_reclaimer(self, reclaim) -> None:
+        """Unregister a pressure callback (idempotent)."""
+        if reclaim in self.reclaimers:
+            self.reclaimers.remove(reclaim)
+
+    def allocate(self, units: int, label: str = "unlabeled") -> None:
+        """Charge ``units`` to the model.
+
+        Under budget pressure, registered reclaimers are asked to evict
+        first; the allocation fails only when none can free enough.
+
+        Raises
+        ------
+        MemoryBudgetExceeded
+            If the allocation would push usage past the budget.
+        ValueError
+            If ``units`` is negative.
+        """
+        if units < 0:
+            raise ValueError(f"cannot allocate a negative amount: {units}")
+        while self.budget is not None and self.in_use_units + units > self.budget:
+            before = self.in_use_units
+            claimed = any(reclaim() for reclaim in list(self.reclaimers))
+            if not claimed or self.in_use_units >= before:
+                raise MemoryBudgetExceeded(units, self.in_use_units, self.budget)
+        self.in_use_units += units
+        self.by_label[label] = self.by_label.get(label, 0) + units
+        if self.in_use_units > self.peak_units:
+            self.peak_units = self.in_use_units
+
+    def release(self, units: int, label: str = "unlabeled") -> None:
+        """Return ``units`` to the model.
+
+        Raises ``ValueError`` on negative amounts or over-release, which
+        always indicates an accounting bug in the caller.
+        """
+        if units < 0:
+            raise ValueError(f"cannot release a negative amount: {units}")
+        if units > self.in_use_units:
+            raise ValueError(
+                f"releasing {units} units but only {self.in_use_units} are in use"
+            )
+        held = self.by_label.get(label, 0)
+        if units > held:
+            raise ValueError(
+                f"releasing {units} units from label {label!r} but it holds {held}"
+            )
+        self.in_use_units -= units
+        self.by_label[label] = held - units
+
+    @contextmanager
+    def allocation(self, units: int, label: str = "unlabeled") -> Iterator[None]:
+        """Context manager pairing an allocate with its release."""
+        self.allocate(units, label=label)
+        try:
+            yield
+        finally:
+            self.release(units, label=label)
+
+    @property
+    def available_units(self) -> int | None:
+        """Remaining headroom, or ``None`` when no budget is set."""
+        if self.budget is None:
+            return None
+        return self.budget - self.in_use_units
+
+    @property
+    def peak_bytes(self) -> int:
+        """Peak usage expressed in bytes (``BYTES_PER_UNIT`` per unit)."""
+        return self.peak_units * BYTES_PER_UNIT
+
+    @property
+    def peak_megabytes(self) -> float:
+        """Peak usage in MB, the unit Figure 3(b) reports."""
+        return self.peak_bytes / (1024 * 1024)
+
+    def reset_peak(self) -> None:
+        """Reset the peak to current usage (between experiment phases)."""
+        self.peak_units = self.in_use_units

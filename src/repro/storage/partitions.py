@@ -1,0 +1,257 @@
+"""Neighbor-partition spill files (paper Section 4.2.3).
+
+Computing ``maxCL(HNB(C1))`` in Algorithm 2 needs the edges *between*
+h-neighbors, which the H*-graph deliberately omits.  The paper's solution:
+order the h-neighbor leaves of ``T_H*`` by DFS traversal, split them into
+partitions whose adjacency lists fit the available memory ``N``, write each
+partition to consecutive disk pages in one pass over ``G``, and load one
+partition at a time.
+
+This module reproduces that machinery over :class:`DiskGraph`:
+
+* :meth:`HnbPartitionStore.build` performs two sequential scans of ``G`` —
+  one to learn each h-neighbor's within-``Hnb`` degree (needed to place
+  partition boundaries; the paper assumes this is known), one to write the
+  partition files.
+* :meth:`HnbPartitionStore.induced_subgraph` serves an ``HNB`` set by
+  loading the partitions that contain its members, charging resident
+  partitions to the memory model and evicting least-recently-used ones.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.memory import MemoryModel
+from repro.storage.pagestore import PageStore
+
+_RECORD_HEADER = struct.Struct("<QI")
+
+
+class HnbPartitionStore:
+    """Partitioned on-disk adjacency among a designated vertex set."""
+
+    def __init__(
+        self,
+        directory: Path,
+        partitions: list[list[int]],
+        stores: list[PageStore],
+        memory: MemoryModel | None,
+        max_resident: int,
+    ) -> None:
+        self._directory = directory
+        self._partitions = partitions
+        self._stores = stores
+        self._memory = memory
+        self._max_resident = max_resident
+        self._partition_of = {
+            v: index for index, members in enumerate(partitions) for v in members
+        }
+        # LRU order of resident partition indices (most recent last).
+        self._resident: dict[int, dict[int, frozenset[int]]] = {}
+        self._resident_units: dict[int, int] = {}
+        self._lru: list[int] = []
+        self.partition_loads = 0
+        if memory is not None:
+            memory.add_reclaimer(self._reclaim_one)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        disk_graph: DiskGraph,
+        members: Sequence[int],
+        directory: str | Path,
+        memory_budget_units: int,
+        memory: MemoryModel | None = None,
+        max_resident: int = 4,
+    ) -> "HnbPartitionStore":
+        """Spill the within-``members`` adjacency of ``disk_graph``.
+
+        ``members`` is the h-neighbor list in DFS-leaf order (duplicates
+        allowed; first occurrence wins).  ``memory_budget_units`` bounds
+        the size of each partition, measured in stored vertex ids.
+        """
+        if memory_budget_units <= 0:
+            raise StorageError(
+                f"partition memory budget must be positive, got {memory_budget_units}"
+            )
+        ordered = list(dict.fromkeys(members))
+        member_set = set(ordered)
+
+        # Pass 1: within-member degree of each member.
+        inner_degree = {v: 0 for v in ordered}
+        for record in disk_graph.scan():
+            if record.vertex in member_set:
+                inner_degree[record.vertex] = sum(
+                    1 for u in record.neighbors if u in member_set
+                )
+
+        # Place partition boundaries along the DFS order.
+        partitions: list[list[int]] = []
+        current: list[int] = []
+        current_units = 0
+        for v in ordered:
+            units = 1 + inner_degree[v]
+            if current and current_units + units > memory_budget_units:
+                partitions.append(current)
+                current = []
+                current_units = 0
+            current.append(v)
+            current_units += units
+        if current:
+            partitions.append(current)
+
+        # Pass 2: write each member's within-member adjacency to its file.
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        partition_of = {
+            v: index for index, group in enumerate(partitions) for v in group
+        }
+        stores = [
+            PageStore(directory / f"hnb_part_{index:05d}.bin", disk_graph.io_stats)
+            for index in range(len(partitions))
+        ]
+        for store in stores:
+            store.write_all(b"")
+        buffers: list[bytearray] = [bytearray() for _ in partitions]
+        for record in disk_graph.scan():
+            index = partition_of.get(record.vertex)
+            if index is None:
+                continue
+            inner = [u for u in record.neighbors if u in member_set]
+            buffers[index] += _RECORD_HEADER.pack(record.vertex, len(inner))
+            buffers[index] += struct.pack(f"<{len(inner)}Q", *inner)
+            if len(buffers[index]) >= 1 << 20:
+                stores[index].append(bytes(buffers[index]))
+                buffers[index].clear()
+        for store, buffer in zip(stores, buffers):
+            if buffer:
+                store.append(bytes(buffer))
+        return cls(directory, partitions, stores, memory, max_resident)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        """Number of spill partitions."""
+        return len(self._partitions)
+
+    def partitions_for(self, vertices: Iterable[int]) -> frozenset[int]:
+        """Indices of the partitions covering ``vertices``.
+
+        Callers batching many ``HNB`` queries sort them by this key so
+        consecutive queries hit resident partitions (the locality the
+        paper's DFS-leaf partition order provides).
+        """
+        indices: set[int] = set()
+        for v in vertices:
+            index = self._partition_of.get(v)
+            if index is None:
+                raise StorageError(f"vertex {v} is not covered by the partition store")
+            indices.add(index)
+        return frozenset(indices)
+
+    def partition_sizes(self) -> list[int]:
+        """Per-partition on-disk size in approximate units (8-byte ids)."""
+        return [
+            self._partition_units_on_disk(index)
+            for index in range(len(self._partitions))
+        ]
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> AdjacencyGraph:
+        """The subgraph induced on ``vertices`` by within-member edges.
+
+        Loads (and meters) every partition containing a requested vertex.
+        Unknown vertices — ones outside the member set — raise
+        :class:`~repro.errors.StorageError`, since silently returning an
+        empty neighborhood would corrupt clique maximality decisions.
+        """
+        wanted = list(dict.fromkeys(vertices))
+        needed_partitions: list[int] = []
+        for v in wanted:
+            index = self._partition_of.get(v)
+            if index is None:
+                raise StorageError(f"vertex {v} is not covered by the partition store")
+            if index not in needed_partitions:
+                needed_partitions.append(index)
+        adjacency: dict[int, frozenset[int]] = {}
+        for index in needed_partitions:
+            loaded = self._load_raw(index)
+            for v in wanted:
+                if v in loaded:
+                    adjacency[v] = loaded[v]
+        wanted_set = set(wanted)
+        graph = AdjacencyGraph()
+        for v in wanted:
+            graph.add_vertex(v)
+        for v in wanted:
+            for u in adjacency.get(v, frozenset()) & wanted_set:
+                graph.add_edge(v, u)
+        return graph
+
+    def close(self) -> None:
+        """Evict all resident partitions and delete the spill files."""
+        for index in list(self._resident):
+            self._evict(index)
+        if self._memory is not None:
+            self._memory.remove_reclaimer(self._reclaim_one)
+        for store in self._stores:
+            store.delete()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _load_raw(self, index: int) -> dict[int, frozenset[int]]:
+        if index in self._resident:
+            self._lru.remove(index)
+            self._lru.append(index)
+            return self._resident[index]
+        while len(self._resident) >= self._max_resident:
+            self._evict(self._lru[0])
+        data = self._stores[index].read_all()
+        loaded: dict[int, frozenset[int]] = {}
+        offset = 0
+        units = 0
+        while offset < len(data):
+            vertex, degree = _RECORD_HEADER.unpack_from(data, offset)
+            offset += _RECORD_HEADER.size
+            neighbors = struct.unpack_from(f"<{degree}Q", data, offset)
+            offset += 8 * degree
+            loaded[vertex] = frozenset(neighbors)
+            units += 1 + degree
+        if self._memory is not None:
+            # Memory pressure may reclaim resident partitions; the one
+            # being loaded is not in the LRU yet and cannot be victimised.
+            self._memory.allocate(units, label="hnb partition")
+        self._resident[index] = loaded
+        self._resident_units[index] = units
+        self._lru.append(index)
+        self.partition_loads += 1
+        return loaded
+
+    def _reclaim_one(self) -> bool:
+        """Memory-pressure hook: drop the least-recently-used partition."""
+        if not self._lru:
+            return False
+        self._evict(self._lru[0])
+        return True
+
+    def _evict(self, index: int) -> None:
+        self._resident.pop(index, None)
+        self._lru.remove(index)
+        units = self._resident_units.pop(index, 0)
+        if self._memory is not None:
+            self._memory.release(units, label="hnb partition")
+
+    def _partition_units_on_disk(self, index: int) -> int:
+        size = self._stores[index].size_bytes()
+        return size // 8  # ids are 8 bytes; headers approximate to ids

@@ -1,0 +1,95 @@
+"""Random-access adjacency served from disk through a buffer pool.
+
+This is the access path the paper says *not* to build (Section 1): an
+algorithm that wants arbitrary neighborhoods of a disk-resident graph must
+keep a vertex→offset index and fetch records through a bounded page cache,
+paying a seek for every miss.  The library implements it anyway — it is
+the honest comparator for the random-vs-sequential experiment, and a
+useful tool in its own right for point lookups.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VertexNotFoundError
+from repro.storage.bufferpool import BufferPool
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.format import decode_record, record_size
+from repro.storage.memory import MemoryModel
+
+#: Accounting units per offset-index entry (vertex id + offset).
+UNITS_PER_INDEX_ENTRY = 2
+
+
+class RandomAccessDiskGraph:
+    """Point-lookup view of a :class:`DiskGraph`.
+
+    Construction performs one sequential scan to build the offset index
+    (charged to the memory model, as is the page cache).  Every
+    :meth:`neighbors` call reads the record's pages through the pool —
+    a cache hit is free, a miss costs a metered seek + page read.
+    """
+
+    def __init__(
+        self,
+        disk_graph: DiskGraph,
+        capacity_pages: int,
+        policy: str = "lru",
+        memory: MemoryModel | None = None,
+    ) -> None:
+        self._disk = disk_graph
+        self._memory = memory
+        self._index: dict[int, tuple[int, int]] = {}
+        offset = disk_graph.header_bytes
+        for record in disk_graph.scan():
+            size = record_size(record.degree)
+            self._index[record.vertex] = (offset, size)
+            offset += size
+        if memory is not None:
+            memory.allocate(
+                UNITS_PER_INDEX_ENTRY * len(self._index), label="offset index"
+            )
+        self._pool = BufferPool(
+            disk_graph.page_store, capacity_pages, policy=policy, memory=memory
+        )
+
+    # ------------------------------------------------------------------
+    # Graph interface
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the underlying graph."""
+        return self._disk.num_vertices
+
+    def vertices(self):
+        """Iterate all vertex ids (from the in-memory index)."""
+        return iter(self._index)
+
+    def neighbors(self, vertex: int) -> frozenset[int]:
+        """The neighbor set of ``vertex``, fetched through the pool."""
+        try:
+            offset, size = self._index[vertex]
+        except KeyError:
+            raise VertexNotFoundError(vertex) from None
+        record, _ = decode_record(self._pool.read(offset, size))
+        return frozenset(record.neighbors)
+
+    def degree(self, vertex: int) -> int:
+        """Degree of ``vertex`` (decoded through the pool)."""
+        return len(self.neighbors(vertex))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> BufferPool:
+        """The page cache (hit/miss statistics live here)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Drop the cache and release the index's memory charge."""
+        self._pool.drop()
+        if self._memory is not None:
+            self._memory.release(
+                UNITS_PER_INDEX_ENTRY * len(self._index), label="offset index"
+            )
+            self._memory = None

@@ -1,0 +1,116 @@
+"""Structured run telemetry (JSON-lines traces).
+
+An hours-long external-memory enumeration needs observability that
+outlives the process: the driver can append one JSON object per event to
+a trace file (step boundaries, structure sizes, suppression counts,
+checkpoints), cheap enough to leave on.  The reader side loads and
+summarises traces for post-hoc analysis, and the CLI exposes it via
+``repro-mce enumerate --trace run.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.tables import render_table
+from repro.errors import StorageError
+
+
+class TraceWriter:
+    """Appends timestamped events to a JSON-lines file.
+
+    Events carry a monotonically increasing ``seq`` and an ``elapsed``
+    stamp measured from writer construction, so traces are reproducible
+    modulo timing (no wall-clock dependency in the payload ordering).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self._path, "a", encoding="ascii")
+        self._seq = 0
+        self._started = time.perf_counter()
+
+    @property
+    def path(self) -> Path:
+        """Trace file location."""
+        return self._path
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Append one event (flushed immediately; crash-visible)."""
+        record = {
+            "seq": self._seq,
+            "elapsed": round(time.perf_counter() - self._started, 6),
+            "event": event,
+            **fields,
+        }
+        self._seq += 1
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Read a trace file back into a list of event dicts.
+
+    Raises :class:`~repro.errors.StorageError` on malformed lines.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"no trace file at {path}")
+    events = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                events.append(json.loads(stripped))
+            except json.JSONDecodeError as exc:
+                raise StorageError(f"{path}:{line_number}: bad trace line: {exc}") from exc
+    return events
+
+
+def summarize_trace(events: list[dict]) -> str:
+    """Render a per-step table from a trace's ``step_completed`` events."""
+    steps = [e for e in events if e.get("event") == "step_completed"]
+    total = next(
+        (e for e in reversed(events) if e.get("event") == "run_completed"), None
+    )
+    lines = [
+        render_table(
+            "Trace summary (per recursion step)",
+            ["step", "core", "star edges", "tree nodes", "emitted", "suppressed", "elapsed (s)"],
+            [
+                (
+                    e.get("step"),
+                    e.get("core_size"),
+                    e.get("star_edges"),
+                    e.get("tree_nodes"),
+                    e.get("emitted"),
+                    e.get("suppressed"),
+                    f"{e.get('elapsed', 0):.2f}",
+                )
+                for e in steps
+            ],
+        )
+    ]
+    if total is not None:
+        lines.append(
+            f"run completed: {total.get('total_cliques')} cliques in "
+            f"{total.get('elapsed', 0):.2f} s, peak {total.get('peak_memory_units')} units"
+        )
+    return "\n".join(lines)

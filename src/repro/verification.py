@@ -1,0 +1,126 @@
+"""Verification of maximal clique sets (Theorem 5 as a library service).
+
+External-memory results are exactly the kind a downstream user should be
+able to audit: this module checks a clique collection against a graph for
+the three ways it can be wrong — a member that is not a clique, a member
+that is not *maximal*, and a maximal clique that is *missing* — and
+returns a structured report rather than a bare boolean.
+
+The full completeness check enumerates the graph's cliques with the
+in-memory oracle, so it is meant for graphs that fit in memory (tests,
+spot-audits of samples); soundness checking alone is linear in the
+output and usable at any size.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.graph.adjacency import AdjacencyGraph
+
+Clique = frozenset
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of checking a clique collection against a graph."""
+
+    total_checked: int = 0
+    duplicates: int = 0
+    not_clique_count: int = 0
+    not_maximal_count: int = 0
+    missing_count: int = 0
+    not_cliques: list[Clique] = field(default_factory=list)
+    not_maximal: list[Clique] = field(default_factory=list)
+    missing: list[Clique] = field(default_factory=list)
+    completeness_checked: bool = False
+
+    @property
+    def sound(self) -> bool:
+        """Every reported clique is a maximal clique, reported once."""
+        return not (self.duplicates or self.not_clique_count or self.not_maximal_count)
+
+    @property
+    def complete(self) -> bool:
+        """No maximal clique is missing (only meaningful when checked)."""
+        return self.completeness_checked and self.missing_count == 0
+
+    @property
+    def ok(self) -> bool:
+        """Sound, and complete when completeness was checked."""
+        return self.sound and (
+            not self.completeness_checked or self.missing_count == 0
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        if self.ok:
+            scope = "sound and complete" if self.completeness_checked else "sound"
+            return f"OK: {self.total_checked} cliques, {scope}"
+        problems = []
+        if self.duplicates:
+            problems.append(f"{self.duplicates} duplicates")
+        if self.not_clique_count:
+            problems.append(f"{self.not_clique_count} non-cliques")
+        if self.not_maximal_count:
+            problems.append(f"{self.not_maximal_count} non-maximal")
+        if self.missing_count:
+            problems.append(f"{self.missing_count} missing")
+        return f"FAILED: {', '.join(problems)}"
+
+
+def verify_clique_set(
+    graph: AdjacencyGraph,
+    cliques: Iterable[Iterable[int]],
+    check_completeness: bool = True,
+    max_reported: int = 20,
+) -> VerificationReport:
+    """Audit a clique collection against ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The graph the cliques claim to describe.
+    cliques:
+        The collection under audit (any iterable of vertex iterables).
+    check_completeness:
+        Also enumerate the graph's true maximal cliques and report any
+        that are absent.  Requires the graph to fit in memory.
+    max_reported:
+        Cap on the offending cliques listed per failure category (the
+        counts are exact regardless).
+    """
+    report = VerificationReport(completeness_checked=check_completeness)
+    seen: set[Clique] = set()
+    for raw in cliques:
+        clique = frozenset(raw)
+        report.total_checked += 1
+        if clique in seen:
+            report.duplicates += 1
+            continue
+        seen.add(clique)
+        if not clique or not _is_clique_of(graph, clique):
+            report.not_clique_count += 1
+            if len(report.not_cliques) < max_reported:
+                report.not_cliques.append(clique)
+            continue
+        if graph.common_neighbors(clique):
+            report.not_maximal_count += 1
+            if len(report.not_maximal) < max_reported:
+                report.not_maximal.append(clique)
+    if check_completeness:
+        for clique in tomita_maximal_cliques(graph):
+            if clique not in seen:
+                report.missing_count += 1
+                if len(report.missing) < max_reported:
+                    report.missing.append(clique)
+    return report
+
+
+def _is_clique_of(graph: AdjacencyGraph, clique: Clique) -> bool:
+    """Clique test that treats unknown vertices as a failure, not an error."""
+    if any(v not in graph for v in clique):
+        return False
+    return graph.is_clique(clique)

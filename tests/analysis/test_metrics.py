@@ -1,0 +1,61 @@
+"""Tests for the Table 4/5 metric helpers."""
+
+from repro.analysis.metrics import clique_statistics, hstar_sizes
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.core.hstar import extract_hstar_graph
+
+from tests.helpers import figure1_graph
+
+
+class TestHStarSizes:
+    def test_figure1_sizes(self):
+        g = figure1_graph()
+        star = extract_hstar_graph(g)
+        sizes = hstar_sizes(g, star)
+        assert sizes.h == 5
+        assert sizes.num_periphery == 6
+        assert sizes.core_graph_edges == 8
+        assert sizes.star_graph_edges == 20
+        # G_H+ = all edges except the two incident to q and t: 25 - 2 = 23.
+        assert sizes.extended_graph_edges == 23
+        assert sizes.total_edges == 25
+
+    def test_fractions(self):
+        g = figure1_graph()
+        sizes = hstar_sizes(g, extract_hstar_graph(g))
+        assert sizes.core_fraction == 8 / 25
+        assert sizes.star_fraction == 20 / 25
+        assert sizes.extended_fraction == 23 / 25
+
+    def test_ordering_gh_below_ghstar_below_ghplus(self):
+        from repro.generators import powerlaw_cluster_graph
+
+        g = powerlaw_cluster_graph(300, 4, 0.6, seed=1)
+        sizes = hstar_sizes(g, extract_hstar_graph(g))
+        assert sizes.core_graph_edges <= sizes.star_graph_edges
+        assert sizes.star_graph_edges <= sizes.extended_graph_edges
+        assert sizes.extended_graph_edges <= sizes.total_edges
+
+
+class TestCliqueStatistics:
+    def test_figure1_breakdown(self):
+        g = figure1_graph()
+        star = extract_hstar_graph(g)
+        stats = clique_statistics(
+            tomita_maximal_cliques(g), star.core, star.periphery
+        )
+        assert stats.total == 8
+        assert stats.containing_core == 6  # all but {q,r} and {s,t}
+        assert stats.containing_periphery == 7  # all but bcde
+        assert stats.max_size == 5
+
+    def test_empty(self):
+        stats = clique_statistics([], frozenset(), frozenset())
+        assert stats.total == 0
+        assert stats.average_size == 0.0
+
+    def test_average_size(self):
+        stats = clique_statistics(
+            [frozenset({1, 2}), frozenset({3, 4, 5, 6})], frozenset(), frozenset()
+        )
+        assert stats.average_size == 3.0

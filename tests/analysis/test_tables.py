@@ -1,0 +1,43 @@
+"""Tests for paper-style quantity formatting and table rendering."""
+
+from repro.analysis.tables import format_quantity, render_table
+
+
+class TestFormatQuantity:
+    def test_paper_examples(self):
+        assert format_quantity(20_000) == "20K"
+        assert format_quantity(6_500_000) == "6.5M"
+        assert format_quantity(173_000_000) == "173M"
+        assert format_quantity(1_000_000) == "1M"
+
+    def test_small_integers_unchanged(self):
+        assert format_quantity(77) == "77"
+        assert format_quantity(0) == "0"
+
+    def test_small_floats_two_decimals(self):
+        assert format_quantity(3.14159) == "3.14"
+
+    def test_thousands_with_decimals(self):
+        assert format_quantity(4_400) == "4.4K"
+        assert format_quantity(1_100) == "1.1K"
+
+    def test_integral_float(self):
+        assert format_quantity(5.0) == "5"
+
+
+class TestRenderTable:
+    def test_title_and_alignment(self):
+        text = render_table("My Table", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert set(lines[1]) == {"="}
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert lines[4].startswith("1")
+
+    def test_handles_numeric_cells(self):
+        text = render_table("T", ["x"], [[42]])
+        assert "42" in text
+
+    def test_empty_rows(self):
+        text = render_table("T", ["x", "y"], [])
+        assert "x" in text and "y" in text

@@ -1,0 +1,102 @@
+"""Tests for the clique-stream consumers."""
+
+import pytest
+
+from repro.applications.cliques import k_clique_communities, maximum_clique, top_k_cliques
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+
+from tests.helpers import figure1_graph, seeded_gnp
+
+
+def fs(*members):
+    return frozenset(members)
+
+
+class TestMaximumClique:
+    def test_figure1(self, figure1):
+        best = maximum_clique(tomita_maximal_cliques(figure1))
+        assert len(best) == 5  # abcwx
+
+    def test_tiebreak_smallest_ids(self):
+        cliques = [fs(5, 6), fs(1, 2)]
+        assert maximum_clique(cliques) == fs(1, 2)
+
+    def test_empty_stream_raises(self):
+        with pytest.raises(GraphError):
+            maximum_clique([])
+
+
+class TestTopK:
+    def test_ordering_and_truncation(self):
+        cliques = [fs(1), fs(2, 3), fs(4, 5, 6), fs(7, 8)]
+        top = top_k_cliques(cliques, 2)
+        assert top[0] == fs(4, 5, 6)
+        assert len(top) == 2
+        assert all(len(c) == 2 for c in top[1:])
+
+    def test_k_larger_than_stream(self):
+        cliques = [fs(1, 2)]
+        assert top_k_cliques(cliques, 10) == [fs(1, 2)]
+
+    def test_invalid_k(self):
+        with pytest.raises(GraphError):
+            top_k_cliques([], 0)
+
+    def test_matches_full_sort(self):
+        g = seeded_gnp(40, 0.3, seed=6)
+        cliques = list(tomita_maximal_cliques(g))
+        top = top_k_cliques(cliques, 5)
+        expected_sizes = sorted((len(c) for c in cliques), reverse=True)[:5]
+        assert [len(c) for c in top] == expected_sizes
+
+    def test_streaming_from_extmce(self, tmp_path):
+        from repro.core.extmce import ExtMCE, ExtMCEConfig
+        from repro.storage.diskgraph import DiskGraph
+
+        g = seeded_gnp(40, 0.3, seed=6)
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w"))
+        top = top_k_cliques(algo.enumerate_cliques(), 3)
+        oracle = top_k_cliques(list(tomita_maximal_cliques(g)), 3)
+        assert [len(c) for c in top] == [len(c) for c in oracle]
+
+
+class TestCliquePercolation:
+    def test_two_overlapping_triangles_merge(self):
+        # Triangles {0,1,2} and {1,2,3} share 2 vertices -> one community.
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)])
+        communities = k_clique_communities(tomita_maximal_cliques(g), k=3)
+        assert communities == [fs(0, 1, 2, 3)]
+
+    def test_disjoint_triangles_stay_separate(self):
+        g = AdjacencyGraph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (5, 6), (6, 7), (5, 7)]
+        )
+        communities = k_clique_communities(tomita_maximal_cliques(g), k=3)
+        assert set(communities) == {fs(0, 1, 2), fs(5, 6, 7)}
+
+    def test_single_shared_vertex_does_not_merge(self):
+        # Two triangles sharing exactly one vertex: overlap 1 < k-1 = 2.
+        g = AdjacencyGraph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 5), (5, 6), (2, 6)]
+        )
+        communities = k_clique_communities(tomita_maximal_cliques(g), k=3)
+        assert len(communities) == 2
+
+    def test_small_cliques_excluded(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (2, 3)])
+        assert k_clique_communities(tomita_maximal_cliques(g), k=3) == []
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(GraphError):
+            k_clique_communities([], k=1)
+
+    def test_largest_first(self):
+        g = AdjacencyGraph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]  # 4-vertex community
+            + [(7, 8), (8, 9), (7, 9)]  # 3-vertex community
+        )
+        communities = k_clique_communities(tomita_maximal_cliques(g), k=3)
+        assert [len(c) for c in communities] == [4, 3]

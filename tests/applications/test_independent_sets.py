@@ -1,0 +1,78 @@
+"""Tests for maximal independent sets / minimal vertex covers via MCE."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.applications.independent_sets import (
+    complement_graph,
+    maximal_independent_sets,
+    minimal_vertex_covers,
+)
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+
+from tests.helpers import cliques_of, small_graphs
+
+
+class TestComplement:
+    def test_complement_of_clique_is_empty(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert complement_graph(g).num_edges == 0
+
+    def test_complement_of_empty_is_clique(self):
+        g = AdjacencyGraph.from_edges([], vertices=range(4))
+        assert complement_graph(g).num_edges == 6
+
+    def test_double_complement_is_identity(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (2, 3), (1, 2)])
+        back = complement_graph(complement_graph(g))
+        assert {tuple(sorted(e)) for e in back.edges()} == {
+            tuple(sorted(e)) for e in g.edges()
+        }
+
+    def test_size_limit_enforced(self):
+        g = AdjacencyGraph.from_edges([], vertices=range(3_001))
+        with pytest.raises(GraphError):
+            complement_graph(g)
+
+
+class TestIndependentSets:
+    def test_path_graph(self):
+        # P4: 0-1-2-3; maximal independent sets: {0,2}, {0,3}, {1,3}.
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert cliques_of(maximal_independent_sets(g)) == {
+            frozenset({0, 2}), frozenset({0, 3}), frozenset({1, 3})
+        }
+
+    def test_clique_yields_singletons(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert cliques_of(maximal_independent_sets(g)) == {
+            frozenset({0}), frozenset({1}), frozenset({2})
+        }
+
+    @settings(max_examples=40)
+    @given(small_graphs(max_vertices=10))
+    def test_results_are_maximal_independent(self, g):
+        for independent in maximal_independent_sets(g):
+            # Independent: no internal edges.
+            for u in independent:
+                assert not (g.neighbors(u) & independent)
+            # Maximal: every outside vertex has a neighbor inside.
+            for v in g.vertices():
+                if v not in independent:
+                    assert g.neighbors(v) & independent
+
+
+class TestVertexCovers:
+    def test_path_graph_covers(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert cliques_of(minimal_vertex_covers(g)) == {
+            frozenset({1, 3}), frozenset({1, 2}), frozenset({0, 2})
+        }
+
+    @settings(max_examples=30)
+    @given(small_graphs(max_vertices=9))
+    def test_covers_cover_every_edge(self, g):
+        for cover in minimal_vertex_covers(g):
+            for u, v in g.edges():
+                assert u in cover or v in cover

@@ -1,0 +1,51 @@
+"""Tests for the degeneracy-ordered enumerator (Eppstein-Strash)."""
+
+from hypothesis import given, settings
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.baselines.degeneracy import degeneracy_maximal_cliques
+from repro.graph.adjacency import AdjacencyGraph
+
+from tests.helpers import cliques_of, seeded_gnp, small_graphs
+
+
+class TestAgreement:
+    @settings(max_examples=60)
+    @given(small_graphs())
+    def test_matches_tomita(self, g):
+        assert cliques_of(degeneracy_maximal_cliques(g)) == cliques_of(
+            tomita_maximal_cliques(g)
+        )
+
+    def test_medium_graph(self, medium_random):
+        assert cliques_of(degeneracy_maximal_cliques(medium_random)) == cliques_of(
+            tomita_maximal_cliques(medium_random)
+        )
+
+    def test_scale_free_graph(self):
+        from repro.generators import powerlaw_cluster_graph
+
+        g = powerlaw_cluster_graph(300, 3, 0.6, seed=5)
+        assert cliques_of(degeneracy_maximal_cliques(g)) == cliques_of(
+            tomita_maximal_cliques(g)
+        )
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        assert list(degeneracy_maximal_cliques(AdjacencyGraph())) == []
+
+    def test_isolated_vertices(self):
+        g = AdjacencyGraph.from_edges([], vertices=[1, 2])
+        assert cliques_of(degeneracy_maximal_cliques(g)) == {
+            frozenset({1}), frozenset({2})
+        }
+
+    def test_single_edge(self):
+        g = AdjacencyGraph.from_edges([(4, 7)])
+        assert cliques_of(degeneracy_maximal_cliques(g)) == {frozenset({4, 7})}
+
+    def test_no_duplicates_on_dense_graph(self):
+        g = seeded_gnp(18, 0.6, seed=3)
+        found = list(degeneracy_maximal_cliques(g))
+        assert len(found) == len(set(found))

@@ -1,0 +1,132 @@
+"""Tests for the Stix incremental MCE baseline (both fidelity modes)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.baselines.stix import StixDynamicMCE
+from repro.errors import EdgeNotFoundError, GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.memory import MemoryModel
+
+from tests.helpers import cliques_of
+
+
+@pytest.fixture(params=[False, True], ids=["faithful", "indexed"])
+def mode(request):
+    return request.param
+
+
+class TestInsertion:
+    def test_single_edge(self, mode):
+        algo = StixDynamicMCE(indexed=mode)
+        algo.insert_edge(0, 1)
+        assert cliques_of(algo.cliques()) == {frozenset({0, 1})}
+
+    def test_triangle_closure_merges_cliques(self, mode):
+        algo = StixDynamicMCE(indexed=mode)
+        for e in [(0, 1), (1, 2), (0, 2)]:
+            algo.insert_edge(*e)
+        assert cliques_of(algo.cliques()) == {frozenset({0, 1, 2})}
+
+    def test_duplicate_edge_is_noop(self, mode):
+        algo = StixDynamicMCE(indexed=mode)
+        algo.insert_edge(0, 1)
+        algo.insert_edge(0, 1)
+        assert algo.edges_processed == 1
+        assert algo.num_cliques() == 1
+
+    def test_self_loop_rejected(self, mode):
+        with pytest.raises(GraphError):
+            StixDynamicMCE(indexed=mode).insert_edge(3, 3)
+
+    def test_isolated_vertex_singleton(self, mode):
+        algo = StixDynamicMCE(indexed=mode)
+        algo.add_vertex(9)
+        assert cliques_of(algo.cliques()) == {frozenset({9})}
+
+    def test_singleton_absorbed_by_first_edge(self, mode):
+        algo = StixDynamicMCE(indexed=mode)
+        algo.add_vertex(0)
+        algo.add_vertex(1)
+        algo.insert_edge(0, 1)
+        assert cliques_of(algo.cliques()) == {frozenset({0, 1})}
+
+
+class TestDeletion:
+    def test_delete_splits_clique(self, mode):
+        algo = StixDynamicMCE.from_edges([(0, 1), (1, 2), (0, 2)], indexed=mode)
+        algo.delete_edge(0, 1)
+        assert cliques_of(algo.cliques()) == {frozenset({0, 2}), frozenset({1, 2})}
+
+    def test_delete_missing_edge_raises(self, mode):
+        algo = StixDynamicMCE(indexed=mode)
+        algo.insert_edge(0, 1)
+        with pytest.raises(EdgeNotFoundError):
+            algo.delete_edge(0, 2)
+
+    def test_delete_to_singletons(self, mode):
+        algo = StixDynamicMCE.from_edges([(0, 1)], indexed=mode)
+        algo.delete_edge(0, 1)
+        assert cliques_of(algo.cliques()) == {frozenset({0}), frozenset({1})}
+
+
+class TestOracleEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_insertion_stream(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 14)
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < 0.4
+        ]
+        rng.shuffle(edges)
+        for indexed in (False, True):
+            algo = StixDynamicMCE.from_edges(edges, indexed=indexed)
+            for w in range(n):
+                algo.add_vertex(w)
+            oracle = cliques_of(tomita_maximal_cliques(algo.graph))
+            assert cliques_of(algo.cliques()) == oracle
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_mixed_insert_delete_stream(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 12)
+        algo = StixDynamicMCE(indexed=bool(seed % 2))
+        present = set()
+        for _ in range(60):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in present and rng.random() < 0.5:
+                algo.delete_edge(*edge)
+                present.discard(edge)
+            elif edge not in present:
+                algo.insert_edge(*edge)
+                present.add(edge)
+        oracle = cliques_of(tomita_maximal_cliques(algo.graph))
+        assert cliques_of(algo.cliques()) == oracle
+
+
+class TestMemoryAccounting:
+    def test_clique_storage_charged(self):
+        memory = MemoryModel()
+        algo = StixDynamicMCE.from_edges([(0, 1), (1, 2), (0, 2)], memory=memory)
+        assert memory.in_use_units == 3  # one triangle
+
+    def test_release_on_subsumption(self):
+        memory = MemoryModel()
+        algo = StixDynamicMCE(memory=memory)
+        algo.insert_edge(0, 1)
+        algo.insert_edge(1, 2)
+        algo.insert_edge(0, 2)
+        # only {0,1,2} remains; peak was higher while edges were separate
+        assert memory.in_use_units == 3
+        assert memory.peak_units >= 4

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import figure1_graph, seeded_gnp
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure 1 example graph (13 vertices, 25 edges)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def triangle_plus_tail():
+    """A triangle {0,1,2} with a pendant edge (2,3)."""
+    from repro.graph.adjacency import AdjacencyGraph
+
+    return AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+@pytest.fixture
+def medium_random():
+    """A deterministic 60-vertex random graph with varied clique sizes."""
+    return seeded_gnp(60, 0.15, seed=9)

@@ -1,0 +1,126 @@
+"""Tests for Algorithm 2 (M1/M2/M3, Lemmas 4-6, Example 2, Theorem 3)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.core.categories import (
+    InMemoryPeripheryAdjacency,
+    compute_core_plus_max_cliques,
+    enumerate_x_candidates,
+)
+from repro.core.clique_tree import build_clique_tree
+from repro.core.hstar import extract_hstar_graph
+
+from tests.helpers import cliques_of, figure1_graph, names_of, seeded_gnp, small_graphs
+
+
+def categorize(graph):
+    star = extract_hstar_graph(graph)
+    _, core_maximal = build_clique_tree(star)
+    cats = compute_core_plus_max_cliques(
+        star, core_maximal, InMemoryPeripheryAdjacency(graph)
+    )
+    return star, cats
+
+
+class TestExample2:
+    """The paper's Example 2 on the Figure 1 graph."""
+
+    def test_m1(self):
+        _, cats = categorize(figure1_graph())
+        assert sorted(names_of(c) for c in cats.m1) == ["bcde"]
+
+    def test_m2(self):
+        _, cats = categorize(figure1_graph())
+        assert sorted(names_of(c) for c in cats.m2) == ["abcwx"]
+
+    def test_m3(self):
+        _, cats = categorize(figure1_graph())
+        assert sorted(names_of(c) for c in cats.m3) == ["acy", "cey", "drz", "esy"]
+
+    def test_union_is_mh_plus(self):
+        _, cats = categorize(figure1_graph())
+        assert sorted(names_of(c) for c in cats.all_cliques()) == [
+            "abcwx", "acy", "bcde", "cey", "drz", "esy"
+        ]
+
+    def test_x_candidates_have_nonempty_hnb(self):
+        star = extract_hstar_graph(figure1_graph())
+        for kernel, shared in enumerate_x_candidates(star):
+            assert shared
+            assert shared == star.common_periphery(kernel)
+
+    def test_x_contains_papers_examples(self):
+        # Example 2: X = {ac, ce, d, e}; e.g. `a` is subsumed by `ac`
+        # because HNB(a) = HNB(ac) = {w, x, y}.
+        star = extract_hstar_graph(figure1_graph())
+        kernels = {names_of(kernel) for kernel, _ in enumerate_x_candidates(star)}
+        assert kernels == {"ac", "ce", "d", "e"}
+
+
+class TestTheorems:
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs())
+    def test_theorem3_union_equals_core_touching_max_cliques(self, g):
+        """M1 ∪ M2 ∪ M3 == {C in MCE(G_H+) : C ∩ H != ∅} (Theorems 2-3)."""
+        star, cats = categorize(g)
+        extended = g.induced_subgraph(star.extended)
+        expected = {
+            c for c in tomita_maximal_cliques(extended) if c & star.core
+        }
+        assert cliques_of(cats.all_cliques()) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs())
+    def test_categories_are_disjoint(self, g):
+        _, cats = categorize(g)
+        m1, m2, m3 = cliques_of(cats.m1), cliques_of(cats.m2), cliques_of(cats.m3)
+        assert not (m1 & m2) and not (m1 & m3) and not (m2 & m3)
+        assert len(cats.m1) + len(cats.m2) + len(cats.m3) == cats.total
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs())
+    def test_lemma3_results_are_globally_maximal(self, g):
+        """Every H+-max-clique is maximal in all of G (Lemma 3)."""
+        _, cats = categorize(g)
+        for clique in cats.all_cliques():
+            assert g.is_maximal_clique(clique)
+
+    def test_medium_graph_equivalence(self, medium_random):
+        star, cats = categorize(medium_random)
+        extended = medium_random.induced_subgraph(star.extended)
+        expected = {
+            c for c in tomita_maximal_cliques(extended) if c & star.core
+        }
+        assert cliques_of(cats.all_cliques()) == expected
+
+    def test_scale_free_graph_equivalence(self):
+        from repro.generators import powerlaw_cluster_graph
+
+        g = powerlaw_cluster_graph(250, 4, 0.7, seed=8)
+        star, cats = categorize(g)
+        extended = g.induced_subgraph(star.extended)
+        expected = {c for c in tomita_maximal_cliques(extended) if c & star.core}
+        assert cliques_of(cats.all_cliques()) == expected
+
+
+class TestCategoryShapes:
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs())
+    def test_m1_has_no_periphery_m2_m3_do(self, g):
+        star, cats = categorize(g)
+        for clique in cats.m1:
+            assert not (clique & star.periphery)
+        for clique in cats.m2 + cats.m3:
+            assert clique & star.periphery
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_graphs())
+    def test_m2_core_parts_maximal_m3_core_parts_not(self, g):
+        star, cats = categorize(g)
+        core_graph = star.core_graph()
+        for clique in cats.m2:
+            assert core_graph.is_maximal_clique(clique & star.core)
+        for clique in cats.m3:
+            assert not core_graph.is_maximal_clique(clique & star.core)

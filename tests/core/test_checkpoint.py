@@ -1,0 +1,142 @@
+"""Tests for ExtMCE checkpoint/restart."""
+
+import json
+
+import pytest
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.core.checkpoint import (
+    CHECKPOINT_FILENAME,
+    CheckpointState,
+    clear_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.core.extmce import ExtMCE, ExtMCEConfig
+from repro.errors import GraphError, StorageError
+from repro.storage.diskgraph import DiskGraph
+
+from tests.helpers import cliques_of, seeded_gnp
+
+
+def make_run(tmp_path, seed=3, n=80):
+    g = seeded_gnp(n, 0.2, seed=5)
+    work = tmp_path / "work"
+    work.mkdir(exist_ok=True)
+    disk = DiskGraph.create(tmp_path / "input.bin", g)
+    algo = ExtMCE(disk, ExtMCEConfig(workdir=work, checkpoint=True, seed=seed))
+    return g, work, algo
+
+
+def interrupt_after_steps(algo, work, steps=2):
+    """Consume the stream until `steps` checkpoints exist, then abandon it."""
+    emitted = set()
+    gen = algo.enumerate_cliques()
+    for clique in gen:
+        emitted.add(clique)
+        if algo.report.num_recursions >= steps:
+            break
+    gen.close()
+    assert (work / CHECKPOINT_FILENAME).exists()
+    return emitted
+
+
+class TestStateRoundTrip:
+    def test_write_read(self, tmp_path):
+        (tmp_path / "residual.bin").write_bytes(b"x")
+        state = CheckpointState(
+            completed_step=3,
+            residual_path=str(tmp_path / "residual.bin"),
+            target_size=42,
+            cliques_emitted=17,
+            estimated_recursions=4.5,
+            seed=9,
+            hashtable=[[1, 2], [3, 4, 5]],
+        )
+        write_checkpoint(tmp_path, state)
+        back = read_checkpoint(tmp_path)
+        assert back == state
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_checkpoint(tmp_path)
+
+    def test_corrupt_json_raises(self, tmp_path):
+        (tmp_path / CHECKPOINT_FILENAME).write_text("{not json")
+        with pytest.raises(StorageError):
+            read_checkpoint(tmp_path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        (tmp_path / CHECKPOINT_FILENAME).write_text(json.dumps({"version": 99}))
+        with pytest.raises(StorageError):
+            read_checkpoint(tmp_path)
+
+    def test_missing_residual_raises(self, tmp_path):
+        state = CheckpointState(1, str(tmp_path / "gone.bin"), 1, 0, 1.0, 0)
+        write_checkpoint(tmp_path, state)
+        with pytest.raises(StorageError):
+            read_checkpoint(tmp_path)
+
+    def test_clear_is_idempotent(self, tmp_path):
+        clear_checkpoint(tmp_path)
+        (tmp_path / "r.bin").write_bytes(b"x")
+        write_checkpoint(
+            tmp_path, CheckpointState(1, str(tmp_path / "r.bin"), 1, 0, 1.0, 0)
+        )
+        clear_checkpoint(tmp_path)
+        clear_checkpoint(tmp_path)
+        assert not (tmp_path / CHECKPOINT_FILENAME).exists()
+
+
+class TestResume:
+    def test_interrupt_and_resume_covers_oracle(self, tmp_path):
+        g, work, algo = make_run(tmp_path)
+        emitted = interrupt_after_steps(algo, work, steps=2)
+        resumed = ExtMCE.resume(work)
+        rest = set(resumed.enumerate_cliques())
+        assert emitted | rest == cliques_of(tomita_maximal_cliques(g))
+
+    def test_resume_clears_checkpoint_on_completion(self, tmp_path):
+        _, work, algo = make_run(tmp_path)
+        interrupt_after_steps(algo, work, steps=1)
+        resumed = ExtMCE.resume(work)
+        list(resumed.enumerate_cliques())
+        assert not (work / CHECKPOINT_FILENAME).exists()
+
+    def test_completed_run_leaves_no_checkpoint(self, tmp_path):
+        _, work, algo = make_run(tmp_path)
+        list(algo.enumerate_cliques())
+        assert not (work / CHECKPOINT_FILENAME).exists()
+
+    def test_resume_twice(self, tmp_path):
+        g, work, algo = make_run(tmp_path)
+        emitted = interrupt_after_steps(algo, work, steps=1)
+        second = ExtMCE.resume(work)
+        emitted |= interrupt_after_steps(second, work, steps=1)
+        third = ExtMCE.resume(work)
+        emitted |= set(third.enumerate_cliques())
+        assert emitted == cliques_of(tomita_maximal_cliques(g))
+
+    def test_checkpoint_records_emitted_count(self, tmp_path):
+        _, work, algo = make_run(tmp_path)
+        interrupt_after_steps(algo, work, steps=1)
+        state = read_checkpoint(work)
+        assert state.completed_step == 1
+        assert state.cliques_emitted == algo.report.steps[0].cliques_emitted
+
+    def test_checkpoint_without_workdir_rejected(self, tmp_path):
+        g = seeded_gnp(10, 0.3, seed=1)
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        with pytest.raises(GraphError):
+            ExtMCE(disk, ExtMCEConfig(checkpoint=True))
+
+    def test_resume_preserves_custom_config(self, tmp_path):
+        g, work, algo = make_run(tmp_path)
+        interrupt_after_steps(algo, work, steps=1)
+        resumed = ExtMCE.resume(
+            work, config=ExtMCEConfig(estimator_probes=8, hashtable_cleanup=False)
+        )
+        rest = set(resumed.enumerate_cliques())
+        assert resumed._config.estimator_probes == 8
+        assert resumed._config.workdir == work
+        assert rest  # still produces the remaining cliques

@@ -1,0 +1,157 @@
+"""Tests for T_H* (Definition 8, Lemmas 1-2) and its construction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.core.clique_tree import (
+    CliqueTree,
+    build_clique_tree,
+    build_clique_tree_from_cliques,
+    enumerate_star_cliques,
+)
+from repro.core.hstar import extract_hstar_graph
+from repro.errors import GraphError
+from repro.storage.memory import MemoryModel
+
+from tests.helpers import cliques_of, figure1_graph, names_of, small_graphs
+
+
+@pytest.fixture
+def star():
+    return extract_hstar_graph(figure1_graph())
+
+
+class TestEnumeration:
+    def test_figure2_star_cliques(self, star):
+        # The H*-max-cliques of Figure 1 (the root-to-leaf paths of the
+        # paper's Figure 2 tree): one per periphery leaf plus bcde.
+        names = sorted(names_of(c) for c in enumerate_star_cliques(star))
+        assert names == ["abcw", "abcx", "acy", "bcde", "cey", "dr", "dz", "es"]
+
+    def test_structured_matches_generic(self, star):
+        structured = cliques_of(enumerate_star_cliques(star, use_structure=True))
+        generic = cliques_of(enumerate_star_cliques(star, use_structure=False))
+        assert structured == generic
+
+    @settings(max_examples=50)
+    @given(small_graphs())
+    def test_structured_matches_generic_property(self, g):
+        star = extract_hstar_graph(g)
+        assert cliques_of(enumerate_star_cliques(star, True)) == cliques_of(
+            enumerate_star_cliques(star, False)
+        )
+
+    @settings(max_examples=40)
+    @given(small_graphs())
+    def test_lemma1_invariants(self, g):
+        """Every H*-max-clique has >=1 core vertex and <=1 periphery vertex."""
+        star = extract_hstar_graph(g)
+        for clique in enumerate_star_cliques(star):
+            assert len(clique & star.core) >= 1
+            assert len(clique & star.periphery) <= 1
+
+
+class TestTreeStructure:
+    def test_insert_and_contains(self, star):
+        tree = CliqueTree.for_star(star)
+        clique = frozenset(sorted(star.core)[:2])
+        assert tree.insert(clique) is True
+        assert tree.insert(clique) is False
+        assert clique in tree
+
+    def test_empty_clique_rejected(self, star):
+        with pytest.raises(GraphError):
+            CliqueTree.for_star(star).insert(frozenset())
+
+    def test_remove_prunes_nodes(self, star):
+        tree = CliqueTree.for_star(star)
+        a, b = sorted(star.core)[:2]
+        tree.insert({a, b})
+        nodes_before = tree.num_nodes
+        assert tree.remove({a, b}) is True
+        assert tree.num_nodes == 1  # only the root remains
+        assert nodes_before == 3
+
+    def test_remove_missing_returns_false(self, star):
+        tree = CliqueTree.for_star(star)
+        assert tree.remove({1, 2}) is False
+
+    def test_shared_prefix_shares_nodes(self, star):
+        tree = CliqueTree.for_star(star)
+        a, b, c = sorted(star.core)[:3]
+        tree.insert({a, b})
+        tree.insert({a, c})
+        # root + a + b + c = 4 nodes, prefix `a` shared
+        assert tree.num_nodes == 4
+
+    def test_remove_keeps_shared_prefix(self, star):
+        tree = CliqueTree.for_star(star)
+        a, b, c = sorted(star.core)[:3]
+        tree.insert({a, b})
+        tree.insert({a, c})
+        tree.remove({a, b})
+        assert {a, c} in tree
+        assert tree.num_nodes == 3
+
+    def test_periphery_ranks_after_core(self, star):
+        tree = CliqueTree.for_star(star)
+        core_vertex = max(star.core)
+        periphery_vertex = min(star.periphery)
+        assert tree.rank_key(core_vertex) < tree.rank_key(periphery_vertex)
+
+    def test_cliques_containing(self, star):
+        tree, _ = build_clique_tree(star)
+        a = min(star.core)
+        for clique in tree.cliques_containing([a]):
+            assert a in clique
+
+    def test_release_returns_memory(self, star):
+        memory = MemoryModel()
+        tree, _ = build_clique_tree(star, memory=memory)
+        assert memory.in_use_units == tree.num_nodes
+        tree.release()
+        assert memory.in_use_units == 0
+
+    def test_memory_charged_per_node(self, star):
+        memory = MemoryModel()
+        tree, _ = build_clique_tree(star, memory=memory)
+        assert memory.in_use_units == tree.num_nodes
+
+
+class TestLemma2:
+    def test_periphery_only_leaves(self, star):
+        tree, _ = build_clique_tree(star)
+        for core_part, leaf in tree.periphery_leaves():
+            assert leaf in star.periphery
+            assert core_part <= star.core
+
+    def test_root_children_are_core(self, star):
+        tree, _ = build_clique_tree(star)
+        for clique in tree.cliques():
+            first = tree.ordered(clique)[0]
+            assert first in star.core
+
+
+class TestBuild:
+    def test_tree_holds_exactly_the_star_cliques(self, star):
+        tree, _ = build_clique_tree(star)
+        assert cliques_of(tree.cliques()) == cliques_of(enumerate_star_cliques(star))
+
+    def test_core_maximal_marking(self, star):
+        tree, core_maximal = build_clique_tree(star)
+        assert {names_of(k) for k in core_maximal} == {"abc", "bcde"}
+        for kernel in core_maximal:
+            assert tree.is_core_maximal(kernel)
+
+    def test_build_from_cliques_equivalent(self, star):
+        built, mh1 = build_clique_tree(star)
+        seeded, mh2 = build_clique_tree_from_cliques(star, list(built.cliques()))
+        assert cliques_of(seeded.cliques()) == cliques_of(built.cliques())
+        assert mh1 == mh2
+        assert seeded.num_nodes == built.num_nodes
+
+    def test_ablation_flag_produces_same_tree(self, star):
+        fast, _ = build_clique_tree(star, use_structure=True)
+        slow, _ = build_clique_tree(star, use_structure=False)
+        assert cliques_of(fast.cliques()) == cliques_of(slow.cliques())

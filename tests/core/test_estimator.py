@@ -1,0 +1,166 @@
+"""Tests for the Knuth tree-size estimator and the memory-shrink loop."""
+
+import pytest
+
+from repro.core.clique_tree import build_clique_tree
+from repro.core.estimator import (
+    count_backtrack_tree_nodes,
+    estimate_tree_size,
+    shrink_core_to_budget,
+)
+from repro.core.hstar import StarGraph, extract_hstar_graph
+from repro.errors import EstimationError, MemoryBudgetExceeded
+from repro.graph.adjacency import AdjacencyGraph
+
+from tests.helpers import figure1_graph, seeded_gnp
+
+
+def star_of(graph):
+    return extract_hstar_graph(graph)
+
+
+class TestEstimate:
+    def test_deterministic_per_seed(self):
+        star = star_of(figure1_graph())
+        assert estimate_tree_size(star, seed=7) == estimate_tree_size(star, seed=7)
+
+    def test_varies_with_seed(self):
+        star = star_of(seeded_gnp(40, 0.3, seed=2))
+        values = {estimate_tree_size(star, num_probes=8, seed=s) for s in range(6)}
+        assert len(values) > 1
+
+    def test_empty_core_estimates_root_only(self):
+        star = StarGraph(core=frozenset(), neighbor_lists={})
+        assert estimate_tree_size(star) == 1.0
+
+    def test_single_clique_core_exact(self):
+        # For a single k-clique the probe is deterministic: candidates at
+        # each level are exactly the higher-ranked members, so the
+        # estimate equals the number of sorted prefixes plus the root.
+        k = 5
+        g = AdjacencyGraph.from_edges(
+            [(u, v) for u in range(k) for v in range(u + 1, k)]
+        )
+        star = star_of(g)
+        # h-index of K5's degree sequence [4,4,4,4,4] is 4: one member of
+        # the clique lands in the periphery.
+        assert len(star.core) == k - 1
+        estimate = estimate_tree_size(star, num_probes=16, seed=0)
+        # Tree: root + k + (k-1) + ... + 1? The probe computes
+        # 1 + f1 + f1*f2 + ... with f1 = k and fi thereafter the number of
+        # higher-ranked common neighbors along one chain.
+        assert estimate >= k + 1
+
+    def test_positive_probe_count_required(self):
+        star = star_of(figure1_graph())
+        with pytest.raises(EstimationError):
+            estimate_tree_size(star, num_probes=0)
+
+    def test_estimate_upper_bounds_prefix_tree_loosely(self):
+        # The estimator targets the backtracking tree, which contains the
+        # prefix tree, so on average it should not undershoot wildly.
+        star = star_of(seeded_gnp(50, 0.2, seed=3))
+        tree, _ = build_clique_tree(star)
+        estimate = estimate_tree_size(star, num_probes=400, seed=1)
+        assert estimate >= 0.5 * tree.num_nodes
+
+
+class TestBacktrackCount:
+    def test_k2_by_hand(self):
+        # Core {0, 1} joined by an edge: nodes are λ, <0>, <1>, <0,1> -> 4.
+        star = StarGraph(
+            core=frozenset({0, 1}),
+            neighbor_lists={0: frozenset({1}), 1: frozenset({0})},
+        )
+        assert count_backtrack_tree_nodes(star) == 4
+
+    def test_single_edge_graph(self):
+        # h-index of a single edge is 1: core {0}, periphery {1}.
+        # Nodes: λ, <0>, <0,1> -> 3.
+        g = AdjacencyGraph.from_edges([(0, 1)])
+        star = star_of(g)
+        assert star.h == 1
+        assert count_backtrack_tree_nodes(star) == 3
+
+    def test_upper_bounds_prefix_tree(self):
+        star = star_of(seeded_gnp(40, 0.25, seed=2))
+        tree, _ = build_clique_tree(star)
+        assert count_backtrack_tree_nodes(star) >= tree.num_nodes
+
+    def test_counts_all_core_rooted_cliques(self):
+        # The node set is λ plus every clique of G_H* whose ≺-minimal
+        # member is a core vertex; verify by brute-force enumeration.
+        star = star_of(figure1_graph())
+        sg = star.star_graph()
+        rank = {
+            v: (0 if v in star.core else 1, v)
+            for v in star.core | star.periphery
+        }
+        ordered = sorted(rank, key=rank.get)
+        found = set()
+
+        def grow(prefix, candidates):
+            for i, v in enumerate(candidates):
+                if not prefix and v not in star.core:
+                    continue
+                clique = prefix + [v]
+                found.add(tuple(clique))
+                grow(clique, [w for w in candidates[i + 1:] if sg.has_edge(v, w)])
+
+        grow([], ordered)
+        assert count_backtrack_tree_nodes(star) == len(found) + 1
+
+    def test_max_nodes_guard(self):
+        star = star_of(seeded_gnp(40, 0.4, seed=3))
+        with pytest.raises(EstimationError):
+            count_backtrack_tree_nodes(star, max_nodes=5)
+
+
+class TestUnbiasedness:
+    def test_estimator_converges_to_backtrack_count(self):
+        for seed, (n, p) in enumerate([(25, 0.3), (40, 0.2)]):
+            star = star_of(seeded_gnp(n, p, seed=seed))
+            exact = count_backtrack_tree_nodes(star)
+            estimate = estimate_tree_size(star, num_probes=8000, seed=0)
+            assert abs(estimate - exact) / exact < 0.15
+
+    def test_figure1_convergence(self):
+        star = star_of(figure1_graph())
+        exact = count_backtrack_tree_nodes(star)
+        estimate = estimate_tree_size(star, num_probes=8000, seed=1)
+        assert abs(estimate - exact) / exact < 0.15
+
+
+class TestShrink:
+    def test_no_shrink_when_budget_ample(self):
+        star = star_of(figure1_graph())
+        shrunk, estimate = shrink_core_to_budget(star, available_units=10**6)
+        assert shrunk.core == star.core
+        assert estimate > 0
+
+    def test_shrinks_core_under_tight_budget(self):
+        star = star_of(seeded_gnp(60, 0.3, seed=4))
+        needed = star.memory_units
+        shrunk, _ = shrink_core_to_budget(star, available_units=needed // 2)
+        assert len(shrunk.core) < len(star.core)
+        assert shrunk.core <= star.core
+
+    def test_shrunk_star_fits_budget(self):
+        star = star_of(seeded_gnp(60, 0.3, seed=4))
+        budget = star.memory_units // 2
+        shrunk, estimate = shrink_core_to_budget(star, available_units=budget)
+        assert shrunk.memory_units + estimate <= budget
+
+    def test_drops_lowest_degree_vertices_first(self):
+        star = star_of(seeded_gnp(60, 0.3, seed=4))
+        shrunk, _ = shrink_core_to_budget(star, available_units=star.memory_units // 2)
+        dropped = star.core - shrunk.core
+        if dropped and shrunk.core:
+            max_dropped = max(len(star.neighbor_lists[v]) for v in dropped)
+            min_kept = min(len(star.neighbor_lists[v]) for v in shrunk.core)
+            assert max_dropped <= min_kept
+
+    def test_impossible_budget_raises(self):
+        star = star_of(figure1_graph())
+        with pytest.raises(MemoryBudgetExceeded):
+            shrink_core_to_budget(star, available_units=1)

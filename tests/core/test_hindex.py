@@ -1,0 +1,96 @@
+"""Tests for Algorithm 1 (one-scan h-vertex extraction)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hindex import (
+    compute_h_index_reference,
+    compute_h_vertices,
+    compute_h_vertices_of_graph,
+)
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.memory import MemoryModel
+
+from tests.helpers import figure1_graph, small_graphs, FIGURE1_ID
+
+
+class TestReference:
+    def test_hirsch_example(self):
+        assert compute_h_index_reference([10, 8, 5, 4, 3]) == 4
+
+    def test_all_equal(self):
+        assert compute_h_index_reference([3, 3, 3]) == 3
+
+    def test_empty(self):
+        assert compute_h_index_reference([]) == 0
+
+    def test_all_zero(self):
+        assert compute_h_index_reference([0, 0, 0]) == 0
+
+    def test_single_large(self):
+        assert compute_h_index_reference([100]) == 1
+
+
+class TestAlgorithm1:
+    def test_figure1_h_is_5(self):
+        result = compute_h_vertices_of_graph(figure1_graph())
+        assert result.h == 5
+        assert result.h_vertices == {
+            FIGURE1_ID[c] for c in "abcde"
+        }
+
+    def test_neighbor_lists_are_full_adjacency(self):
+        g = figure1_graph()
+        result = compute_h_vertices_of_graph(g)
+        for v in result.h_vertices:
+            assert result.neighbor_lists[v] == g.neighbors(v)
+
+    def test_star_size_matches_definition(self):
+        g = figure1_graph()
+        result = compute_h_vertices_of_graph(g)
+        # |G_H*| = edges incident to at least one h-vertex = 8 + 12 = 20
+        assert result.star_size_edges == 20
+
+    def test_empty_input(self):
+        result = compute_h_vertices([])
+        assert result.h == 0
+        assert result.h_vertices == frozenset()
+
+    def test_isolated_vertices_give_h_zero(self):
+        g = AdjacencyGraph.from_edges([], vertices=range(5))
+        assert compute_h_vertices_of_graph(g).h == 0
+
+    @settings(max_examples=80)
+    @given(small_graphs())
+    def test_h_matches_sort_based_reference(self, g):
+        result = compute_h_vertices_of_graph(g)
+        assert result.h == compute_h_index_reference(g.degree_sequence())
+
+    @settings(max_examples=60)
+    @given(small_graphs())
+    def test_definition1_invariants(self, g):
+        result = compute_h_vertices_of_graph(g)
+        h = result.h
+        assert len(result.h_vertices) == h
+        for v in result.h_vertices:
+            assert g.degree(v) >= h
+        for v in g:
+            if v not in result.h_vertices:
+                assert g.degree(v) <= h
+
+
+class TestMemoryCharging:
+    def test_heap_space_charged_and_released(self):
+        g = figure1_graph()
+        memory = MemoryModel()
+        result = compute_h_vertices_of_graph(g, memory=memory)
+        assert memory.in_use_units == 0
+        # Peak must cover the surviving h-vertices and their lists.
+        expected_floor = sum(1 + len(nbrs) for nbrs in result.neighbor_lists.values())
+        assert memory.peak_units >= expected_floor
+
+    def test_streamed_records_accepted(self):
+        records = [(0, [1, 2]), (1, [0, 2]), (2, [0, 1])]
+        result = compute_h_vertices(records)
+        assert result.h == 2
+        assert len(result.h_vertices) == 2

@@ -1,0 +1,74 @@
+"""Tests for L*-graph extraction (Definition 10)."""
+
+import pytest
+
+from repro.core.lstar import extract_lstar_graph
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.diskgraph import DiskGraph
+
+from tests.helpers import seeded_gnp
+
+
+@pytest.fixture
+def residual_disk(tmp_path):
+    return DiskGraph.create(tmp_path / "r.bin", seeded_gnp(50, 0.15, seed=6))
+
+
+class TestSelection:
+    def test_core_degree_mass_respects_target(self, residual_disk):
+        target = 40
+        star = extract_lstar_graph(residual_disk, target, seed=1)
+        mass = sum(len(star.neighbor_lists[v]) for v in star.core)
+        max_single = max(len(star.neighbor_lists[v]) for v in star.core)
+        assert mass <= target + max_single
+
+    def test_takes_everything_when_target_covers_graph(self, residual_disk):
+        star = extract_lstar_graph(residual_disk, 10**9, seed=1)
+        assert len(star.core) == residual_disk.num_vertices
+
+    def test_never_empty(self, residual_disk):
+        star = extract_lstar_graph(residual_disk, 1, seed=1)
+        assert star.core
+
+    def test_deterministic_per_seed(self, residual_disk):
+        a = extract_lstar_graph(residual_disk, 40, seed=5)
+        b = extract_lstar_graph(residual_disk, 40, seed=5)
+        assert a.core == b.core
+
+    def test_different_seeds_differ(self, residual_disk):
+        cores = {
+            extract_lstar_graph(residual_disk, 40, seed=s).core for s in range(8)
+        }
+        assert len(cores) > 1
+
+    def test_negative_target_rejected(self, residual_disk):
+        with pytest.raises(GraphError):
+            extract_lstar_graph(residual_disk, -1)
+
+    def test_empty_residual_rejected(self, tmp_path):
+        disk = DiskGraph.create(tmp_path / "e.bin", AdjacencyGraph())
+        with pytest.raises(GraphError):
+            extract_lstar_graph(disk, 10)
+
+
+class TestStructure:
+    def test_neighbor_lists_match_residual(self, residual_disk):
+        star = extract_lstar_graph(residual_disk, 60, seed=2)
+        full = residual_disk.to_adjacency_graph()
+        for v in star.core:
+            assert star.neighbor_lists[v] == full.neighbors(v)
+
+    def test_original_degrees_captured(self, tmp_path):
+        g = seeded_gnp(20, 0.3, seed=1)
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        residual = disk.rewrite_without(set(range(5)), tmp_path / "r.bin")
+        star = extract_lstar_graph(residual, 10**9, seed=0)
+        for v in star.core:
+            assert star.original_degree(v) == g.degree(v)
+
+    def test_isolated_vertices_included_in_full_take(self, tmp_path):
+        g = AdjacencyGraph.from_edges([(0, 1)], vertices=[7, 8])
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        star = extract_lstar_graph(disk, 10**9, seed=0)
+        assert {7, 8} <= star.core

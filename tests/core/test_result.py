@@ -1,0 +1,55 @@
+"""Tests for clique output sinks."""
+
+from repro.core.result import CliqueCollector, CliqueCounter, CliqueFileSink
+
+
+class TestCollector:
+    def test_accumulates_unique_cliques(self):
+        collector = CliqueCollector()
+        collector.accept(frozenset({1, 2}))
+        collector.accept(frozenset({1, 2}))
+        collector.accept(frozenset({3}))
+        assert len(collector) == 2
+
+
+class TestCounter:
+    def test_total_and_histogram(self):
+        counter = CliqueCounter()
+        counter.accept(frozenset({1, 2}))
+        counter.accept(frozenset({3, 4, 5}))
+        counter.accept(frozenset({6, 7}))
+        assert counter.total == 3
+        assert counter.size_histogram == {2: 2, 3: 1}
+        assert counter.max_size == 3
+        assert counter.average_size == (2 + 3 + 2) / 3
+
+    def test_empty_average(self):
+        assert CliqueCounter().average_size == 0.0
+
+    def test_tracked_sets(self):
+        counter = CliqueCounter(
+            tracked_sets={"core": frozenset({1}), "periphery": frozenset({9})}
+        )
+        counter.accept(frozenset({1, 2}))
+        counter.accept(frozenset({2, 3}))
+        assert counter.tracked_counts == {"core": 1, "periphery": 0}
+
+
+class TestFileSink:
+    def test_writes_sorted_lines(self, tmp_path):
+        path = tmp_path / "cliques.txt"
+        with CliqueFileSink(path) as sink:
+            sink.accept(frozenset({3, 1, 2}))
+            sink.accept(frozenset({9}))
+        assert path.read_text() == "1 2 3\n9\n"
+
+    def test_count_tracked(self, tmp_path):
+        with CliqueFileSink(tmp_path / "c.txt") as sink:
+            sink.accept(frozenset({1}))
+            sink.accept(frozenset({2}))
+            assert sink.count == 2
+
+    def test_close_idempotent(self, tmp_path):
+        sink = CliqueFileSink(tmp_path / "c.txt")
+        sink.close()
+        sink.close()

@@ -1,0 +1,138 @@
+"""Tests for vertex-level maintenance operations (Section 5's reduction)."""
+
+import pytest
+
+from repro.core.clique_tree import enumerate_star_cliques
+from repro.dynamic.maintainer import HStarMaintainer
+from repro.errors import GraphError
+
+from tests.helpers import FIGURE1_ID, cliques_of, figure1_graph
+
+
+def assert_consistent(maintainer):
+    expected = cliques_of(enumerate_star_cliques(maintainer.star()))
+    assert cliques_of(maintainer.star_cliques()) == expected
+
+
+class TestInsertVertex:
+    def test_isolated_vertex(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        maintainer.insert_vertex(100)
+        assert 100 in maintainer.graph
+        assert maintainer.graph.degree(100) == 0
+        assert_consistent(maintainer)
+
+    def test_vertex_with_neighbors(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        hubs = [FIGURE1_ID["a"], FIGURE1_ID["b"], FIGURE1_ID["c"]]
+        maintainer.insert_vertex(100, neighbors=hubs)
+        assert maintainer.graph.degree(100) == 3
+        assert_consistent(maintainer)
+        # The new vertex is adjacent to the abc clique -> appears in T_H*.
+        assert any(100 in c for c in maintainer.star_cliques())
+
+    def test_duplicate_vertex_rejected(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        with pytest.raises(GraphError):
+            maintainer.insert_vertex(FIGURE1_ID["a"])
+
+    def test_counts_edge_updates(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        before = maintainer.stats.updates_total
+        maintainer.insert_vertex(100, neighbors=[FIGURE1_ID["a"], FIGURE1_ID["b"]])
+        assert maintainer.stats.updates_total == before + 2
+
+
+class TestDeleteVertex:
+    def test_delete_periphery_vertex(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        maintainer.delete_vertex(FIGURE1_ID["w"])
+        assert FIGURE1_ID["w"] not in maintainer.graph
+        assert_consistent(maintainer)
+
+    def test_delete_core_vertex(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        maintainer.delete_vertex(FIGURE1_ID["a"])
+        assert FIGURE1_ID["a"] not in maintainer.graph
+        assert_consistent(maintainer)
+
+    def test_delete_unknown_vertex_rejected(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        with pytest.raises(GraphError):
+            maintainer.delete_vertex(12345)
+
+    def test_insert_then_delete_round_trip(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        before = cliques_of(maintainer.star_cliques())
+        maintainer.insert_vertex(100, neighbors=[FIGURE1_ID["a"]])
+        maintainer.delete_vertex(100)
+        assert cliques_of(maintainer.star_cliques()) == before
+        assert_consistent(maintainer)
+
+    def test_degree_histogram_stays_consistent(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        maintainer.insert_vertex(100, neighbors=[FIGURE1_ID["q"]])
+        maintainer.delete_vertex(100)
+        # A follow-up update must still compute h correctly.
+        maintainer.insert_edge(FIGURE1_ID["q"], FIGURE1_ID["t"])
+        assert_consistent(maintainer)
+
+
+class TestBatchInsert:
+    def test_batch_equals_fresh_enumeration(self):
+        from repro.generators.scale_free import powerlaw_cluster_edges
+
+        edges = powerlaw_cluster_edges(120, 3, 0.7, seed=9)
+        maintainer = HStarMaintainer()
+        maintainer.insert_batch(edges)
+        assert_consistent(maintainer)
+
+    def test_batch_matches_sequential_result(self):
+        from repro.generators.scale_free import powerlaw_cluster_edges
+
+        edges = powerlaw_cluster_edges(100, 3, 0.6, seed=4)
+        sequential = HStarMaintainer()
+        for u, v in edges:
+            sequential.insert_edge(u, v)
+        batched = HStarMaintainer()
+        batched.insert_batch(edges)
+        # Same graph and (after validity resolution) a valid core; the
+        # clique sets agree for the respective cores.
+        assert batched.graph.num_edges == sequential.graph.num_edges
+        assert_consistent(batched)
+        assert_consistent(sequential)
+
+    def test_batch_needs_at_most_one_rebuild(self):
+        from repro.generators.scale_free import powerlaw_cluster_edges
+
+        edges = powerlaw_cluster_edges(150, 3, 0.7, seed=2)
+        maintainer = HStarMaintainer()
+        maintainer.insert_batch(edges)
+        assert maintainer.stats.core_rebuilds <= 1
+
+    def test_batch_fewer_rebuilds_than_sequential(self):
+        from repro.generators.scale_free import powerlaw_cluster_edges
+
+        edges = powerlaw_cluster_edges(150, 3, 0.7, seed=2)
+        sequential = HStarMaintainer()
+        for u, v in edges:
+            sequential.insert_edge(u, v)
+        batched = HStarMaintainer()
+        for start in range(0, len(edges), 50):
+            batched.insert_batch(edges[start : start + 50])
+        assert batched.stats.core_rebuilds < sequential.stats.core_rebuilds
+
+    def test_duplicate_edges_skipped(self):
+        maintainer = HStarMaintainer()
+        maintainer.insert_batch([(0, 1), (0, 1), (1, 0)])
+        assert maintainer.stats.updates_total == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            HStarMaintainer().insert_batch([(2, 2)])
+
+    def test_empty_batch_noop(self):
+        maintainer = HStarMaintainer(figure1_graph())
+        before = maintainer.stats.updates_total
+        maintainer.insert_batch([])
+        assert maintainer.stats.updates_total == before

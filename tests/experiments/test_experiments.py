@@ -1,0 +1,132 @@
+"""Smoke tests for the experiment harness on the smallest dataset.
+
+The full experiment runs live in ``benchmarks/``; here each module is
+exercised end-to-end on ``protein`` (and reduced parameters) so harness
+regressions surface in the unit suite.
+"""
+
+import pytest
+
+from repro.experiments import figure3, table2, table3, table4, table5, table6, table7
+
+
+SMALL = ("protein",)
+
+
+class TestTable2:
+    def test_rows_and_render(self):
+        rows = table2.run(SMALL)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.dataset == "protein"
+        assert row.num_vertices == 2000
+        assert row.storage_mb > 0
+        assert "Table 2" in table2.render(rows)
+
+
+class TestTable3:
+    def test_extraction_cost_measured(self):
+        rows = table3.run(SMALL)
+        row = rows[0]
+        assert row.total_seconds > 0
+        assert row.disk_read_seconds > 0
+        assert row.memory_mb > 0
+        assert row.h > 0
+        assert "Table 3" in table3.render(rows)
+
+
+class TestTable4:
+    def test_size_ordering(self):
+        rows = table4.run(SMALL)
+        sizes = rows[0].sizes
+        assert sizes.core_graph_edges <= sizes.star_graph_edges
+        assert sizes.star_graph_edges <= sizes.extended_graph_edges
+        assert rows[0].rank_exponent < 0
+        assert "Table 4" in table4.render(rows)
+
+
+class TestTable5:
+    def test_columns_present(self):
+        rows = table5.run(SMALL, closeness_sample=4, estimator_probes=16)
+        row = rows[0]
+        assert row.closeness > 0
+        assert 0 < row.reachability <= 1
+        assert row.cliques.containing_core <= row.cliques.total
+        assert row.estimate_ratio > 0
+        assert row.backtrack_nodes >= row.tree_nodes
+        assert "Table 5" in table5.render(rows)
+
+
+class TestFigure3:
+    def test_all_three_algorithms_on_protein(self):
+        rows = figure3.run(SMALL)
+        by_algo = {row.algorithm: row for row in rows}
+        assert by_algo["ExtMCE"].status == "ok"
+        assert by_algo["in-mem"].status == "ok"
+        assert by_algo["streaming"].status == "ok"
+        assert (
+            by_algo["ExtMCE"].cliques
+            == by_algo["in-mem"].cliques
+            == by_algo["streaming"].cliques
+        )
+        assert "Figure 3" in figure3.render(rows)
+
+    def test_extmce_uses_less_memory_than_inmem(self):
+        rows = figure3.run(SMALL)
+        by_algo = {row.algorithm: row for row in rows}
+        assert by_algo["ExtMCE"].peak_memory_mb < by_algo["in-mem"].peak_memory_mb
+
+    def test_inmem_out_of_memory_under_tiny_budget(self):
+        rows = figure3.run(SMALL, budget_units=500)
+        by_algo = {row.algorithm: row for row in rows}
+        assert by_algo["in-mem"].status == "out of memory"
+
+
+class TestTable6:
+    def test_recursion_report(self):
+        rows = table6.run(SMALL)
+        row = rows[0]
+        assert row.recursions >= 1
+        assert row.estimated_recursions > 0
+        assert 0 <= row.first_step_fraction <= 1
+        assert "Table 6" in table6.render(rows)
+
+
+class TestTable7:
+    def test_periods_measured_without_full_runs(self):
+        rows = table7.run(dataset="protein", num_periods=3, compute_full=False)
+        assert len(rows) == 3
+        assert all(row.updates_in_graph > 0 for row in rows)
+        assert all(0 <= row.h_vertices_retained <= 1 for row in rows)
+        assert "Table 7" in table7.render(rows)
+
+    def test_full_recompute_columns(self):
+        rows = table7.run(dataset="protein", num_periods=2, compute_full=True)
+        assert all(row.seconds_with_tree > 0 for row in rows)
+        assert all(row.seconds_without_tree > 0 for row in rows)
+
+
+class TestSection32:
+    def test_small_case(self):
+        from repro.experiments import section32
+
+        rows = section32.run(cases=((-0.75, 1500),))
+        row = rows[0]
+        assert abs(row.measured_h - row.predicted_h) <= max(2, 0.1 * row.predicted_h)
+        assert "Section 3.2" in section32.render(rows)
+
+
+class TestRunner:
+    def test_main_runs_selected_modules(self, capsys):
+        from repro.experiments.__main__ import main as runner
+
+        assert runner(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_main_lists_available_on_error(self, capsys):
+        from repro.experiments.__main__ import main as runner
+
+        assert runner(["bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "available:" in err

@@ -1,0 +1,42 @@
+"""Tests for the dataset stand-in specs."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators.datasets import DATASETS, generate_dataset, list_datasets
+
+
+class TestRegistry:
+    def test_four_datasets_in_paper_order(self):
+        assert list_datasets() == ["protein", "blogs", "lj", "web"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(GraphError):
+            generate_dataset("nope")
+
+    def test_paper_figures_recorded(self):
+        spec = DATASETS["web"]
+        assert spec.paper_vertices == 10_000_000
+        assert spec.paper_edges == 80_000_000
+
+
+class TestGeneration:
+    def test_protein_shape(self):
+        g = generate_dataset("protein")
+        spec = DATASETS["protein"]
+        assert g.num_vertices == spec.num_vertices
+        assert g.num_edges > spec.num_vertices  # denser than a tree
+
+    def test_scales_ordered_like_paper(self):
+        sizes = [generate_dataset(name).num_edges for name in list_datasets()]
+        assert sizes == sorted(sizes)
+
+    def test_deterministic(self):
+        a = generate_dataset("protein")
+        b = generate_dataset("protein")
+        assert a.num_edges == b.num_edges
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_edges_match_graph(self):
+        spec = DATASETS["protein"]
+        assert len(spec.edges()) == spec.graph().num_edges

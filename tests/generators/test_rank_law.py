@@ -1,0 +1,106 @@
+"""Tests for the exact rank-power-law generator and the Section 3.2 bounds."""
+
+import pytest
+
+from repro.core.hstar import extract_hstar_graph
+from repro.errors import GraphError
+from repro.generators.rank_law import rank_power_law_degrees, rank_power_law_graph
+from repro.graph.powerlaw import predicted_h, predicted_hstar_size_bounds
+
+
+class TestDegreeSequence:
+    def test_monotone_decreasing(self):
+        degrees = rank_power_law_degrees(1000, -0.8)
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_even_total(self):
+        for n, R in [(100, -0.7), (101, -0.8), (999, -0.75)]:
+            assert sum(rank_power_law_degrees(n, R)) % 2 == 0
+
+    def test_head_follows_law(self):
+        n, R = 10_000, -0.8
+        degrees = rank_power_law_degrees(n, R)
+        assert degrees[0] == round((1 / n) ** R)
+        assert degrees[9] == round((10 / n) ** R)
+
+    def test_clamped_to_simple_graph_range(self):
+        degrees = rank_power_law_degrees(50, -2.0)
+        assert all(1 <= d <= 49 for d in degrees)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            rank_power_law_degrees(1, -0.8)
+        with pytest.raises(GraphError):
+            rank_power_law_degrees(100, 0.5)
+
+
+class TestGraphRealisation:
+    def test_deterministic(self):
+        a = rank_power_law_graph(500, -0.75, seed=3)
+        b = rank_power_law_graph(500, -0.75, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_simple_graph(self):
+        g = rank_power_law_graph(500, -0.75, seed=3)
+        for u, v in g.edges():
+            assert u != v
+
+    def test_realised_degrees_near_target(self):
+        n, R = 2000, -0.75
+        g = rank_power_law_graph(n, R, seed=1)
+        target_edges = sum(rank_power_law_degrees(n, R)) // 2
+        assert g.num_edges >= 0.95 * target_edges
+
+    def test_vertex_zero_is_top_hub(self):
+        g = rank_power_law_graph(2000, -0.8, seed=2)
+        top_degree = max(g.degree(v) for v in g.vertices())
+        assert g.degree(0) >= 0.9 * top_degree
+
+
+class TestSection32Bounds:
+    """The paper's Eq. (3) and Eq. (7) on graphs that satisfy Eq. (1)."""
+
+    @pytest.mark.parametrize("rank_exponent", [-0.7, -0.8])
+    @pytest.mark.parametrize("num_vertices", [2000, 8000])
+    def test_eq3_h_prediction(self, num_vertices, rank_exponent):
+        g = rank_power_law_graph(num_vertices, rank_exponent, seed=1)
+        star = extract_hstar_graph(g)
+        predicted = predicted_h(num_vertices, rank_exponent)
+        # Eq. (3) is exact on exact-law graphs up to rounding/projection.
+        assert abs(star.h - predicted) <= max(2, 0.05 * predicted)
+
+    @pytest.mark.parametrize("rank_exponent", [-0.7, -0.8])
+    def test_eq7_size_fraction(self, rank_exponent):
+        n = 8000
+        g = rank_power_law_graph(n, rank_exponent, seed=1)
+        star = extract_hstar_graph(g)
+        bounds = predicted_hstar_size_bounds(n, rank_exponent)
+        measured = star.size_edges / g.num_edges
+        # Within the predicted band, with slack for the simple-graph
+        # projection trimming hub degrees.
+        assert bounds.lower_fraction * 0.85 <= measured <= bounds.upper_fraction * 1.1
+
+    def test_fraction_shrinks_with_growth(self):
+        # Eq. (7)'s headline: the H*-graph's share of G falls as G grows.
+        small = rank_power_law_graph(2000, -0.7, seed=1)
+        large = rank_power_law_graph(16000, -0.7, seed=1)
+        ratio_small = extract_hstar_graph(small).size_edges / small.num_edges
+        ratio_large = extract_hstar_graph(large).size_edges / large.num_edges
+        assert ratio_large < ratio_small
+
+
+class TestBalancingCorners:
+    def test_capped_hub_with_unit_tail(self):
+        # Steep exponent on a small n caps the hub at n-1 while the tail
+        # is all ones; balancing must still produce an even, monotone
+        # sequence (regression: the soak harness hit a GraphError here).
+        for n in range(3, 40):
+            for exponent in (-0.6, -0.9, -1.1, -2.5):
+                degrees = rank_power_law_degrees(n, exponent)
+                assert sum(degrees) % 2 == 0, (n, exponent)
+                assert degrees == sorted(degrees, reverse=True), (n, exponent)
+                assert all(1 <= d <= n - 1 for d in degrees), (n, exponent)
+
+    def test_graphs_realisable_for_steep_exponents(self):
+        g = rank_power_law_graph(25, -1.2, seed=3)
+        assert g.num_edges > 0

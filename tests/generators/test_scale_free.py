@@ -1,0 +1,94 @@
+"""Tests for the scale-free graph generators."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators.scale_free import (
+    barabasi_albert_graph,
+    powerlaw_cluster_edges,
+    powerlaw_cluster_graph,
+    random_gnp_graph,
+)
+from repro.graph.powerlaw import fit_rank_exponent
+
+
+class TestValidation:
+    def test_edges_per_vertex_must_be_positive(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+
+    def test_num_vertices_must_exceed_m(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(3, 3, 0.5)
+
+    def test_probability_range(self):
+        with pytest.raises(GraphError):
+            powerlaw_cluster_graph(10, 2, 1.5)
+        with pytest.raises(GraphError):
+            random_gnp_graph(10, -0.1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = powerlaw_cluster_edges(200, 3, 0.6, seed=5)
+        b = powerlaw_cluster_edges(200, 3, 0.6, seed=5)
+        assert a == b
+
+    def test_different_seed_different_graph(self):
+        a = powerlaw_cluster_edges(200, 3, 0.6, seed=5)
+        b = powerlaw_cluster_edges(200, 3, 0.6, seed=6)
+        assert a != b
+
+
+class TestStructure:
+    def test_vertex_count(self):
+        g = powerlaw_cluster_graph(150, 2, 0.5, seed=1)
+        assert g.num_vertices == 150
+
+    def test_edge_count_near_target(self):
+        n, m = 300, 4
+        g = powerlaw_cluster_graph(n, m, 0.5, seed=1)
+        # seed clique + ~m per arriving vertex
+        assert g.num_edges >= (n - m - 1) * 1  # at least one edge each
+        assert g.num_edges <= n * m + m * (m + 1)
+
+    def test_no_self_loops_or_duplicates(self):
+        edges = powerlaw_cluster_edges(150, 3, 0.8, seed=2)
+        assert all(u != v for u, v in edges)
+        assert len(edges) == len(set(edges))
+
+    def test_connected_single_component(self):
+        from repro.graph.stats import reachability_fraction
+
+        g = powerlaw_cluster_graph(200, 2, 0.6, seed=3)
+        assert reachability_fraction(g, [0]) == 1.0
+
+    def test_power_law_tail(self):
+        g = powerlaw_cluster_graph(800, 3, 0.5, seed=4)
+        fit = fit_rank_exponent(g)
+        assert fit.rank_exponent < -0.1
+        assert fit.r_squared > 0.5
+
+    def test_triangles_increase_with_probability(self):
+        def triangle_count(g):
+            return sum(
+                1
+                for u in g
+                for v in g.neighbors(u)
+                for w in g.neighbors(u)
+                if v < w and g.has_edge(v, w)
+            )
+
+        low = triangle_count(powerlaw_cluster_graph(400, 3, 0.0, seed=7))
+        high = triangle_count(powerlaw_cluster_graph(400, 3, 0.9, seed=7))
+        assert high > low
+
+    def test_ba_is_zero_triangle_probability_variant(self):
+        assert barabasi_albert_graph(100, 2, seed=1).num_edges == len(
+            powerlaw_cluster_edges(100, 2, 0.0, seed=1)
+        )
+
+    def test_gnp_edge_probability(self):
+        g = random_gnp_graph(60, 0.5, seed=1)
+        possible = 60 * 59 // 2
+        assert 0.35 * possible < g.num_edges < 0.65 * possible

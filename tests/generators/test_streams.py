@@ -1,0 +1,49 @@
+"""Tests for timestamped edge streams and period splitting."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.generators.streams import edge_stream, split_into_periods
+
+
+class TestEdgeStream:
+    def test_consecutive_timestamps(self):
+        stream = edge_stream([(0, 1), (1, 2)])
+        assert stream == [(0, 0, 1), (1, 1, 2)]
+
+    def test_empty(self):
+        assert edge_stream([]) == []
+
+
+class TestSplit:
+    def test_equal_periods_cover_everything(self):
+        stream = edge_stream([(i, i + 1) for i in range(100)])
+        warmup, periods = split_into_periods(stream, 6, warmup_fraction=0.1)
+        assert len(warmup) == 10
+        assert sum(len(p) for p in periods) == 90
+        assert max(len(p) for p in periods) - min(len(p) for p in periods) <= 1
+
+    def test_order_preserved(self):
+        stream = edge_stream([(i, i + 1) for i in range(20)])
+        warmup, periods = split_into_periods(stream, 3)
+        rebuilt = warmup + [e for p in periods for e in p]
+        assert rebuilt == stream
+
+    def test_no_warmup_by_default(self):
+        stream = edge_stream([(0, 1), (1, 2)])
+        warmup, _ = split_into_periods(stream, 2)
+        assert warmup == []
+
+    def test_bad_period_count(self):
+        with pytest.raises(GraphError):
+            split_into_periods([], 0)
+
+    def test_bad_warmup_fraction(self):
+        with pytest.raises(GraphError):
+            split_into_periods([], 2, warmup_fraction=1.0)
+
+    def test_more_periods_than_edges(self):
+        stream = edge_stream([(0, 1)])
+        _, periods = split_into_periods(stream, 5)
+        assert sum(len(p) for p in periods) == 1
+        assert len(periods) == 5

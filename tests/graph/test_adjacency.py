@@ -1,0 +1,189 @@
+"""Unit tests for the core adjacency-set graph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EdgeNotFoundError, GraphError, VertexNotFoundError
+from repro.graph.adjacency import AdjacencyGraph
+
+from tests.helpers import small_graphs
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = AdjacencyGraph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_edges(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = AdjacencyGraph.from_edges([(1, 2)], vertices=[5, 6])
+        assert g.num_vertices == 4
+        assert g.degree(5) == 0
+
+    def test_from_edges_deduplicates(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_from_adjacency_symmetrises(self):
+        g = AdjacencyGraph.from_adjacency({1: [2, 3], 2: []})
+        assert g.has_edge(2, 1)
+        assert g.has_edge(3, 1)
+        assert g.num_edges == 2
+
+    def test_copy_is_independent(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert g.num_edges == 1
+        assert clone.num_edges == 2
+
+
+class TestMutation:
+    def test_add_edge_returns_true_when_new(self):
+        g = AdjacencyGraph()
+        assert g.add_edge(1, 2) is True
+        assert g.add_edge(1, 2) is False
+
+    def test_self_loop_rejected(self):
+        g = AdjacencyGraph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_add_vertex_idempotent(self):
+        g = AdjacencyGraph()
+        g.add_vertex(1)
+        g.add_vertex(1)
+        assert g.num_vertices == 1
+
+    def test_remove_edge(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.num_edges == 1
+        assert 1 in g  # vertex survives
+
+    def test_remove_missing_edge_raises(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(1, 3)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (1, 3), (2, 3)])
+        g.remove_vertex(1)
+        assert g.num_edges == 1
+        assert 1 not in g
+
+    def test_remove_missing_vertex_raises(self):
+        g = AdjacencyGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex(7)
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (1, 3)])
+        assert g.neighbors(1) == {2, 3}
+        assert g.degree(1) == 2
+        assert g.degree(2) == 1
+
+    def test_neighbors_missing_vertex_raises(self):
+        g = AdjacencyGraph()
+        with pytest.raises(VertexNotFoundError):
+            g.neighbors(0)
+
+    def test_edges_each_once(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        assert {tuple(sorted(e)) for e in edges} == {(1, 2), (2, 3), (1, 3)}
+
+    def test_degree_sequence_descending(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+        assert g.degree_sequence() == [3, 1, 1, 1]
+
+    def test_len_and_contains_and_iter(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        assert len(g) == 2
+        assert 1 in g and 3 not in g
+        assert sorted(g) == [1, 2]
+
+    def test_repr_mentions_sizes(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        assert "num_vertices=2" in repr(g)
+        assert "num_edges=1" in repr(g)
+
+
+class TestSubgraphsAndCliques:
+    def test_induced_subgraph(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        sub = g.induced_subgraph({1, 2, 3})
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert 4 not in sub
+
+    def test_induced_subgraph_ignores_unknown_vertices(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        sub = g.induced_subgraph({1, 99})
+        assert sub.num_vertices == 1
+
+    def test_induced_subgraph_keeps_isolated_members(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (3, 4)])
+        sub = g.induced_subgraph({1, 3})
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 0
+
+    def test_is_clique(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert g.is_clique({1, 2, 3})
+        assert not g.is_clique({1, 2, 4})
+        assert g.is_clique({1})
+        assert g.is_clique([])
+
+    def test_is_clique_unknown_vertex_raises(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        with pytest.raises(VertexNotFoundError):
+            g.is_clique({1, 9})
+
+    def test_is_maximal_clique(self):
+        g = AdjacencyGraph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+        assert g.is_maximal_clique({1, 2, 3})
+        assert not g.is_maximal_clique({1, 2})
+        assert not g.is_maximal_clique(set())
+
+    def test_common_neighbors(self):
+        g = AdjacencyGraph.from_edges([(1, 3), (2, 3), (1, 4), (2, 4), (3, 4)])
+        assert g.common_neighbors({1, 2}) == {3, 4}
+        assert g.common_neighbors({3, 4}) == {1, 2}
+
+    def test_common_neighbors_of_empty_set_is_universe(self):
+        g = AdjacencyGraph.from_edges([(1, 2)])
+        assert g.common_neighbors(set()) == {1, 2}
+
+
+class TestProperties:
+    @given(small_graphs())
+    def test_handshake_lemma(self, g):
+        assert sum(g.degree(v) for v in g) == 2 * g.num_edges
+
+    @given(small_graphs())
+    def test_edges_iteration_matches_edge_count(self, g):
+        assert len(list(g.edges())) == g.num_edges
+
+    @given(small_graphs())
+    def test_neighbors_symmetric(self, g):
+        for v in g:
+            for u in g.neighbors(v):
+                assert v in g.neighbors(u)
+
+    @given(small_graphs(), st.integers(0, 13))
+    def test_induced_subgraph_edges_subset(self, g, k):
+        subset = [v for v in g if v <= k]
+        sub = g.induced_subgraph(subset)
+        for u, v in sub.edges():
+            assert g.has_edge(u, v)

@@ -1,0 +1,89 @@
+"""Tests for k-core decomposition."""
+
+from hypothesis import given, settings
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.cores import core_numbers, degeneracy, k_core
+from repro.graph.ordering import degeneracy_ordering
+
+from tests.helpers import seeded_gnp, small_graphs
+
+
+def complete_graph(n):
+    return AdjacencyGraph.from_edges([(u, v) for u in range(n) for v in range(u + 1, n)])
+
+
+class TestCoreNumbers:
+    def test_clique(self):
+        numbers = core_numbers(complete_graph(5))
+        assert all(c == 4 for c in numbers.values())
+
+    def test_tree_is_one_core(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+        assert set(core_numbers(g).values()) == {1}
+
+    def test_isolated_vertices_are_zero_core(self):
+        g = AdjacencyGraph.from_edges([(0, 1)], vertices=[5])
+        assert core_numbers(g)[5] == 0
+
+    def test_clique_with_pendant(self):
+        g = complete_graph(4)
+        g.add_edge(0, 9)
+        numbers = core_numbers(g)
+        assert numbers[9] == 1
+        assert numbers[0] == 3
+
+    def test_empty_graph(self):
+        assert core_numbers(AdjacencyGraph()) == {}
+
+    @settings(max_examples=50)
+    @given(small_graphs())
+    def test_definition_invariant(self, g):
+        """Within the k-core, every vertex has >= k neighbors in it."""
+        numbers = core_numbers(g)
+        for k in set(numbers.values()):
+            members = {v for v, c in numbers.items() if c >= k}
+            for v in members:
+                assert len(g.neighbors(v) & members) >= k
+
+    @settings(max_examples=50)
+    @given(small_graphs())
+    def test_maximality_invariant(self, g):
+        """No vertex could have a higher core number."""
+        numbers = core_numbers(g)
+        for v, c in numbers.items():
+            higher = {u for u, cu in numbers.items() if cu >= c + 1} | {v}
+            # v is excluded from the (c+1)-core: within higher it has
+            # fewer than c+1 neighbors OR pulling it in would not create
+            # a valid (c+1)-core (checked via the peeling invariant).
+            sub = g.induced_subgraph(higher)
+            # peel: if v survived peeling at c+1 it would have core >= c+1
+            changed = True
+            members = set(higher)
+            while changed:
+                changed = False
+                for u in list(members):
+                    if len(g.neighbors(u) & members) < c + 1:
+                        members.discard(u)
+                        changed = True
+            assert v not in members
+
+
+class TestDerived:
+    def test_k_core_subgraph(self):
+        g = complete_graph(4)
+        g.add_edge(0, 9)
+        sub = k_core(g, 3)
+        assert set(sub.vertices()) == {0, 1, 2, 3}
+
+    def test_degeneracy_matches_ordering_module(self):
+        for seed in range(5):
+            g = seeded_gnp(40, 0.2, seed=seed)
+            _, expected = degeneracy_ordering(g)
+            assert degeneracy(g) == expected
+
+    @settings(max_examples=40)
+    @given(small_graphs())
+    def test_degeneracy_agreement_property(self, g):
+        _, expected = degeneracy_ordering(g)
+        assert degeneracy(g) == expected

@@ -1,0 +1,75 @@
+"""Tests for vertex orderings (degree, ≺, degeneracy)."""
+
+import pytest
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.ordering import degeneracy_ordering, degree_ordering, hstar_vertex_order
+
+from tests.helpers import seeded_gnp
+
+
+class TestDegreeOrdering:
+    def test_descending_default(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+        order = degree_ordering(g)
+        assert order[0] == 2  # degree 3
+
+    def test_ascending(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (0, 2)])
+        assert degree_ordering(g, descending=False)[0] in (1, 2)
+
+    def test_ties_broken_by_id(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (2, 3)])
+        assert degree_ordering(g) == [0, 1, 2, 3]
+
+
+class TestHStarOrder:
+    def test_core_before_periphery(self):
+        rank = hstar_vertex_order([5, 3], [1, 2])
+        assert rank[3] < rank[5] < rank[1] < rank[2]
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            hstar_vertex_order([1, 2], [2, 3])
+
+    def test_empty_inputs(self):
+        assert hstar_vertex_order([], []) == {}
+
+
+class TestDegeneracyOrdering:
+    def test_tree_has_degeneracy_one(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (1, 3)])
+        _, degeneracy = degeneracy_ordering(g)
+        assert degeneracy == 1
+
+    def test_clique_degeneracy(self):
+        g = AdjacencyGraph.from_edges(
+            [(u, v) for u in range(5) for v in range(u + 1, 5)]
+        )
+        _, degeneracy = degeneracy_ordering(g)
+        assert degeneracy == 4
+
+    def test_ordering_covers_all_vertices(self):
+        g = seeded_gnp(30, 0.2, seed=4)
+        order, _ = degeneracy_ordering(g)
+        assert sorted(order) == sorted(g.vertices())
+
+    def test_isolated_vertices_first(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (0, 2), (1, 2)], vertices=[9])
+        order, degeneracy = degeneracy_ordering(g)
+        assert order[0] == 9
+        assert degeneracy == 2
+
+    def test_degeneracy_invariant(self):
+        # Each vertex has at most `degeneracy` later neighbors in the order.
+        g = seeded_gnp(40, 0.25, seed=11)
+        order, degeneracy = degeneracy_ordering(g)
+        position = {v: i for i, v in enumerate(order)}
+        for v in order:
+            later = sum(1 for u in g.neighbors(v) if position[u] > position[v])
+            assert later <= degeneracy
+
+    def test_empty_graph(self):
+        order, degeneracy = degeneracy_ordering(AdjacencyGraph())
+        assert order == []
+        assert degeneracy == 0

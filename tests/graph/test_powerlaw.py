@@ -1,0 +1,98 @@
+"""Tests for the rank-exponent fit and the Section 3.2 size bounds."""
+
+import math
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.powerlaw import (
+    fit_rank_exponent,
+    predicted_h,
+    predicted_hstar_size_bounds,
+)
+from repro.generators import powerlaw_cluster_graph
+
+
+class TestFit:
+    def test_exact_power_law_recovers_exponent(self):
+        # Build a graph-like degree sequence d(r) = (r/n)^R exactly by
+        # synthesising stars; easier: verify on a synthetic fit input via
+        # a graph whose degree sequence is constructed directly.
+        n = 64
+        g = AdjacencyGraph()
+        # hub-and-spoke layers give a strictly decreasing degree sequence
+        hub_degrees = [40, 20, 13, 10, 8, 6]
+        next_leaf = 100
+        for hub, d in enumerate(hub_degrees):
+            for _ in range(d):
+                g.add_edge(hub, next_leaf)
+                next_leaf += 1
+        fit = fit_rank_exponent(g, min_degree=2)
+        assert fit.rank_exponent < 0
+        assert fit.r_squared > 0.95
+
+    def test_scale_free_graph_fits_negative_exponent(self):
+        g = powerlaw_cluster_graph(600, 3, 0.5, seed=2)
+        fit = fit_rank_exponent(g)
+        assert fit.rank_exponent < 0
+        assert 0 < fit.r_squared <= 1
+
+    def test_too_small_graph_raises(self):
+        g = AdjacencyGraph.from_edges([], vertices=[0])
+        with pytest.raises(GraphError):
+            fit_rank_exponent(g)
+
+    def test_uniform_degrees_fit_zero_slope(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (2, 3), (4, 5)])
+        fit = fit_rank_exponent(g)
+        assert fit.rank_exponent == pytest.approx(0.0)
+
+
+class TestPredictedH:
+    def test_paper_worked_example(self):
+        # Section 3.2: n = 1e6, R = -0.8 gives h <= 464.
+        assert predicted_h(1_000_000, -0.8) == 464
+
+    def test_paper_second_example(self):
+        # R = -0.7 gives "about 300".
+        assert 280 <= predicted_h(1_000_000, -0.7) <= 320
+
+    def test_monotone_in_n(self):
+        assert predicted_h(10_000_000, -0.7) > predicted_h(1_000_000, -0.7)
+
+    def test_zero_vertices(self):
+        assert predicted_h(0, -0.7) == 0
+
+    def test_nonnegative_exponent_rejected(self):
+        with pytest.raises(GraphError):
+            predicted_h(1000, 0.5)
+
+
+class TestSizeBounds:
+    def test_fraction_range_matches_paper(self):
+        # Paper: n = 1e6, R = -0.7 -> |G_H*| within 12-15% of |G|.
+        bounds = predicted_hstar_size_bounds(1_000_000, -0.7)
+        assert 0.10 <= bounds.lower_fraction <= bounds.upper_fraction <= 0.17
+
+    def test_fraction_shrinks_with_network_growth(self):
+        # Paper: the ratio drops to 8-10% at n = 1e7.
+        small = predicted_hstar_size_bounds(1_000_000, -0.7)
+        large = predicted_hstar_size_bounds(10_000_000, -0.7)
+        assert large.upper_fraction < small.upper_fraction
+
+    def test_lower_bound_below_upper(self):
+        bounds = predicted_hstar_size_bounds(100_000, -0.75)
+        assert 0 <= bounds.lower_edges <= bounds.upper_edges
+
+    def test_upper_edges_is_degree_sum_of_head(self):
+        bounds = predicted_hstar_size_bounds(10_000, -0.8)
+        expected = sum(
+            (r / 10_000) ** -0.8 for r in range(1, bounds.h + 1)
+        )
+        assert bounds.upper_edges == pytest.approx(expected)
+
+    def test_no_nan_for_typical_exponents(self):
+        for exponent in (-0.5, -0.7, -0.9, -1.1):
+            bounds = predicted_hstar_size_bounds(500_000, exponent)
+            assert math.isfinite(bounds.upper_fraction)

@@ -1,0 +1,129 @@
+"""Tests for BFS-based statistics (closeness, reachability)."""
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.stats import (
+    average_closeness,
+    bfs_distances,
+    closeness,
+    degree_histogram,
+    reachability_fraction,
+)
+
+
+def path_graph(n):
+    return AdjacencyGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_ignore_unreachable(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (2, 3)])
+        assert set(bfs_distances(g, 0)) == {0, 1}
+
+
+class TestCloseness:
+    def test_path_endpoint(self):
+        g = path_graph(5)
+        assert closeness(g, 0) == (1 + 2 + 3 + 4) / 4
+
+    def test_isolated_vertex_is_zero(self):
+        g = AdjacencyGraph.from_edges([], vertices=[0])
+        assert closeness(g, 0) == 0.0
+
+    def test_star_center(self):
+        g = AdjacencyGraph.from_edges([(0, i) for i in range(1, 6)])
+        assert closeness(g, 0) == 1.0
+
+    def test_average_closeness(self):
+        g = path_graph(3)
+        # vertices 0 and 2: (1+2)/2 = 1.5; vertex 1: 1.0
+        assert average_closeness(g, [0, 1, 2]) == (1.5 + 1.0 + 1.5) / 3
+
+    def test_average_closeness_empty_set(self):
+        assert average_closeness(path_graph(3), []) == 0.0
+
+    def test_average_closeness_sampling_is_deterministic(self):
+        g = path_graph(20)
+        a = average_closeness(g, range(20), sample_size=5, seed=3)
+        b = average_closeness(g, range(20), sample_size=5, seed=3)
+        assert a == b
+
+
+class TestReachability:
+    def test_full_reachability_from_any_vertex_of_connected_graph(self):
+        g = path_graph(6)
+        assert reachability_fraction(g, [3]) == 1.0
+
+    def test_partial_reachability(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (2, 3)])
+        assert reachability_fraction(g, [0]) == 0.5
+
+    def test_sources_count_as_reached(self):
+        g = AdjacencyGraph.from_edges([], vertices=[0, 1])
+        assert reachability_fraction(g, [0]) == 0.5
+
+    def test_empty_graph(self):
+        assert reachability_fraction(AdjacencyGraph(), []) == 0.0
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        g = AdjacencyGraph.from_edges([(0, i) for i in range(1, 5)])
+        assert degree_histogram(g) == {4: 1, 1: 4}
+
+    def test_includes_isolated(self):
+        g = AdjacencyGraph.from_edges([], vertices=[0, 1])
+        assert degree_histogram(g) == {0: 2}
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self):
+        from repro.graph.stats import average_clustering, local_clustering
+
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert local_clustering(g, 0) == 1.0
+        assert average_clustering(g) == 1.0
+
+    def test_star_has_zero_clustering(self):
+        from repro.graph.stats import average_clustering
+
+        g = AdjacencyGraph.from_edges([(0, i) for i in range(1, 5)])
+        assert average_clustering(g) == 0.0
+
+    def test_low_degree_vertices_contribute_zero(self):
+        from repro.graph.stats import local_clustering
+
+        g = AdjacencyGraph.from_edges([(0, 1)])
+        assert local_clustering(g, 0) == 0.0
+
+    def test_paw_graph(self):
+        from repro.graph.stats import local_clustering
+
+        # Triangle 0-1-2 plus pendant 3 on 0.
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (0, 3)])
+        assert local_clustering(g, 0) == 1 / 3
+        assert local_clustering(g, 1) == 1.0
+
+    def test_sampling_deterministic(self):
+        from repro.graph.stats import average_clustering
+        from tests.helpers import seeded_gnp
+
+        g = seeded_gnp(30, 0.3, seed=2)
+        a = average_clustering(g, sample_size=10, seed=1)
+        assert a == average_clustering(g, sample_size=10, seed=1)
+
+    def test_empty_graph(self):
+        from repro.graph.stats import average_clustering
+
+        assert average_clustering(AdjacencyGraph()) == 0.0
+
+    def test_holme_kim_triad_formation_raises_clustering(self):
+        from repro.graph.stats import average_clustering
+        from repro.generators.scale_free import powerlaw_cluster_graph
+
+        low = average_clustering(powerlaw_cluster_graph(300, 3, 0.0, seed=1))
+        high = average_clustering(powerlaw_cluster_graph(300, 3, 0.9, seed=1))
+        assert high > low + 0.05

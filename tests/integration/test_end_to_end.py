@@ -1,0 +1,125 @@
+"""Cross-module integration tests: the full system on realistic workloads."""
+
+import pytest
+
+from repro import (
+    AdjacencyGraph,
+    CliqueCounter,
+    CliqueFileSink,
+    DiskGraph,
+    ExtMCE,
+    ExtMCEConfig,
+    MemoryModel,
+    StixDynamicMCE,
+    bron_kerbosch_maximal_cliques,
+    degeneracy_maximal_cliques,
+    tomita_maximal_cliques,
+)
+from repro.core.hstar import extract_hstar_graph
+from repro.dynamic import HStarMaintainer
+from repro.generators import powerlaw_cluster_graph
+
+from tests.helpers import cliques_of
+
+
+@pytest.fixture(scope="module")
+def scale_free():
+    return powerlaw_cluster_graph(500, 4, 0.7, seed=77)
+
+
+class TestFourWayAgreement:
+    def test_all_enumerators_agree_on_scale_free_graph(self, scale_free, tmp_path):
+        oracle = cliques_of(tomita_maximal_cliques(scale_free))
+        assert cliques_of(bron_kerbosch_maximal_cliques(scale_free)) == oracle
+        assert cliques_of(degeneracy_maximal_cliques(scale_free)) == oracle
+        disk = DiskGraph.create(tmp_path / "g.bin", scale_free)
+        ext = cliques_of(
+            ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w")).enumerate_cliques()
+        )
+        assert ext == oracle
+        stix = StixDynamicMCE.from_edges(scale_free.edges(), indexed=True)
+        assert cliques_of(stix.cliques()) == oracle
+
+
+class TestMemoryContrast:
+    def test_extmce_peak_below_inmem_footprint(self, scale_free, tmp_path):
+        inmem_units = 2 * scale_free.num_edges + scale_free.num_vertices
+        memory = MemoryModel()
+        disk = DiskGraph.create(tmp_path / "g.bin", scale_free)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w"), memory=memory)
+        list(algo.enumerate_cliques())
+        assert memory.peak_units < inmem_units
+
+    def test_extmce_completes_under_budget_that_kills_inmem(
+        self, scale_free, tmp_path
+    ):
+        from repro.errors import MemoryBudgetExceeded
+
+        inmem_units = 2 * scale_free.num_edges + scale_free.num_vertices
+        budget = int(0.8 * inmem_units)
+        with pytest.raises(MemoryBudgetExceeded):
+            list(
+                tomita_maximal_cliques(scale_free, memory=MemoryModel(budget=budget))
+            )
+        disk = DiskGraph.create(tmp_path / "g.bin", scale_free)
+        memory = MemoryModel(budget=budget)
+        algo = ExtMCE(
+            disk,
+            ExtMCEConfig(workdir=tmp_path / "w", memory_budget_units=budget),
+            memory=memory,
+        )
+        result = cliques_of(algo.enumerate_cliques())
+        assert result == cliques_of(tomita_maximal_cliques(scale_free))
+
+
+class TestSinksIntegration:
+    def test_counter_tracks_core_coverage(self, scale_free, tmp_path):
+        star = extract_hstar_graph(scale_free)
+        counter = CliqueCounter(
+            tracked_sets={"core": star.core, "periphery": star.periphery}
+        )
+        disk = DiskGraph.create(tmp_path / "g.bin", scale_free)
+        ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w")).run(sink=counter)
+        assert counter.total > 0
+        assert counter.tracked_counts["core"] <= counter.total
+        # Table 5's observation: cliques touching h-neighbors dominate.
+        assert counter.tracked_counts["periphery"] > counter.total // 2
+
+    def test_file_sink_round_trip(self, scale_free, tmp_path):
+        disk = DiskGraph.create(tmp_path / "g.bin", scale_free)
+        out = tmp_path / "cliques.txt"
+        with CliqueFileSink(out) as sink:
+            ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w")).run(sink=sink)
+        read_back = {
+            frozenset(int(x) for x in line.split())
+            for line in out.read_text().splitlines()
+        }
+        assert read_back == cliques_of(tomita_maximal_cliques(scale_free))
+
+
+class TestDynamicToStaticPipeline:
+    def test_grow_then_enumerate(self, tmp_path):
+        from repro.generators.scale_free import powerlaw_cluster_edges
+
+        edges = powerlaw_cluster_edges(150, 3, 0.7, seed=3)
+        maintainer = HStarMaintainer()
+        for u, v in edges:
+            maintainer.insert_edge(u, v)
+        cliques, report = maintainer.compute_all_max_cliques(tmp_path / "mce")
+        oracle = cliques_of(tomita_maximal_cliques(maintainer.graph))
+        assert cliques_of(cliques) == oracle
+        assert report.total_cliques == len(oracle)
+
+    def test_deletions_interleaved(self, tmp_path):
+        from repro.generators.scale_free import powerlaw_cluster_edges
+
+        edges = powerlaw_cluster_edges(100, 3, 0.6, seed=4)
+        maintainer = HStarMaintainer()
+        for index, (u, v) in enumerate(edges):
+            maintainer.insert_edge(u, v)
+            if index % 7 == 3:
+                maintainer.delete_edge(u, v)
+        cliques, _ = maintainer.compute_all_max_cliques(tmp_path / "mce")
+        assert cliques_of(cliques) == cliques_of(
+            tomita_maximal_cliques(maintainer.graph)
+        )

@@ -1,0 +1,117 @@
+"""Tests for DIMACS and METIS format adapters."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import StorageFormatError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.interop.formats import read_dimacs, read_metis, write_dimacs, write_metis
+
+from tests.helpers import small_graphs
+
+
+class TestDimacs:
+    def test_round_trip(self, tmp_path):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)], vertices=[3])
+        path = tmp_path / "g.dimacs"
+        write_dimacs(path, g)
+        back = read_dimacs(path)
+        assert back.num_vertices == 4
+        assert back.num_edges == 3
+
+    def test_reads_reference_file(self, tmp_path):
+        path = tmp_path / "ref.dimacs"
+        path.write_text("c a comment\np edge 3 2\ne 1 2\ne 2 3\n")
+        g = read_dimacs(path)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+        assert g.num_vertices == 3
+
+    def test_edge_before_problem_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.dimacs"
+        path.write_text("e 1 2\n")
+        with pytest.raises(StorageFormatError):
+            read_dimacs(path)
+
+    def test_out_of_range_vertex_rejected(self, tmp_path):
+        path = tmp_path / "bad.dimacs"
+        path.write_text("p edge 2 1\ne 1 5\n")
+        with pytest.raises(StorageFormatError):
+            read_dimacs(path)
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.dimacs"
+        path.write_text("p edge 2 1\nx 1 2\n")
+        with pytest.raises(StorageFormatError):
+            read_dimacs(path)
+
+    def test_missing_problem_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.dimacs"
+        path.write_text("c only comments\n")
+        with pytest.raises(StorageFormatError):
+            read_dimacs(path)
+
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(small_graphs())
+    def test_round_trip_property(self, tmp_path, g):
+        path = tmp_path / "prop.dimacs"
+        write_dimacs(path, g)
+        back = read_dimacs(path)
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+        assert sorted(back.degree_sequence()) == sorted(g.degree_sequence())
+
+
+class TestMetis:
+    def test_round_trip(self, tmp_path):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        path = tmp_path / "g.metis"
+        write_metis(path, g)
+        back = read_metis(path)
+        assert back.num_edges == 4
+        assert back.has_edge(0, 3)
+
+    def test_reads_reference_file(self, tmp_path):
+        path = tmp_path / "ref.metis"
+        path.write_text("% comment\n3 2\n2\n1 3\n2\n")
+        g = read_metis(path)
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_isolated_vertices_survive(self, tmp_path):
+        g = AdjacencyGraph.from_edges([(0, 1)], vertices=[2])
+        path = tmp_path / "g.metis"
+        write_metis(path, g)
+        assert read_metis(path).num_vertices == 3
+
+    def test_weighted_format_rejected(self, tmp_path):
+        path = tmp_path / "w.metis"
+        path.write_text("2 1 011\n2 5\n1 5\n")
+        with pytest.raises(StorageFormatError):
+            read_metis(path)
+
+    def test_wrong_line_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(StorageFormatError):
+            read_metis(path)
+
+    def test_edge_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(StorageFormatError):
+            read_metis(path)
+
+    def test_self_loop_rejected(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("1 1\n1\n")
+        with pytest.raises(StorageFormatError):
+            read_metis(path)
+
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(small_graphs())
+    def test_round_trip_property(self, tmp_path, g):
+        path = tmp_path / "prop.metis"
+        write_metis(path, g)
+        back = read_metis(path)
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges

@@ -1,0 +1,73 @@
+"""networkx bridge tests, including third-party oracle cross-checks."""
+
+import networkx
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.interop.nx import from_networkx, to_networkx
+
+from tests.helpers import cliques_of, figure1_graph, small_graphs
+
+
+class TestConversion:
+    def test_round_trip(self):
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2)], vertices=[5])
+        back = from_networkx(to_networkx(g))
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+        assert 5 in back
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(networkx.DiGraph([(0, 1)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(networkx.MultiGraph([(0, 1)]))
+
+    def test_from_networkx_generator_graphs(self):
+        nx_graph = networkx.karate_club_graph()
+        g = from_networkx(nx_graph)
+        assert g.num_vertices == nx_graph.number_of_nodes()
+        assert g.num_edges == nx_graph.number_of_edges()
+
+
+class TestThirdPartyOracle:
+    """networkx.find_cliques as an independent MCE implementation."""
+
+    def oracle(self, g):
+        nx_graph = to_networkx(g)
+        return {frozenset(c) for c in networkx.find_cliques(nx_graph)}
+
+    def test_figure1_against_networkx(self, figure1):
+        assert cliques_of(tomita_maximal_cliques(figure1)) == self.oracle(figure1)
+
+    def test_karate_club(self):
+        g = from_networkx(networkx.karate_club_graph())
+        assert cliques_of(tomita_maximal_cliques(g)) == self.oracle(g)
+
+    def test_extmce_against_networkx(self, tmp_path):
+        from repro.core.extmce import ExtMCE, ExtMCEConfig
+        from repro.storage.diskgraph import DiskGraph
+
+        g = from_networkx(networkx.karate_club_graph())
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w"))
+        assert set(algo.enumerate_cliques()) == self.oracle(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs())
+    def test_property_against_networkx(self, g):
+        mine = cliques_of(tomita_maximal_cliques(g))
+        # networkx.find_cliques omits nothing but reports singleton
+        # cliques for isolated vertices too (as we do).
+        assert mine == self.oracle(g)
+
+    def test_scale_free_against_networkx(self):
+        from repro.generators import powerlaw_cluster_graph
+
+        g = powerlaw_cluster_graph(400, 4, 0.7, seed=21)
+        assert cliques_of(tomita_maximal_cliques(g)) == self.oracle(g)

@@ -1,0 +1,118 @@
+"""Tests for the buffer pool and its replacement policies."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.bufferpool import UNITS_PER_PAGE, BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.memory import MemoryModel
+from repro.storage.pagestore import PAGE_SIZE_BYTES, PageStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = PageStore(tmp_path / "data.bin", IOStats())
+    payload = bytes(range(256)) * (5 * PAGE_SIZE_BYTES // 256)
+    s.write_all(payload)
+    s.io_stats.pages_written = 0
+    return s
+
+
+class TestBasics:
+    def test_read_returns_correct_bytes(self, store):
+        pool = BufferPool(store, capacity_pages=2)
+        direct = store.read_at(100, 64)
+        assert pool.read(100, 64) == direct
+
+    def test_read_spanning_pages(self, store):
+        pool = BufferPool(store, capacity_pages=4)
+        offset = PAGE_SIZE_BYTES - 16
+        assert pool.read(offset, 32) == store.read_at(offset, 32)
+
+    def test_hit_avoids_io(self, store):
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(0, 8)
+        seeks_before = store.io_stats.random_reads
+        pool.read(4, 8)  # same page
+        assert store.io_stats.random_reads == seeks_before
+        assert pool.hits == 1
+
+    def test_miss_costs_a_seek(self, store):
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(0, 8)
+        pool.read(2 * PAGE_SIZE_BYTES, 8)
+        assert store.io_stats.random_reads == 2
+        assert pool.misses == 2
+
+    def test_capacity_enforced(self, store):
+        pool = BufferPool(store, capacity_pages=2)
+        for page in range(4):
+            pool.read(page * PAGE_SIZE_BYTES, 8)
+        assert pool.resident_pages == 2
+
+    def test_zero_length_read(self, store):
+        pool = BufferPool(store, capacity_pages=1)
+        assert pool.read(0, 0) == b""
+        assert pool.misses == 0
+
+    def test_read_past_end_raises(self, store):
+        pool = BufferPool(store, capacity_pages=1)
+        with pytest.raises(StorageError):
+            pool.read(store.size_bytes() + PAGE_SIZE_BYTES, 8)
+
+    def test_invalid_configuration(self, store):
+        with pytest.raises(StorageError):
+            BufferPool(store, capacity_pages=0)
+        with pytest.raises(StorageError):
+            BufferPool(store, capacity_pages=1, policy="mru")
+
+
+class TestPolicies:
+    def _workload(self, pool):
+        # pages: 0 1 0 2 0 3 0 4 ... page 0 stays hot
+        for page in range(1, 5):
+            pool.read(0, 8)
+            pool.read(page * PAGE_SIZE_BYTES, 8)
+        pool.read(0, 8)
+        return pool
+
+    def test_lru_keeps_hot_page(self, store):
+        pool = self._workload(BufferPool(store, capacity_pages=2, policy="lru"))
+        # The final read of page 0 is a hit under LRU.
+        assert pool.hit_rate > 0.4
+
+    def test_fifo_evicts_hot_page(self, store):
+        pool = self._workload(BufferPool(store, capacity_pages=2, policy="fifo"))
+        lru = self._workload(BufferPool(store, capacity_pages=2, policy="lru"))
+        assert pool.hits <= lru.hits
+
+    def test_clock_behaves_like_lru_approximation(self, store):
+        pool = self._workload(BufferPool(store, capacity_pages=2, policy="clock"))
+        assert pool.hits >= 1
+        assert pool.resident_pages <= 2
+
+    def test_all_policies_return_same_data(self, store):
+        reads = [(0, 16), (PAGE_SIZE_BYTES + 7, 32), (3 * PAGE_SIZE_BYTES, 8), (5, 9)]
+        results = []
+        for policy in ("lru", "fifo", "clock"):
+            pool = BufferPool(store, capacity_pages=2, policy=policy)
+            results.append([pool.read(o, n) for o, n in reads])
+        assert results[0] == results[1] == results[2]
+
+
+class TestMemoryCharging:
+    def test_pages_charged_and_released(self, store):
+        memory = MemoryModel()
+        pool = BufferPool(store, capacity_pages=3, memory=memory)
+        pool.read(0, 8)
+        pool.read(PAGE_SIZE_BYTES, 8)
+        assert memory.in_use_units == 2 * UNITS_PER_PAGE
+        pool.drop()
+        assert memory.in_use_units == 0
+
+    def test_eviction_releases(self, store):
+        memory = MemoryModel()
+        pool = BufferPool(store, capacity_pages=1, memory=memory)
+        for page in range(3):
+            pool.read(page * PAGE_SIZE_BYTES, 8)
+        assert memory.in_use_units == UNITS_PER_PAGE

@@ -1,0 +1,69 @@
+"""Stateful property test: the buffer pool is transparent.
+
+Arbitrary interleavings of reads through pools of every policy must
+return exactly what direct file reads return, while respecting the
+capacity bound and keeping memory accounting balanced.
+"""
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.storage.bufferpool import UNITS_PER_PAGE, BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.memory import MemoryModel
+from repro.storage.pagestore import PAGE_SIZE_BYTES, PageStore
+
+FILE_PAGES = 6
+FILE_BYTES = FILE_PAGES * PAGE_SIZE_BYTES
+
+
+class BufferPoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self._tmp = tempfile.TemporaryDirectory()
+        payload = bytes((i * 31) % 256 for i in range(FILE_BYTES))
+        self._reference = payload
+        self.store = PageStore(Path(self._tmp.name) / "data.bin", IOStats())
+        self.store.write_all(payload)
+        self.memory = MemoryModel()
+        self.pools = {
+            policy: BufferPool(
+                self.store, capacity_pages=2, policy=policy, memory=self.memory
+            )
+            for policy in ("lru", "fifo", "clock")
+        }
+
+    @rule(
+        offset=st.integers(min_value=0, max_value=FILE_BYTES - 1),
+        length=st.integers(min_value=1, max_value=2 * PAGE_SIZE_BYTES),
+    )
+    def read(self, offset, length):
+        length = min(length, FILE_BYTES - offset)
+        expected = self._reference[offset : offset + length]
+        for pool in self.pools.values():
+            assert pool.read(offset, length) == expected
+
+    @invariant()
+    def capacity_respected(self):
+        for pool in self.pools.values():
+            assert pool.resident_pages <= pool.capacity_pages
+
+    @invariant()
+    def memory_matches_residency(self):
+        resident = sum(pool.resident_pages for pool in self.pools.values())
+        assert self.memory.in_use_units == resident * UNITS_PER_PAGE
+
+    def teardown(self):
+        for pool in self.pools.values():
+            pool.drop()
+        self._tmp.cleanup()
+
+
+TestBufferPoolMachine = BufferPoolMachine.TestCase
+TestBufferPoolMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,140 @@
+"""Tests for the external-sort edge-list to DiskGraph conversion."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import StorageError
+from repro.storage.convert import edge_list_file_to_disk_graph, edge_list_to_disk_graph
+from repro.storage.edgelist import write_edge_list
+from repro.storage.iostats import IOStats
+from repro.storage.memory import MemoryModel
+
+from tests.helpers import seeded_gnp
+
+
+def convert(edges, tmp_path, **kwargs):
+    return edge_list_to_disk_graph(
+        edges, tmp_path / "out.bin", tmp_path / "runs", **kwargs
+    )
+
+
+class TestBasicConversion:
+    def test_triangle(self, tmp_path):
+        disk = convert([(0, 1), (1, 2), (0, 2)], tmp_path)
+        assert disk.num_vertices == 3
+        assert disk.num_edges == 3
+        by_vertex = {r.vertex: r.neighbors for r in disk.scan()}
+        assert by_vertex[1] == (0, 2)
+
+    def test_duplicate_and_reversed_edges_collapse(self, tmp_path):
+        disk = convert([(0, 1), (1, 0), (0, 1), (0, 1)], tmp_path)
+        assert disk.num_edges == 1
+
+    def test_unordered_input(self, tmp_path):
+        edges = [(5, 3), (0, 9), (2, 1), (9, 5)]
+        disk = convert(edges, tmp_path)
+        assert disk.num_edges == 4
+        vertices = [r.vertex for r in disk.scan()]
+        assert vertices == sorted(vertices)
+
+    def test_self_loop_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            convert([(1, 1)], tmp_path)
+
+    def test_negative_vertex_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            convert([(-1, 2)], tmp_path)
+
+    def test_empty_edge_list(self, tmp_path):
+        disk = convert([], tmp_path)
+        assert disk.num_vertices == 0
+        assert disk.num_edges == 0
+
+    def test_run_pairs_floor(self, tmp_path):
+        with pytest.raises(StorageError):
+            convert([(0, 1)], tmp_path, run_pairs=1)
+
+
+class TestIsolatedVertices:
+    def test_isolated_vertices_registered(self, tmp_path):
+        disk = convert([(0, 5)], tmp_path, isolated_vertices=[2, 9])
+        records = {r.vertex: r for r in disk.scan()}
+        assert set(records) == {0, 2, 5, 9}
+        assert records[2].degree == 0
+        assert records[2].original_degree == 0
+
+    def test_isolated_overlapping_edge_vertices_ignored(self, tmp_path):
+        disk = convert([(0, 1)], tmp_path, isolated_vertices=[0, 1])
+        assert disk.num_vertices == 2
+        assert disk.num_edges == 1
+
+    def test_only_isolated_vertices(self, tmp_path):
+        disk = convert([], tmp_path, isolated_vertices=[3, 1, 2])
+        assert [r.vertex for r in disk.scan()] == [1, 2, 3]
+
+
+class TestExternalSortBehaviour:
+    def test_multiple_runs_with_tiny_buffer(self, tmp_path):
+        g = seeded_gnp(40, 0.3, seed=5)
+        stats = IOStats()
+        disk = convert(
+            list(g.edges()), tmp_path, run_pairs=16, io_stats=stats
+        )
+        back = disk.to_adjacency_graph()
+        assert back.num_edges == g.num_edges
+        # Small runs force several spill files (writes beyond the output).
+        assert stats.pages_written > disk.size_pages
+
+    def test_run_files_cleaned_up(self, tmp_path):
+        convert([(0, 1), (1, 2)], tmp_path, run_pairs=2)
+        assert not list((tmp_path / "runs").glob("sort_run_*.bin"))
+
+    def test_memory_charged_for_run_buffer(self, tmp_path):
+        memory = MemoryModel()
+        convert([(0, 1)], tmp_path, run_pairs=8, memory=memory)
+        assert memory.peak_units >= 16
+        assert memory.in_use_units == 0
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(st.integers(0, 10_000), st.integers(2, 40))
+    def test_round_trip_property(self, tmp_path, seed, run_pairs):
+        rng = random.Random(seed)
+        n = rng.randint(2, 25)
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < 0.3
+        ]
+        rng.shuffle(edges)
+        sub = tmp_path / f"case_{seed}_{run_pairs}"
+        sub.mkdir(exist_ok=True)
+        disk = edge_list_to_disk_graph(
+            edges, sub / "out.bin", sub / "runs", run_pairs=run_pairs
+        )
+        back = disk.to_adjacency_graph()
+        assert back.num_edges == len(set(edges))
+        for u, v in edges:
+            assert back.has_edge(u, v)
+
+
+class TestFileConversion:
+    def test_text_file_to_disk_graph(self, tmp_path):
+        text = tmp_path / "edges.txt"
+        write_edge_list(text, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        disk = edge_list_file_to_disk_graph(
+            text, tmp_path / "out.bin", tmp_path / "runs"
+        )
+        assert disk.num_edges == 4
+        assert disk.num_vertices == 4
+
+    def test_matches_extmce_pipeline(self, tmp_path):
+        from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+        from repro.core.extmce import ExtMCE, ExtMCEConfig
+
+        g = seeded_gnp(30, 0.25, seed=8)
+        disk = convert(list(g.edges()), tmp_path)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w"))
+        assert set(algo.enumerate_cliques()) == set(tomita_maximal_cliques(g))

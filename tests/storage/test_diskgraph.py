@@ -1,0 +1,123 @@
+"""Tests for the disk-resident adjacency graph."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import StorageError, StorageFormatError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.iostats import IOStats
+
+from tests.helpers import seeded_gnp, small_graphs
+
+
+@pytest.fixture
+def triangle_disk(tmp_path):
+    g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    return DiskGraph.create(tmp_path / "g.bin", g)
+
+
+class TestCreateAndOpen:
+    def test_counts_in_header(self, triangle_disk):
+        assert triangle_disk.num_vertices == 4
+        assert triangle_disk.num_edges == 4
+
+    def test_open_reads_header(self, triangle_disk):
+        reopened = DiskGraph.open(triangle_disk.path, IOStats())
+        assert reopened.num_vertices == 4
+        assert reopened.num_edges == 4
+
+    def test_open_rejects_non_diskgraph_file(self, tmp_path):
+        path = tmp_path / "bogus.bin"
+        path.write_bytes(b"not a graph file at all....")
+        with pytest.raises(StorageFormatError):
+            DiskGraph.open(path)
+
+    def test_out_of_order_records_rejected(self, tmp_path):
+        records = [(2, [], 0), (1, [], 0)]
+        with pytest.raises(StorageError):
+            DiskGraph.from_records(tmp_path / "g.bin", records)
+
+    def test_asymmetric_records_rejected(self, tmp_path):
+        records = [(0, [1], 1), (1, [], 0)]
+        with pytest.raises(StorageError):
+            DiskGraph.from_records(tmp_path / "g.bin", records)
+
+    def test_empty_graph(self, tmp_path):
+        disk = DiskGraph.create(tmp_path / "e.bin", AdjacencyGraph())
+        assert disk.num_vertices == 0
+        assert list(disk.scan()) == []
+
+
+class TestScan:
+    def test_records_in_vertex_order(self, triangle_disk):
+        vertices = [record.vertex for record in triangle_disk.scan()]
+        assert vertices == [0, 1, 2, 3]
+
+    def test_neighbors_sorted_and_complete(self, triangle_disk):
+        by_vertex = {r.vertex: r.neighbors for r in triangle_disk.scan()}
+        assert by_vertex[2] == (0, 1, 3)
+        assert by_vertex[3] == (2,)
+
+    def test_original_degree_captured(self, triangle_disk):
+        record = next(r for r in triangle_disk.scan() if r.vertex == 2)
+        assert record.original_degree == 3
+
+    def test_scan_counts_one_sequential_scan(self, triangle_disk):
+        before = triangle_disk.io_stats.sequential_scans
+        list(triangle_disk.scan())
+        assert triangle_disk.io_stats.sequential_scans == before + 1
+
+    @settings(max_examples=25)
+    @given(small_graphs())
+    def test_round_trip_property(self, tmp_path_factory, g):
+        tmp = tmp_path_factory.mktemp("dg")
+        disk = DiskGraph.create(tmp / "g.bin", g)
+        back = disk.to_adjacency_graph()
+        assert back.num_vertices == g.num_vertices
+        assert back.num_edges == g.num_edges
+        for v in g:
+            assert back.neighbors(v) == g.neighbors(v)
+
+
+class TestTargetedLoads:
+    def test_load_adjacency_subset(self, triangle_disk):
+        loaded = triangle_disk.load_adjacency([1, 3])
+        assert loaded == {1: (0, 2), 3: (2,)}
+
+    def test_load_adjacency_missing_vertex_just_absent(self, triangle_disk):
+        assert triangle_disk.load_adjacency([99]) == {}
+
+    def test_original_degrees_lookup(self, triangle_disk):
+        assert triangle_disk.original_degrees([0, 3]) == {0: 2, 3: 1}
+
+
+class TestRewrite:
+    def test_rewrite_without_removes_vertices_and_edges(self, triangle_disk, tmp_path):
+        residual = triangle_disk.rewrite_without({2}, tmp_path / "r.bin")
+        assert residual.num_vertices == 3
+        assert residual.num_edges == 1  # only (0, 1) survives
+
+    def test_rewrite_preserves_original_degrees(self, triangle_disk, tmp_path):
+        residual = triangle_disk.rewrite_without({2}, tmp_path / "r.bin")
+        degrees = residual.original_degrees([3])
+        assert degrees[3] == 1  # original degree, though now isolated
+
+    def test_rewrite_with_empty_removal_is_copy(self, triangle_disk, tmp_path):
+        residual = triangle_disk.rewrite_without(set(), tmp_path / "r.bin")
+        assert residual.num_edges == triangle_disk.num_edges
+
+    def test_rewrite_larger_graph(self, tmp_path):
+        g = seeded_gnp(40, 0.2, seed=1)
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        removed = set(range(10))
+        residual = disk.rewrite_without(removed, tmp_path / "r.bin")
+        expected = g.copy()
+        for v in removed:
+            expected.remove_vertex(v)
+        assert residual.num_edges == expected.num_edges
+        assert residual.to_adjacency_graph().num_vertices == expected.num_vertices
+
+    def test_delete_removes_file(self, triangle_disk):
+        triangle_disk.delete()
+        assert not triangle_disk.path.exists()

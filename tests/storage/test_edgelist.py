@@ -1,0 +1,61 @@
+"""Tests for text edge-list I/O."""
+
+import pytest
+
+from repro.errors import StorageFormatError
+from repro.storage.edgelist import (
+    read_edge_list,
+    read_timestamped_edge_list,
+    write_edge_list,
+    write_timestamped_edge_list,
+)
+
+
+class TestPlainEdgeList:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        edges = [(0, 1), (1, 2), (10, 20)]
+        assert write_edge_list(path, edges) == 3
+        assert list(read_edge_list(path)) == edges
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# header\n\n0 1\n  \n2 3\n")
+        assert list(read_edge_list(path)) == [(0, 1), (2, 3)]
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n0 1 2\n")
+        with pytest.raises(StorageFormatError, match=":2"):
+            list(read_edge_list(path))
+
+    def test_non_integer_vertex_raises(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("a b\n")
+        with pytest.raises(StorageFormatError):
+            list(read_edge_list(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("")
+        assert list(read_edge_list(path)) == []
+
+
+class TestTimestampedEdgeList:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        stream = [(0, 1, 2), (5, 3, 4)]
+        assert write_timestamped_edge_list(path, stream) == 2
+        assert list(read_timestamped_edge_list(path)) == stream
+
+    def test_wrong_field_count_raises(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(StorageFormatError):
+            list(read_timestamped_edge_list(path))
+
+    def test_non_integer_field_raises(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("1 2 x\n")
+        with pytest.raises(StorageFormatError):
+            list(read_timestamped_edge_list(path))

@@ -1,0 +1,103 @@
+"""Failure-injection tests: corrupted and hostile on-disk state.
+
+A production storage layer must fail loudly and precisely on damaged
+input, never return partial graphs silently.
+"""
+
+import struct
+
+import pytest
+
+from repro.errors import StorageError, StorageFormatError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.format import FILE_MAGIC
+
+from tests.helpers import seeded_gnp
+
+
+@pytest.fixture
+def healthy(tmp_path):
+    g = seeded_gnp(15, 0.3, seed=1)
+    return DiskGraph.create(tmp_path / "g.bin", g)
+
+
+class TestCorruptedFiles:
+    def test_truncated_mid_record(self, healthy):
+        data = healthy.path.read_bytes()
+        healthy.path.write_bytes(data[:-5])
+        reopened = DiskGraph.open(healthy.path)
+        with pytest.raises(StorageFormatError):
+            list(reopened.scan())
+
+    def test_trailing_garbage(self, healthy):
+        with open(healthy.path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")
+        reopened = DiskGraph.open(healthy.path)
+        with pytest.raises(StorageFormatError):
+            list(reopened.scan())
+
+    def test_wrong_magic(self, healthy):
+        data = bytearray(healthy.path.read_bytes())
+        data[:8] = b"BOGUSMAG"
+        healthy.path.write_bytes(bytes(data))
+        with pytest.raises(StorageFormatError):
+            DiskGraph.open(healthy.path)
+
+    def test_zeroed_file(self, tmp_path):
+        path = tmp_path / "zeros.bin"
+        path.write_bytes(b"\x00" * 256)
+        with pytest.raises(StorageFormatError):
+            DiskGraph.open(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError):
+            DiskGraph.open(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            DiskGraph.open(tmp_path / "nope.bin")
+
+    def test_degree_field_larger_than_file(self, tmp_path):
+        # Hand-craft a record claiming 1000 neighbors but supplying none.
+        header = FILE_MAGIC + struct.pack("<QQ", 1, 500)
+        record = struct.pack("<QII", 0, 1000, 1000)
+        path = tmp_path / "lying.bin"
+        path.write_bytes(header + record)
+        reopened = DiskGraph.open(path)
+        with pytest.raises(StorageFormatError):
+            list(reopened.scan())
+
+
+class TestExtMCEOnDamagedInput:
+    def test_enumeration_surfaces_corruption(self, healthy, tmp_path):
+        from repro.core.extmce import ExtMCE, ExtMCEConfig
+
+        data = healthy.path.read_bytes()
+        healthy.path.write_bytes(data[:-8])
+        reopened = DiskGraph.open(healthy.path)
+        algo = ExtMCE(reopened, ExtMCEConfig(workdir=tmp_path / "w"))
+        with pytest.raises(StorageFormatError):
+            list(algo.enumerate_cliques())
+
+    def test_memory_fully_released_after_failure(self, healthy, tmp_path):
+        from repro.core.extmce import ExtMCE, ExtMCEConfig
+        from repro.storage.memory import MemoryModel
+
+        data = healthy.path.read_bytes()
+        healthy.path.write_bytes(data[: len(data) // 2])
+        reopened = DiskGraph.open(healthy.path)
+        memory = MemoryModel()
+        algo = ExtMCE(reopened, ExtMCEConfig(workdir=tmp_path / "w"), memory=memory)
+        with pytest.raises(StorageFormatError):
+            list(algo.enumerate_cliques())
+        # The h-vertex heap may legitimately hold entries mid-scan, but
+        # nothing else can leak.
+        leaked = {
+            label: units
+            for label, units in memory.by_label.items()
+            if units and label != "h-vertex heap"
+        }
+        assert not leaked

@@ -1,0 +1,70 @@
+"""Tests for the binary record codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageFormatError
+from repro.storage.format import decode_record, encode_record, record_size
+
+
+class TestRoundTrip:
+    def test_simple_record(self):
+        data = encode_record(7, [1, 2, 3], original_degree=5)
+        record, end = decode_record(data)
+        assert record.vertex == 7
+        assert record.neighbors == (1, 2, 3)
+        assert record.original_degree == 5
+        assert record.degree == 3
+        assert end == len(data)
+
+    def test_empty_neighbor_list(self):
+        data = encode_record(0, [], original_degree=0)
+        record, _ = decode_record(data)
+        assert record.neighbors == ()
+        assert record.degree == 0
+
+    def test_record_size_matches_encoding(self):
+        data = encode_record(1, [9, 8], original_degree=2)
+        assert len(data) == record_size(2)
+
+    def test_two_records_back_to_back(self):
+        blob = encode_record(1, [2], 1) + encode_record(2, [1], 1)
+        first, offset = decode_record(blob)
+        second, end = decode_record(blob, offset)
+        assert first.vertex == 1
+        assert second.vertex == 2
+        assert end == len(blob)
+
+    @given(
+        st.integers(min_value=0, max_value=2**63),
+        st.lists(st.integers(min_value=0, max_value=2**63), max_size=40),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_round_trip_property(self, vertex, neighbors, original):
+        record, _ = decode_record(encode_record(vertex, neighbors, original))
+        assert record.vertex == vertex
+        assert record.neighbors == tuple(neighbors)
+        assert record.original_degree == original
+
+
+class TestErrors:
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(StorageFormatError):
+            encode_record(-1, [], 0)
+
+    def test_negative_original_degree_rejected(self):
+        with pytest.raises(StorageFormatError):
+            encode_record(1, [], -1)
+
+    def test_oversized_vertex_rejected(self):
+        with pytest.raises(StorageFormatError):
+            encode_record(2**64, [], 0)
+
+    def test_truncated_header(self):
+        with pytest.raises(StorageFormatError):
+            decode_record(b"\x00\x01")
+
+    def test_truncated_body(self):
+        data = encode_record(1, [2, 3], 2)
+        with pytest.raises(StorageFormatError):
+            decode_record(data[:-4])

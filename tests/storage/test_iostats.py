@@ -1,0 +1,57 @@
+"""Tests for I/O counters and the modelled disk-read time."""
+
+from repro.storage.iostats import (
+    PAGES_PER_SECOND_SEQUENTIAL,
+    SECONDS_PER_SEEK,
+    IOStats,
+)
+
+
+class TestCounters:
+    def test_record_read_accumulates(self):
+        stats = IOStats()
+        stats.record_read(3)
+        stats.record_read(2)
+        assert stats.pages_read == 5
+
+    def test_record_write_and_seek_and_scan(self):
+        stats = IOStats()
+        stats.record_write(4)
+        stats.record_seek()
+        stats.record_scan()
+        assert stats.pages_written == 4
+        assert stats.random_reads == 1
+        assert stats.sequential_scans == 1
+
+
+class TestSimulatedTime:
+    def test_sequential_only(self):
+        stats = IOStats(pages_read=PAGES_PER_SECOND_SEQUENTIAL)
+        assert stats.simulated_read_seconds == 1.0
+
+    def test_seek_penalty(self):
+        stats = IOStats(random_reads=10)
+        assert stats.simulated_read_seconds == 10 * SECONDS_PER_SEEK
+
+    def test_mixed(self):
+        stats = IOStats(pages_read=PAGES_PER_SECOND_SEQUENTIAL, random_reads=2)
+        expected = 1.0 + 2 * SECONDS_PER_SEEK
+        assert stats.simulated_read_seconds == expected
+
+
+class TestMerge:
+    def test_merged_with_sums_all_counters(self):
+        a = IOStats(pages_read=1, pages_written=2, random_reads=3, sequential_scans=4)
+        b = IOStats(pages_read=10, pages_written=20, random_reads=30, sequential_scans=40)
+        merged = a.merged_with(b)
+        assert merged.pages_read == 11
+        assert merged.pages_written == 22
+        assert merged.random_reads == 33
+        assert merged.sequential_scans == 44
+
+    def test_merge_leaves_inputs_untouched(self):
+        a = IOStats(pages_read=1)
+        b = IOStats(pages_read=2)
+        a.merged_with(b)
+        assert a.pages_read == 1
+        assert b.pages_read == 2

@@ -1,0 +1,100 @@
+"""Tests for the explicit memory-accounting model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryBudgetExceeded
+from repro.storage.memory import BYTES_PER_UNIT, MemoryModel
+
+
+class TestAllocateRelease:
+    def test_peak_tracks_high_water_mark(self):
+        model = MemoryModel()
+        model.allocate(10)
+        model.release(4)
+        model.allocate(2)
+        assert model.in_use_units == 8
+        assert model.peak_units == 10
+
+    def test_budget_enforced(self):
+        model = MemoryModel(budget=5)
+        model.allocate(5)
+        with pytest.raises(MemoryBudgetExceeded) as excinfo:
+            model.allocate(1)
+        assert excinfo.value.budget == 5
+        assert excinfo.value.in_use == 5
+
+    def test_no_budget_means_unbounded(self):
+        model = MemoryModel()
+        model.allocate(10**9)
+        assert model.available_units is None
+
+    def test_negative_allocate_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel().allocate(-1)
+
+    def test_over_release_rejected(self):
+        model = MemoryModel()
+        model.allocate(3)
+        with pytest.raises(ValueError):
+            model.release(4)
+
+    def test_release_wrong_label_rejected(self):
+        model = MemoryModel()
+        model.allocate(3, label="a")
+        with pytest.raises(ValueError):
+            model.release(3, label="b")
+
+    def test_labels_tracked_independently(self):
+        model = MemoryModel()
+        model.allocate(3, label="tree")
+        model.allocate(4, label="star")
+        model.release(2, label="tree")
+        assert model.by_label["tree"] == 1
+        assert model.by_label["star"] == 4
+
+    def test_available_units(self):
+        model = MemoryModel(budget=10)
+        model.allocate(4)
+        assert model.available_units == 6
+
+
+class TestContextManager:
+    def test_allocation_pairs_with_release(self):
+        model = MemoryModel()
+        with model.allocation(7):
+            assert model.in_use_units == 7
+        assert model.in_use_units == 0
+        assert model.peak_units == 7
+
+    def test_allocation_releases_on_exception(self):
+        model = MemoryModel()
+        with pytest.raises(RuntimeError):
+            with model.allocation(7):
+                raise RuntimeError("boom")
+        assert model.in_use_units == 0
+
+
+class TestReporting:
+    def test_peak_bytes_and_megabytes(self):
+        model = MemoryModel()
+        model.allocate(1024 * 1024 // BYTES_PER_UNIT)
+        assert model.peak_bytes == 1024 * 1024
+        assert model.peak_megabytes == pytest.approx(1.0)
+
+    def test_reset_peak(self):
+        model = MemoryModel()
+        model.allocate(10)
+        model.release(10)
+        model.reset_peak()
+        assert model.peak_units == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=30))
+    def test_peak_never_below_in_use(self, amounts):
+        model = MemoryModel()
+        held = 0
+        for amount in amounts:
+            model.allocate(amount)
+            held += amount
+            assert model.peak_units >= model.in_use_units
+        assert model.in_use_units == held

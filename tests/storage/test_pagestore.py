@@ -1,0 +1,97 @@
+"""Tests for metered page-granular file access."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.iostats import IOStats
+from repro.storage.pagestore import PAGE_SIZE_BYTES, PageStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PageStore(tmp_path / "data.bin", IOStats())
+
+
+class TestWrites:
+    def test_write_all_counts_pages(self, store):
+        store.write_all(b"x" * (PAGE_SIZE_BYTES + 1))
+        assert store.io_stats.pages_written == 2
+
+    def test_append_counts_pages(self, store):
+        store.write_all(b"")
+        store.append(b"x" * 10)
+        assert store.io_stats.pages_written == 1
+        assert store.size_bytes() == 10
+
+    def test_empty_write_counts_zero_pages(self, store):
+        store.write_all(b"")
+        assert store.io_stats.pages_written == 0
+        assert store.exists()
+
+    def test_size_pages(self, store):
+        store.write_all(b"x" * (3 * PAGE_SIZE_BYTES))
+        assert store.size_pages() == 3
+
+
+class TestReads:
+    def test_read_all_round_trip(self, store):
+        payload = bytes(range(256)) * 100
+        store.write_all(payload)
+        assert store.read_all() == payload
+
+    def test_scan_counts_pages_read(self, store):
+        store.write_all(b"x" * (2 * PAGE_SIZE_BYTES))
+        store.read_all()
+        assert store.io_stats.pages_read == 2
+
+    def test_scan_missing_file_raises(self, store):
+        with pytest.raises(StorageError):
+            list(store.scan_chunks())
+
+    def test_read_at(self, store):
+        store.write_all(b"abcdefgh")
+        assert store.read_at(2, 3) == b"cde"
+
+    def test_read_at_counts_seek(self, store):
+        store.write_all(b"x" * PAGE_SIZE_BYTES * 2)
+        store.read_at(0, 4)
+        assert store.io_stats.random_reads == 1
+        assert store.io_stats.pages_read == 1
+
+    def test_read_at_straddling_pages_counts_both(self, store):
+        store.write_all(b"x" * (2 * PAGE_SIZE_BYTES))
+        store.read_at(PAGE_SIZE_BYTES - 2, 4)
+        assert store.io_stats.pages_read == 2
+
+    def test_short_read_raises(self, store):
+        store.write_all(b"abc")
+        with pytest.raises(StorageError):
+            store.read_at(0, 10)
+
+    def test_negative_offset_rejected(self, store):
+        store.write_all(b"abc")
+        with pytest.raises(StorageError):
+            store.read_at(-1, 1)
+
+
+class TestPatchAndDelete:
+    def test_patch_in_place(self, store):
+        store.write_all(b"hello world")
+        store.patch(6, b"there")
+        assert store.read_all() == b"hello there"
+
+    def test_patch_beyond_end_rejected(self, store):
+        store.write_all(b"abc")
+        with pytest.raises(StorageError):
+            store.patch(2, b"xy")
+
+    def test_delete_then_exists_false(self, store):
+        store.write_all(b"abc")
+        store.delete()
+        assert not store.exists()
+        store.delete()  # idempotent
+
+    def test_scan_counter_owned_by_diskgraph_not_pagestore(self, store):
+        store.write_all(b"x" * 100)
+        store.read_all()
+        assert store.io_stats.sequential_scans == 0

@@ -1,0 +1,92 @@
+"""Tests for the random-access disk graph and the on-disk MCE strawman."""
+
+import pytest
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.baselines.ondisk import tomita_maximal_cliques_on_disk
+from repro.errors import VertexNotFoundError
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.memory import MemoryModel
+from repro.storage.random_access import RandomAccessDiskGraph
+
+from tests.helpers import cliques_of, figure1_graph, seeded_gnp
+
+
+@pytest.fixture
+def disk(tmp_path):
+    return DiskGraph.create(tmp_path / "g.bin", seeded_gnp(30, 0.25, seed=3))
+
+
+class TestRandomAccess:
+    def test_neighbors_match_sequential_view(self, disk):
+        radg = RandomAccessDiskGraph(disk, capacity_pages=2)
+        full = disk.to_adjacency_graph()
+        for v in radg.vertices():
+            assert radg.neighbors(v) == full.neighbors(v)
+
+    def test_missing_vertex_raises(self, disk):
+        radg = RandomAccessDiskGraph(disk, capacity_pages=2)
+        with pytest.raises(VertexNotFoundError):
+            radg.neighbors(9999)
+
+    def test_degree(self, disk):
+        radg = RandomAccessDiskGraph(disk, capacity_pages=2)
+        full = disk.to_adjacency_graph()
+        assert radg.degree(5) == full.degree(5)
+
+    def test_lookups_cost_seeks_on_miss_only(self, disk):
+        radg = RandomAccessDiskGraph(disk, capacity_pages=8)
+        seeks_before = disk.io_stats.random_reads
+        radg.neighbors(0)
+        first_cost = disk.io_stats.random_reads - seeks_before
+        radg.neighbors(0)  # same pages: pure hit
+        assert disk.io_stats.random_reads - seeks_before == first_cost
+        assert radg.pool.hits >= 1
+
+    def test_memory_charges_index_and_pool(self, disk):
+        memory = MemoryModel()
+        radg = RandomAccessDiskGraph(disk, capacity_pages=2, memory=memory)
+        radg.neighbors(0)
+        assert memory.by_label["offset index"] > 0
+        assert memory.by_label["buffer pool"] > 0
+        radg.close()
+        assert memory.in_use_units == 0
+
+
+class TestOnDiskEnumeration:
+    def test_matches_in_memory_oracle(self, tmp_path):
+        g = figure1_graph()
+        disk = DiskGraph.create(tmp_path / "f.bin", g)
+        radg = RandomAccessDiskGraph(disk, capacity_pages=2)
+        assert cliques_of(tomita_maximal_cliques_on_disk(radg)) == cliques_of(
+            tomita_maximal_cliques(g)
+        )
+
+    def test_random_graph_oracle(self, disk):
+        radg = RandomAccessDiskGraph(disk, capacity_pages=4)
+        full = disk.to_adjacency_graph()
+        assert cliques_of(tomita_maximal_cliques_on_disk(radg)) == cliques_of(
+            tomita_maximal_cliques(full)
+        )
+
+    def test_incurs_random_reads(self, tmp_path):
+        # Needs a graph spanning many pages, else one page caches it all.
+        g = seeded_gnp(400, 0.05, seed=2)
+        disk = DiskGraph.create(tmp_path / "big.bin", g)
+        assert disk.size_pages > 10
+        before = disk.io_stats.random_reads
+        radg = RandomAccessDiskGraph(disk, capacity_pages=1)
+        list(tomita_maximal_cliques_on_disk(radg))
+        # The paper's point: arbitrary access order means real seek traffic.
+        assert disk.io_stats.random_reads - before > disk.size_pages
+
+    def test_bigger_pool_fewer_seeks(self, tmp_path):
+        g = seeded_gnp(40, 0.25, seed=9)
+        results = []
+        for capacity in (1, 64):
+            disk = DiskGraph.create(tmp_path / f"g{capacity}.bin", g)
+            before = disk.io_stats.random_reads
+            radg = RandomAccessDiskGraph(disk, capacity_pages=capacity)
+            list(tomita_maximal_cliques_on_disk(radg))
+            results.append(disk.io_stats.random_reads - before)
+        assert results[1] <= results[0]

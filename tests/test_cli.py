@@ -1,0 +1,150 @@
+"""Tests for the repro-mce command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.edgelist import write_edge_list, write_timestamped_edge_list
+
+from tests.helpers import seeded_gnp
+
+
+@pytest.fixture
+def small_disk(tmp_path):
+    g = seeded_gnp(20, 0.3, seed=4)
+    return DiskGraph.create(tmp_path / "g.bin", g)
+
+
+class TestConvert:
+    def test_converts_edge_list(self, tmp_path, capsys):
+        text = tmp_path / "edges.txt"
+        write_edge_list(text, [(0, 1), (1, 2), (0, 2)])
+        out = tmp_path / "g.bin"
+        assert main(["convert", str(text), str(out)]) == 0
+        assert "3 vertices, 3 edges" in capsys.readouterr().out
+        assert DiskGraph.open(out).num_edges == 3
+
+    def test_self_loop_reports_error(self, tmp_path, capsys):
+        text = tmp_path / "edges.txt"
+        text.write_text("1 1\n")
+        assert main(["convert", str(text), str(tmp_path / "g.bin")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_reports_hstar_summary(self, small_disk, capsys):
+        assert main(["stats", str(small_disk.path)]) == 0
+        out = capsys.readouterr().out
+        assert "h-index" in out
+        assert "|G_H*|" in out
+
+    def test_accepts_text_edge_list(self, tmp_path, capsys):
+        text = tmp_path / "edges.txt"
+        write_edge_list(text, [(0, 1), (1, 2), (0, 2)])
+        assert main(["stats", str(text)]) == 0
+        assert "vertices (n)" in capsys.readouterr().out
+
+
+class TestEnumerate:
+    def test_counts_match_oracle(self, small_disk, tmp_path, capsys):
+        from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+
+        out = tmp_path / "cliques.txt"
+        assert main(["enumerate", str(small_disk.path), "-o", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        oracle = set(tomita_maximal_cliques(small_disk.to_adjacency_graph()))
+        assert f"maximal cliques : {len(oracle)}" in stdout
+        written = {
+            frozenset(int(x) for x in line.split())
+            for line in out.read_text().splitlines()
+        }
+        assert written == oracle
+
+    def test_min_size_filter(self, small_disk, capsys):
+        assert main(["enumerate", str(small_disk.path), "--min-size", "3"]) == 0
+        assert "size >= 3" in capsys.readouterr().out
+
+    def test_budget_flag(self, small_disk, capsys):
+        assert main(["enumerate", str(small_disk.path), "--budget", "5000"]) == 0
+        assert "peak memory" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "protein.txt"
+        assert main(["generate", "protein", str(out)]) == 0
+        assert "protein stand-in" in capsys.readouterr().out
+        assert out.stat().st_size > 0
+
+    def test_unknown_dataset_rejected_by_parser(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "nope", str(tmp_path / "x.txt")])
+
+
+class TestMaintain:
+    def test_replays_stream(self, small_disk, tmp_path, capsys):
+        stream = tmp_path / "stream.txt"
+        write_timestamped_edge_list(stream, [(0, 0, 19), (1, 1, 18), (2, 2, 17)])
+        assert main(["maintain", str(small_disk.path), str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "applied" in out
+        assert "core cliques maintained" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_experiments_rejects_unknown_name(self, capsys):
+        assert main(["experiments", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestTraceFlag:
+    def test_trace_written_and_summarised(self, small_disk, tmp_path, capsys):
+        trace = tmp_path / "run.jsonl"
+        assert main(["enumerate", str(small_disk.path), "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert trace.exists()
+
+    def test_checkpoint_dir_flag(self, small_disk, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        assert main(
+            ["enumerate", str(small_disk.path), "--checkpoint-dir", str(ckpt)]
+        ) == 0
+        # completed run clears its checkpoint
+        assert not (ckpt / "checkpoint.json").exists()
+
+    def test_resume_requires_checkpoint_dir(self, small_disk, capsys):
+        assert main(["enumerate", str(small_disk.path), "--resume"]) == 2
+        assert "requires --checkpoint-dir" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_good_output_passes(self, small_disk, tmp_path, capsys):
+        out = tmp_path / "cliques.txt"
+        main(["enumerate", str(small_disk.path), "-o", str(out)])
+        capsys.readouterr()
+        assert main(["verify", str(small_disk.path), str(out)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_tampered_output_fails(self, small_disk, tmp_path, capsys):
+        out = tmp_path / "cliques.txt"
+        main(["enumerate", str(small_disk.path), "-o", str(out)])
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines[1:]) + "\n")  # drop one clique
+        capsys.readouterr()
+        assert main(["verify", str(small_disk.path), str(out)]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_soundness_only_ignores_missing(self, small_disk, tmp_path, capsys):
+        out = tmp_path / "cliques.txt"
+        main(["enumerate", str(small_disk.path), "-o", str(out)])
+        lines = out.read_text().splitlines()
+        out.write_text("\n".join(lines[1:]) + "\n")
+        capsys.readouterr()
+        assert main(
+            ["verify", str(small_disk.path), str(out), "--soundness-only"]
+        ) == 0

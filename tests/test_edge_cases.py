@@ -1,0 +1,140 @@
+"""Cross-module edge cases and error paths not covered elsewhere."""
+
+import pytest
+
+from repro.core.categories import InMemoryPeripheryAdjacency, compute_core_plus_max_cliques
+from repro.core.clique_tree import CliqueTree, build_clique_tree
+from repro.core.hstar import StarGraph, extract_hstar_graph
+from repro.core.extmce import ExtMCE, ExtMCEConfig
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.diskgraph import DiskGraph
+
+from tests.helpers import cliques_of
+
+
+class TestDegenerateStarGraphs:
+    def test_empty_star(self):
+        star = StarGraph(core=frozenset(), neighbor_lists={})
+        assert star.periphery == frozenset()
+        assert star.size_edges == 0
+        assert star.memory_units == 0
+
+    def test_star_with_isolated_core_vertex(self):
+        star = StarGraph(core=frozenset({7}), neighbor_lists={7: frozenset()})
+        tree, core_maximal = build_clique_tree(star)
+        assert cliques_of(tree.cliques()) == {frozenset({7})}
+        assert core_maximal == {frozenset({7})}
+
+    def test_categories_on_core_only_graph(self):
+        # A clique of core vertices with no periphery at all.
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        star = StarGraph(
+            core=frozenset(g.vertices()),
+            neighbor_lists={v: frozenset(g.neighbors(v)) for v in g.vertices()},
+        )
+        _, core_maximal = build_clique_tree(star)
+        cats = compute_core_plus_max_cliques(
+            star, core_maximal, InMemoryPeripheryAdjacency(g)
+        )
+        assert cliques_of(cats.m1) == {frozenset({0, 1, 2})}
+        assert not cats.m2 and not cats.m3
+
+    def test_star_periphery_only_neighbors(self):
+        # Star graph: one hub, all neighbors periphery.
+        g = AdjacencyGraph.from_edges([(0, i) for i in range(1, 6)])
+        star = extract_hstar_graph(g)
+        assert star.h == 1
+        cats = compute_core_plus_max_cliques(
+            star,
+            build_clique_tree(star)[1],
+            InMemoryPeripheryAdjacency(g),
+        )
+        assert cliques_of(cats.all_cliques()) == {
+            frozenset({0, i}) for i in range(1, 6)
+        }
+
+
+class TestCliqueTreeCorners:
+    def test_remove_prefix_clique_keeps_extension(self):
+        star = StarGraph(
+            core=frozenset({1, 2, 3}),
+            neighbor_lists={
+                1: frozenset({2, 3}),
+                2: frozenset({1, 3}),
+                3: frozenset({1, 2}),
+            },
+        )
+        tree = CliqueTree.for_star(star)
+        tree.insert({1, 2})
+        tree.insert({1, 2, 3})  # prefix relationship (transient state)
+        assert tree.remove({1, 2})
+        assert {1, 2, 3} in tree
+        assert {1, 2} not in tree
+
+    def test_num_cliques_tracks_inserts_and_removes(self):
+        star = StarGraph(core=frozenset({1, 2}), neighbor_lists={1: frozenset({2}), 2: frozenset({1})})
+        tree = CliqueTree.for_star(star)
+        assert tree.num_cliques == 0
+        tree.insert({1, 2})
+        tree.insert({1})
+        assert tree.num_cliques == 2
+        tree.remove({1})
+        assert tree.num_cliques == 1
+
+
+class TestExtMCETinyGraphs:
+    @pytest.mark.parametrize(
+        "edges,vertices,expected",
+        [
+            ([], [0], {frozenset({0})}),
+            ([(0, 1)], [], {frozenset({0, 1})}),
+            ([(0, 1), (2, 3)], [], {frozenset({0, 1}), frozenset({2, 3})}),
+            ([(0, 1), (0, 2)], [], {frozenset({0, 1}), frozenset({0, 2})}),
+        ],
+    )
+    def test_tiny_graphs(self, tmp_path, edges, vertices, expected):
+        g = AdjacencyGraph.from_edges(edges, vertices=vertices)
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w"))
+        assert cliques_of(algo.enumerate_cliques()) == expected
+
+    def test_two_hub_bowtie(self, tmp_path):
+        # Two triangles sharing a vertex; the shared vertex dominates.
+        g = AdjacencyGraph.from_edges(
+            [(0, 1), (0, 2), (1, 2), (0, 3), (0, 4), (3, 4)]
+        )
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w"))
+        assert cliques_of(algo.enumerate_cliques()) == {
+            frozenset({0, 1, 2}), frozenset({0, 3, 4})
+        }
+
+    def test_rerunning_same_instance_workdir(self, tmp_path):
+        # Two independent runs sharing a workdir must not interfere.
+        g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        work = tmp_path / "w"
+        first = cliques_of(
+            ExtMCE(disk, ExtMCEConfig(workdir=work)).enumerate_cliques()
+        )
+        second = cliques_of(
+            ExtMCE(disk, ExtMCEConfig(workdir=work)).enumerate_cliques()
+        )
+        assert first == second == {frozenset({0, 1, 2})}
+
+
+class TestAnalysisCorners:
+    def test_render_table_single_column(self):
+        from repro.analysis.tables import render_table
+
+        text = render_table("T", ["only"], [["a"], ["bb"]])
+        assert "only" in text and "bb" in text
+
+    def test_hstar_sizes_on_empty_graph(self):
+        from repro.analysis.metrics import hstar_sizes
+
+        g = AdjacencyGraph()
+        star = StarGraph(core=frozenset(), neighbor_lists={})
+        sizes = hstar_sizes(g, star)
+        assert sizes.star_fraction == 0.0
+        assert sizes.extended_fraction == 0.0

@@ -1,0 +1,43 @@
+"""Tests for the top-level public API surface."""
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_key_classes_exported(self):
+        for name in (
+            "AdjacencyGraph",
+            "DiskGraph",
+            "ExtMCE",
+            "ExtMCEConfig",
+            "MemoryModel",
+            "StarGraph",
+            "StixDynamicMCE",
+        ):
+            assert name in repro.__all__
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.MemoryBudgetExceeded, repro.ReproError)
+        assert issubclass(repro.StorageFormatError, repro.StorageError)
+        assert issubclass(repro.EdgeNotFoundError, repro.GraphError)
+
+    def test_quickstart_snippet(self, tmp_path):
+        graph = repro.AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        disk = repro.DiskGraph.create(tmp_path / "graph.bin", graph)
+        cliques = sorted(
+            sorted(c)
+            for c in repro.ExtMCE(
+                disk, repro.ExtMCEConfig(workdir=tmp_path)
+            ).enumerate_cliques()
+        )
+        assert cliques == [[0, 1, 2], [2, 3]]
+
+    def test_docstring_mentions_paper(self):
+        assert "SIGMOD 2010" in repro.__doc__

@@ -1,0 +1,99 @@
+"""Tests for the clique-set verification service."""
+
+from hypothesis import given, settings
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.graph.adjacency import AdjacencyGraph
+from repro.verification import verify_clique_set
+
+from tests.helpers import figure1_graph, small_graphs
+
+
+def triangle_tail():
+    return AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestPositive:
+    def test_correct_set_passes(self):
+        g = figure1_graph()
+        report = verify_clique_set(g, tomita_maximal_cliques(g))
+        assert report.ok
+        assert report.sound and report.complete
+        assert report.summary().startswith("OK")
+
+    def test_soundness_only_mode(self):
+        g = triangle_tail()
+        report = verify_clique_set(
+            g, [{0, 1, 2}], check_completeness=False
+        )
+        assert report.sound
+        assert not report.completeness_checked
+        assert report.ok
+
+    @settings(max_examples=40)
+    @given(small_graphs())
+    def test_oracle_output_always_verifies(self, g):
+        report = verify_clique_set(g, tomita_maximal_cliques(g))
+        assert report.ok
+
+
+class TestFailures:
+    def test_duplicate_detected(self):
+        g = triangle_tail()
+        report = verify_clique_set(
+            g, [{0, 1, 2}, {0, 1, 2}, {2, 3}], check_completeness=False
+        )
+        assert report.duplicates == 1
+        assert not report.sound
+        assert "1 duplicates" in report.summary()
+
+    def test_non_clique_detected(self):
+        g = triangle_tail()
+        report = verify_clique_set(g, [{0, 3}], check_completeness=False)
+        assert report.not_clique_count == 1
+        assert frozenset({0, 3}) in report.not_cliques
+
+    def test_unknown_vertex_counts_as_non_clique(self):
+        g = triangle_tail()
+        report = verify_clique_set(g, [{0, 99}], check_completeness=False)
+        assert report.not_clique_count == 1
+
+    def test_empty_clique_rejected(self):
+        g = triangle_tail()
+        report = verify_clique_set(g, [set()], check_completeness=False)
+        assert report.not_clique_count == 1
+
+    def test_non_maximal_detected(self):
+        g = triangle_tail()
+        report = verify_clique_set(g, [{0, 1}], check_completeness=False)
+        assert report.not_maximal_count == 1
+
+    def test_missing_detected(self):
+        g = triangle_tail()
+        report = verify_clique_set(g, [{0, 1, 2}])
+        assert report.missing_count == 1
+        assert frozenset({2, 3}) in report.missing
+        assert not report.complete
+        assert "1 missing" in report.summary()
+
+    def test_max_reported_caps_lists_not_counts(self):
+        g = AdjacencyGraph.from_edges([(i, i + 1) for i in range(40)])
+        bogus = [{i, i + 2} for i in range(30)]  # 30 non-cliques
+        report = verify_clique_set(
+            g, bogus, check_completeness=False, max_reported=5
+        )
+        assert report.not_clique_count == 30
+        assert len(report.not_cliques) == 5
+
+
+class TestEndToEnd:
+    def test_extmce_output_verifies(self, tmp_path):
+        from repro.core.extmce import ExtMCE, ExtMCEConfig
+        from repro.storage.diskgraph import DiskGraph
+        from tests.helpers import seeded_gnp
+
+        g = seeded_gnp(50, 0.2, seed=11)
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        algo = ExtMCE(disk, ExtMCEConfig(workdir=tmp_path / "w"))
+        report = verify_clique_set(g, algo.enumerate_cliques())
+        assert report.ok, report.summary()
