@@ -1,0 +1,99 @@
+"""Parallel scaling sweep: ParallelExtMCE speedup over worker counts.
+
+Runs the same enumeration at 1, 2 and 4 workers and reports wall-clock
+speedup relative to the serial driver.  Besides the rendered table
+(``benchmarks/results/parallel_scaling.txt``) the sweep writes a
+machine-readable ``BENCH_parallel.json`` summary next to it.
+
+The >1.5x-at-4-workers assertion only makes sense with real cores to
+run on, so it is guarded on ``os.cpu_count()``; the table and JSON are
+emitted unconditionally so single-core CI still records the numbers.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.analysis.tables import render_table
+from repro.core.extmce import ExtMCE, ExtMCEConfig
+from repro.generators.scale_free import powerlaw_cluster_graph
+from repro.parallel import ParallelExtMCE
+from repro.storage.diskgraph import DiskGraph
+
+WORKER_COUNTS = (1, 2, 4)
+NUM_VERTICES = 4_000
+
+
+def _run_one(graph, workers):
+    with tempfile.TemporaryDirectory(prefix="par_scaling_") as tmp:
+        disk = DiskGraph.create(f"{tmp}/g.bin", graph)
+        config = ExtMCEConfig(workdir=tmp, workers=workers)
+        driver = ParallelExtMCE if workers > 1 else ExtMCE
+        algo = driver(disk, config)
+        started = time.perf_counter()
+        cliques = sum(1 for _ in algo.enumerate_cliques())
+        elapsed = time.perf_counter() - started
+    return {
+        "workers": workers,
+        "cliques": cliques,
+        "seconds": elapsed,
+        "recursions": algo.report.num_recursions,
+        "fallback_steps": getattr(algo, "fallback_steps", 0),
+    }
+
+
+def test_parallel_scaling_sweep(benchmark, save_result, results_dir):
+    graph = powerlaw_cluster_graph(NUM_VERTICES, 5, 0.7, seed=99)
+    results = benchmark.pedantic(
+        lambda: [_run_one(graph, w) for w in WORKER_COUNTS], rounds=1, iterations=1
+    )
+    serial_seconds = results[0]["seconds"]
+    for r in results:
+        r["speedup"] = serial_seconds / r["seconds"] if r["seconds"] else float("inf")
+
+    save_result(
+        "parallel_scaling",
+        render_table(
+            f"Parallel scaling: ParallelExtMCE on powerlaw-cluster "
+            f"(n={NUM_VERTICES}, m=5, p=0.7), host cpus={os.cpu_count()}",
+            ["workers", "cliques", "seconds", "speedup", "recursions", "fallbacks"],
+            [
+                (
+                    r["workers"],
+                    r["cliques"],
+                    f"{r['seconds']:.2f}",
+                    f"{r['speedup']:.2f}x",
+                    r["recursions"],
+                    r["fallback_steps"],
+                )
+                for r in results
+            ],
+        ),
+    )
+    summary = {
+        "bench": "parallel_scaling",
+        "graph": {"model": "powerlaw_cluster", "n": NUM_VERTICES, "m": 5, "p": 0.7},
+        "host_cpus": os.cpu_count(),
+        "runs": results,
+    }
+    (results_dir.parent.parent / "BENCH_parallel.json").write_text(
+        json.dumps(summary, indent=2) + "\n"
+    )
+
+    # Correctness invariants hold at every worker count, speedup or not.
+    for r in results:
+        assert r["cliques"] == results[0]["cliques"]
+        assert r["fallback_steps"] == 0
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 4:
+        assert results[-1]["speedup"] > 1.5, (
+            f"expected >1.5x at 4 workers on a {cpus}-cpu host, "
+            f"got {results[-1]['speedup']:.2f}x"
+        )
+    else:
+        # Single-/dual-core CI: pool overhead makes a wall-clock speedup
+        # impossible, so only sanity-check that parallelism is not
+        # pathologically slow (>4x regression would indicate a pool bug).
+        assert results[-1]["seconds"] < 4 * serial_seconds + 1.0

@@ -22,6 +22,9 @@ Package layout:
   graphs, spill partitions, the explicit memory model).
 * :mod:`repro.baselines` — the in-memory (Tomita 2006) and streaming
   (Stix 2004) comparators plus extra oracles.
+* :mod:`repro.parallel` — the shared-memory parallel enumeration engine
+  (per-vertex search-tree decomposition on a worker pool, Das et al.
+  2018 composed with the H*-graph recursion).
 * :mod:`repro.dynamic` — Section 5's incremental maintenance of the
   H*-max-clique tree under edge updates.
 * :mod:`repro.generators` — deterministic scale-free workload generators
@@ -40,6 +43,7 @@ from repro.baselines import (
     StixDynamicMCE,
     bron_kerbosch_maximal_cliques,
     degeneracy_maximal_cliques,
+    parallel_bron_kerbosch_maximal_cliques,
     tomita_maximal_cliques,
 )
 from repro.core import (
@@ -79,7 +83,8 @@ from repro.storage import (
     edge_list_file_to_disk_graph,
     edge_list_to_disk_graph,
 )
-from repro.telemetry import TraceWriter, load_trace, summarize_trace
+from repro.parallel import ParallelExtMCE
+from repro.telemetry import TraceWriter, load_trace, merge_traces, summarize_trace
 from repro.verification import VerificationReport, verify_clique_set
 
 __version__ = "1.0.0"
@@ -102,6 +107,7 @@ __all__ = [
     "IOStats",
     "MemoryBudgetExceeded",
     "MemoryModel",
+    "ParallelExtMCE",
     "RandomAccessDiskGraph",
     "ReproError",
     "StarGraph",
@@ -126,6 +132,8 @@ __all__ = [
     "load_trace",
     "maximal_independent_sets",
     "maximum_clique",
+    "merge_traces",
+    "parallel_bron_kerbosch_maximal_cliques",
     "summarize_trace",
     "tomita_maximal_cliques",
     "top_k_cliques",

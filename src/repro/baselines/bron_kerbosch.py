@@ -59,6 +59,27 @@ def _expand_plain(
         excluded.add(v)
 
 
+def tomita_subproblem(graph: AdjacencyGraph, start: Vertex) -> Iterator[Clique]:
+    """Enumerate the maximal cliques whose smallest member is ``start``.
+
+    This is the root split of the Par-TTT vertex decomposition (Das,
+    Sanei-Mehri & Tirthapura, 2018): seeding the pivoted expansion with
+    ``current = {start}``, ``candidates = nb(start) ∩ {u > start}`` and
+    ``excluded = nb(start) ∩ {u < start}`` yields exactly the maximal
+    cliques whose ≺-minimum vertex is ``start`` — a clique containing a
+    smaller vertex can never surface (that vertex sits in ``excluded``
+    forever), and a clique whose minimum is ``start`` is reachable and
+    passes the emptiness test because no smaller vertex extends it.
+    The union over all vertices therefore partitions the clique set,
+    which is what makes per-vertex subproblems independently
+    distributable with no cross-worker deduplication.
+    """
+    neighbors = graph.neighbors(start)
+    candidates = {u for u in neighbors if u > start}
+    excluded = {u for u in neighbors if u < start}
+    yield from _expand_pivot(graph, [start], candidates, excluded, None)
+
+
 def tomita_maximal_cliques(
     graph: AdjacencyGraph,
     memory: "MemoryModel | None" = None,

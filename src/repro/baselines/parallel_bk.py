@@ -1,0 +1,93 @@
+"""Shared-memory parallel maximal clique enumeration (reference baseline).
+
+A faithful, self-contained instance of the Par-TTT recipe of Das,
+Sanei-Mehri & Tirthapura (arXiv:1807.09417): split the pivoted
+backtracking search tree at the root into one subproblem per vertex —
+the subproblem of ``v`` enumerates exactly the maximal cliques whose
+smallest member is ``v`` (see :func:`~repro.baselines.bron_kerbosch.
+tomita_subproblem`) — and process the subproblems on a worker pool.
+Because the subproblems partition the clique set, no cross-worker
+deduplication is needed and the merged output is independent of the
+worker count.
+
+The module exists as a *cross-check* for :class:`repro.parallel.driver.
+ParallelExtMCE`: it parallelizes the in-memory comparator the same way
+the parallel driver parallelizes ExtMCE's step internals, so the test
+suite can triangulate serial ExtMCE, parallel ExtMCE, and this baseline
+against each other.  It deliberately shares no machinery with
+:mod:`repro.parallel` beyond the subproblem split.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.baselines.bron_kerbosch import tomita_subproblem
+from repro.graph.adjacency import AdjacencyGraph
+
+Clique = frozenset
+
+#: Module-level worker state, installed by the pool initializer (plain
+#: function + global is the picklable idiom ``multiprocessing`` needs).
+_WORKER_GRAPH: AdjacencyGraph | None = None
+
+
+def _init_worker(adjacency: dict[int, tuple[int, ...]]) -> None:
+    global _WORKER_GRAPH
+    _WORKER_GRAPH = AdjacencyGraph.from_adjacency(adjacency)
+
+
+def _run_subproblems(vertices: tuple[int, ...]) -> list[tuple[int, ...]]:
+    assert _WORKER_GRAPH is not None
+    results: list[tuple[int, ...]] = []
+    for v in vertices:
+        for clique in tomita_subproblem(_WORKER_GRAPH, v):
+            results.append(tuple(sorted(clique)))
+    return results
+
+
+def _chunk_vertices(vertices: list[int], num_chunks: int) -> list[tuple[int, ...]]:
+    """Stripe vertices round-robin so heavy low-degree-ordered prefixes
+    do not all land in one chunk."""
+    chunks: list[list[int]] = [[] for _ in range(max(1, num_chunks))]
+    for index, v in enumerate(vertices):
+        chunks[index % len(chunks)].append(v)
+    return [tuple(chunk) for chunk in chunks if chunk]
+
+
+def parallel_bron_kerbosch_maximal_cliques(
+    graph: AdjacencyGraph,
+    workers: int = 2,
+) -> list[Clique]:
+    """Enumerate all maximal cliques with a worker pool.
+
+    Vertices must be sortable integers (the subproblem split keys on the
+    vertex order).  Returns the cliques in a canonical order — sorted by
+    their sorted vertex tuple — that is identical for every ``workers``
+    value, including the in-process ``workers=1`` path.  Falls back to
+    in-process execution if the pool cannot be created or dies.
+    """
+    vertices = sorted(graph.vertices())
+    if not vertices:
+        return []
+    adjacency = {
+        v: tuple(sorted(graph.neighbors(v))) for v in vertices
+    }
+    chunks = _chunk_vertices(vertices, num_chunks=4 * max(1, workers))
+    raw: list[tuple[int, ...]] = []
+    if workers > 1:
+        try:
+            with multiprocessing.Pool(
+                processes=workers, initializer=_init_worker, initargs=(adjacency,)
+            ) as pool:
+                for chunk_result in pool.map(_run_subproblems, chunks, chunksize=1):
+                    raw.extend(chunk_result)
+        except Exception:
+            raw = []
+    if not raw:
+        target = AdjacencyGraph.from_adjacency(adjacency)
+        for chunk in chunks:
+            for v in chunk:
+                for clique in tomita_subproblem(target, v):
+                    raw.append(tuple(sorted(clique)))
+    return [frozenset(clique) for clique in sorted(raw)]

@@ -29,6 +29,7 @@ from repro.core.hstar import extract_hstar_graph
 from repro.core.result import CliqueCounter, CliqueFileSink
 from repro.dynamic.maintainer import HStarMaintainer
 from repro.errors import ReproError, StorageError
+from repro.parallel import ParallelExtMCE
 from repro.generators.datasets import DATASETS
 from repro.graph.powerlaw import fit_rank_exponent
 from repro.storage.convert import edge_list_file_to_disk_graph
@@ -76,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_.add_argument("--trace", type=Path,
                             help="append JSONL run telemetry to this file "
                                  "and print a per-step summary")
+    enumerate_.add_argument("--workers", type=int, default=1,
+                            help="worker processes for the parallel engine "
+                                 "(1 = serial driver; output is identical "
+                                 "for every worker count)")
+    enumerate_.add_argument("--canonical", action="store_true",
+                            help="write the output file in canonical sorted "
+                                 "order (byte-identical across runs and "
+                                 "worker counts; buffers all cliques)")
 
     generate = sub.add_parser("generate", help="synthesize a dataset stand-in")
     generate.add_argument("dataset", choices=sorted(DATASETS))
@@ -166,14 +175,16 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         return 2
     memory = MemoryModel(budget=args.budget)
     counter = CliqueCounter()
-    sink = CliqueFileSink(args.output) if args.output else None
+    sink = CliqueFileSink(args.output, canonical=args.canonical) if args.output else None
+    driver_cls = ParallelExtMCE if args.workers > 1 else ExtMCE
     started = time.perf_counter()
     with tempfile.TemporaryDirectory(prefix="repro_mce_") as tmp:
         if args.resume:
-            algo = ExtMCE.resume(
+            algo = driver_cls.resume(
                 args.checkpoint_dir,
                 config=ExtMCEConfig(
-                    memory_budget_units=args.budget, trace_path=args.trace
+                    memory_budget_units=args.budget, trace_path=args.trace,
+                    workers=args.workers,
                 ),
                 memory=memory,
             )
@@ -186,8 +197,9 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 memory_budget_units=args.budget,
                 checkpoint=args.checkpoint_dir is not None,
                 trace_path=args.trace,
+                workers=args.workers,
             )
-            algo = ExtMCE(disk, config, memory=memory)
+            algo = driver_cls(disk, config, memory=memory)
         try:
             for clique in algo.enumerate_cliques():
                 if len(clique) < args.min_size:
@@ -206,6 +218,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     print(f"peak memory     : {memory.peak_units} units ({memory.peak_megabytes:.3f} MB)")
     print(f"recursions      : {algo.report.num_recursions}")
     print(f"graph scans     : {algo.report.sequential_scans}")
+    if args.workers > 1:
+        print(f"workers         : {args.workers}")
     if args.output:
         print(f"cliques written : {args.output}")
     if args.trace:

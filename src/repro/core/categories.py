@@ -30,7 +30,7 @@ Two implementation notes, both verified against brute force by the tests:
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -85,10 +85,95 @@ class CategorizedCliques:
         return len(self.m1) + len(self.m2) + len(self.m3)
 
 
+#: Phase-2 strategy: maps the ordered distinct ``HNB`` sets to the maximal
+#: cliques of their induced periphery subgraphs.  The default is the serial
+#: loop of :func:`resolve_hnb_cliques`; :class:`repro.parallel.driver.
+#: ParallelExtMCE` injects a fan-out over a worker pool.
+HnbResolver = Callable[
+    [list[Clique], PeripheryAdjacency], dict[Clique, list[Clique]]
+]
+
+
+def collect_lift_items(
+    star: StarGraph,
+    core_maximal: set[Clique],
+) -> tuple[list[Clique], list[tuple[Clique, Clique]], list[tuple[Clique, Clique]]]:
+    """Phase 1 of Algorithm 2: the in-memory work items.
+
+    Returns ``(m1, m2_items, m3_items)`` without touching the disk: ``M1``
+    is final already (Lemma 4); the item lists pair each kernel with its
+    ``HNB`` set for the disk-backed phases (Lemmas 5-6).
+    """
+    m1: list[Clique] = []
+    m2_items: list[tuple[Clique, Clique]] = []
+    for kernel in sorted(core_maximal, key=sorted):
+        shared = star.common_periphery(kernel)
+        if not shared:
+            m1.append(kernel)
+        else:
+            m2_items.append((kernel, shared))
+    m3_items = list(enumerate_x_candidates(star))
+    return m1, m2_items, m3_items
+
+
+def ordered_distinct_hnb(
+    items: Iterable[tuple[Clique, Clique]],
+    periphery_adjacency: PeripheryAdjacency,
+) -> list[Clique]:
+    """The distinct ``HNB`` sets of ``items`` in resolution order.
+
+    Sets are grouped by covering partition so each spill file is loaded
+    once per batch (the locality the paper gets from ordering h-neighbor
+    leaves by DFS traversal, Section 4.2.3); adjacency providers without
+    partitions fall back to a plain lexicographic order.  The order is a
+    pure function of the work items — never of worker count — which is
+    what keeps parallel runs byte-identical to serial ones.
+    """
+    distinct = {shared for _, shared in items}
+    partition_key = getattr(periphery_adjacency, "partitions_for", None)
+    if partition_key is not None:
+        return sorted(distinct, key=lambda s: (sorted(partition_key(s)), sorted(s)))
+    return sorted(distinct, key=sorted)
+
+
+def resolve_hnb_cliques(
+    ordered: list[Clique],
+    periphery_adjacency: PeripheryAdjacency,
+) -> dict[Clique, list[Clique]]:
+    """Phase 2 of Algorithm 2, serial strategy: ``maxCL(G[HNB])`` per set."""
+    max_cliques_of: dict[Clique, list[Clique]] = {}
+    for shared in ordered:
+        induced = periphery_adjacency.induced_subgraph(shared)
+        max_cliques_of[shared] = list(tomita_maximal_cliques(induced))
+    return max_cliques_of
+
+
+def assemble_categories(
+    star: StarGraph,
+    m1: list[Clique],
+    m2_items: list[tuple[Clique, Clique]],
+    m3_items: list[tuple[Clique, Clique]],
+    max_cliques_of: dict[Clique, list[Clique]],
+) -> CategorizedCliques:
+    """Phase 3 of Algorithm 2: combine kernels with their extensions."""
+    result = CategorizedCliques(m1=list(m1))
+    for kernel, shared in m2_items:
+        for extension in max_cliques_of[shared]:
+            result.m2.append(kernel | extension)
+    for kernel, shared in m3_items:
+        blockers = star.common_core_neighbors(kernel)
+        for extension in max_cliques_of[shared]:
+            if _extendable_by_core(star, blockers, extension):
+                continue
+            result.m3.append(kernel | extension)
+    return result
+
+
 def compute_core_plus_max_cliques(
     star: StarGraph,
     core_maximal: set[Clique],
     periphery_adjacency: PeripheryAdjacency,
+    resolver: HnbResolver | None = None,
 ) -> CategorizedCliques:
     """Compute ``M_H+ = M1 ∪ M2 ∪ M3`` (Algorithm 2).
 
@@ -102,47 +187,15 @@ def compute_core_plus_max_cliques(
     periphery_adjacency:
         Access to edges among periphery vertices (on disk in the real
         algorithm; the star graph does not store them).
+    resolver:
+        Optional phase-2 strategy override (see :data:`HnbResolver`);
+        defaults to the serial :func:`resolve_hnb_cliques`.
     """
-    result = CategorizedCliques()
-
-    # Phase 1 — collect every (kernel, HNB) work item without touching the
-    # disk: M2 items come from M_H (Lemma 5), M3 items from X (Lemma 6).
-    m2_items: list[tuple[Clique, Clique]] = []
-    for kernel in sorted(core_maximal, key=sorted):
-        shared = star.common_periphery(kernel)
-        if not shared:
-            result.m1.append(kernel)
-        else:
-            m2_items.append((kernel, shared))
-    m3_items = list(enumerate_x_candidates(star))
-
-    # Phase 2 — resolve the distinct HNB sets against the periphery
-    # adjacency, visiting them grouped by partition so each spill file is
-    # loaded once per batch (the locality the paper gets from ordering
-    # h-neighbor leaves by DFS traversal, Section 4.2.3).
-    distinct = {shared for _, shared in m2_items}
-    distinct.update(shared for _, shared in m3_items)
-    partition_key = getattr(periphery_adjacency, "partitions_for", None)
-    if partition_key is not None:
-        ordered = sorted(distinct, key=lambda s: (sorted(partition_key(s)), sorted(s)))
-    else:
-        ordered = sorted(distinct, key=sorted)
-    max_cliques_of: dict[Clique, list[Clique]] = {}
-    for shared in ordered:
-        induced = periphery_adjacency.induced_subgraph(shared)
-        max_cliques_of[shared] = list(tomita_maximal_cliques(induced))
-
-    # Phase 3 — assemble the categories.
-    for kernel, shared in m2_items:
-        for extension in max_cliques_of[shared]:
-            result.m2.append(kernel | extension)
-    for kernel, shared in m3_items:
-        blockers = star.common_core_neighbors(kernel)
-        for extension in max_cliques_of[shared]:
-            if _extendable_by_core(star, blockers, extension):
-                continue
-            result.m3.append(kernel | extension)
-    return result
+    m1, m2_items, m3_items = collect_lift_items(star, core_maximal)
+    ordered = ordered_distinct_hnb(m2_items + m3_items, periphery_adjacency)
+    resolve = resolver if resolver is not None else resolve_hnb_cliques
+    max_cliques_of = resolve(ordered, periphery_adjacency)
+    return assemble_categories(star, m1, m2_items, m3_items, max_cliques_of)
 
 
 def enumerate_x_candidates(star: StarGraph) -> Iterator[tuple[Clique, Clique]]:

@@ -252,6 +252,29 @@ def enumerate_star_cliques(
             yield kernel | {w}
 
 
+def assemble_clique_tree(
+    star: StarGraph,
+    cliques: Iterable[Clique],
+    core_maximal: Iterable[Clique],
+    memory: "MemoryModel | None" = None,
+) -> CliqueTree:
+    """Build ``T_H*`` from pre-enumerated cliques and mark ``M_H`` paths.
+
+    The shared tail of every construction route: the serial builders below
+    and the parallel driver (which enumerates the cliques on a worker pool
+    and only assembles here, in the driver process, so tree-node memory is
+    charged to the one authoritative :class:`MemoryModel`).
+    """
+    tree = CliqueTree.for_star(star, memory=memory)
+    for clique in cliques:
+        tree.insert(clique)
+    for kernel in core_maximal:
+        node = tree._find(kernel)
+        if node is not None:
+            node.core_maximal = True
+    return tree
+
+
 def build_clique_tree_from_cliques(
     star: StarGraph,
     cliques: Iterable[Clique],
@@ -265,14 +288,8 @@ def build_clique_tree_from_cliques(
     the saving Table 7's "Time w/ T_H*" column measures.  ``M_H`` is still
     recomputed from the (small) core graph for the Algorithm 2 markings.
     """
-    tree = CliqueTree.for_star(star, memory=memory)
-    for clique in cliques:
-        tree.insert(clique)
     core_maximal = set(tomita_maximal_cliques(star.core_graph()))
-    for kernel in core_maximal:
-        node = tree._find(kernel)
-        if node is not None:
-            node.core_maximal = True
+    tree = assemble_clique_tree(star, cliques, core_maximal, memory=memory)
     return tree, core_maximal
 
 
@@ -287,12 +304,11 @@ def build_clique_tree(
     core graph), with the tree's ``M_H`` paths marked per Algorithm 2's
     requirement.  Memory for every tree node is charged to ``memory``.
     """
-    tree = CliqueTree.for_star(star, memory=memory)
-    for clique in enumerate_star_cliques(star, use_structure=use_structure):
-        tree.insert(clique)
     core_maximal = set(tomita_maximal_cliques(star.core_graph()))
-    for kernel in core_maximal:
-        node = tree._find(kernel)
-        if node is not None:
-            node.core_maximal = True
+    tree = assemble_clique_tree(
+        star,
+        enumerate_star_cliques(star, use_structure=use_structure),
+        core_maximal,
+        memory=memory,
+    )
     return tree, core_maximal

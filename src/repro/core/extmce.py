@@ -84,6 +84,12 @@ class ExtMCEConfig:
     trace_path:
         Append structured run telemetry to this JSON-lines file (see
         :mod:`repro.telemetry`).
+    workers:
+        Worker-process count for the parallel driver
+        (:class:`repro.parallel.driver.ParallelExtMCE`).  The serial
+        :class:`ExtMCE` ignores it; ``1`` means in-process execution even
+        under the parallel driver.  Kept here (rather than on the driver)
+        so checkpoints and :meth:`ExtMCE.resume` round-trip it.
     """
 
     memory_budget_units: int | None = None
@@ -95,6 +101,7 @@ class ExtMCEConfig:
     partition_fraction: float = 1.0
     checkpoint: bool = False
     trace_path: str | Path | None = None
+    workers: int = 1
 
 
 @dataclass
@@ -374,14 +381,7 @@ class ExtMCE:
             star, num_probes=self._config.estimator_probes, seed=self._config.seed
         )
         with self._memory.allocation(star.memory_units, label="star graph"):
-            if step == 1 and self._first_step is not None:
-                tree, core_maximal = build_clique_tree_from_cliques(
-                    star, self._first_step[1], memory=self._memory
-                )
-            else:
-                tree, core_maximal = build_clique_tree(
-                    star, memory=self._memory, use_structure=self._config.use_structure
-                )
+            tree, core_maximal = self._build_step_tree(step, star)
             partition_budget = max(
                 int(star.size_edges * self._config.partition_fraction), 64
             )
@@ -404,7 +404,7 @@ class ExtMCE:
                 max_resident=max_resident,
             )
             try:
-                categories = compute_core_plus_max_cliques(star, core_maximal, store)
+                categories = self._compute_categories(star, core_maximal, store)
                 emitted = 0
                 suppressed = 0
                 for clique in categories.all_cliques():
@@ -424,6 +424,33 @@ class ExtMCE:
             step, star, tree_nodes, tree_estimate, emitted, suppressed,
             hashtable, step_start, current.num_vertices, current.num_edges,
         )
+
+    # ------------------------------------------------------------------
+    # Step hooks (overridden by repro.parallel.driver.ParallelExtMCE)
+    # ------------------------------------------------------------------
+    def _build_step_tree(self, step: int, star: StarGraph):
+        """Build this step's ``T_H*`` and ``M_H`` (Algorithm 3, Line 6).
+
+        The parallel driver overrides this to enumerate the H*-max-cliques
+        on a worker pool; it must return the same ``(tree, core_maximal)``
+        pair with tree nodes charged to ``self._memory``.
+        """
+        if step == 1 and self._first_step is not None:
+            return build_clique_tree_from_cliques(
+                star, self._first_step[1], memory=self._memory
+            )
+        return build_clique_tree(
+            star, memory=self._memory, use_structure=self._config.use_structure
+        )
+
+    def _compute_categories(self, star: StarGraph, core_maximal, store):
+        """Run Algorithm 2 (the M1/M2/M3 lifting) for one step.
+
+        The parallel driver overrides this to fan the phase-2 disk
+        partitions out to workers; the hashtable filter downstream always
+        stays in the driver process.
+        """
+        return compute_core_plus_max_cliques(star, core_maximal, store)
 
     # ------------------------------------------------------------------
     # Global maximality bookkeeping (Section 4.3)

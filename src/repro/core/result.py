@@ -8,9 +8,36 @@ These sinks are the supported consumers of that stream.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from pathlib import Path
 
 Clique = frozenset
+
+
+def canonical_clique_order(cliques: Iterable[Clique]) -> list[tuple[int, ...]]:
+    """Sort cliques into the canonical report order.
+
+    Each clique becomes its sorted vertex tuple and the tuples are sorted
+    lexicographically — a total order that depends only on the clique
+    *set*, never on enumeration order, worker count, or interleaving.
+    This is the order every worker-count-invariance guarantee is stated
+    against: ``workers=1`` and ``workers=4`` runs must produce
+    byte-identical canonical reports.
+    """
+    return sorted(tuple(sorted(clique)) for clique in cliques)
+
+
+def render_clique_lines(cliques: Iterable[Clique]) -> str:
+    """The canonical textual report: one sorted clique per line.
+
+    The exact bytes :class:`CliqueFileSink` writes in canonical mode; kept
+    as a separate function so tests and tools can canonicalize an
+    in-memory clique set without touching the filesystem.
+    """
+    return "".join(
+        " ".join(str(v) for v in clique) + "\n"
+        for clique in canonical_clique_order(cliques)
+    )
 
 
 class CliqueCollector:
@@ -27,6 +54,10 @@ class CliqueCollector:
     def accept(self, clique: Clique) -> None:
         """Record one maximal clique."""
         self.cliques.add(clique)
+
+    def canonical(self) -> list[tuple[int, ...]]:
+        """The collected cliques in canonical report order."""
+        return canonical_clique_order(self.cliques)
 
     def __len__(self) -> int:
         return len(self.cliques)
@@ -70,25 +101,39 @@ class CliqueCounter:
 class CliqueFileSink:
     """Writes each clique as a sorted, space-separated line.
 
-    The file handle stays open between accepts; use as a context manager
-    or call :meth:`close`.
+    With ``canonical=False`` (the default) cliques are written in arrival
+    order — O(1) state, suitable for massive streams.  With
+    ``canonical=True`` the sink buffers every clique and writes the
+    canonical report (see :func:`canonical_clique_order`) at close, so
+    the output bytes are independent of enumeration order and worker
+    count.  The file handle stays open between accepts; use as a context
+    manager or call :meth:`close`.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, canonical: bool = False) -> None:
         self._path = Path(path)
         self._handle = open(self._path, "w", encoding="ascii")
+        self._canonical = canonical
+        self._buffer: list[Clique] | None = [] if canonical else None
         self.count = 0
 
     def accept(self, clique: Clique) -> None:
-        """Append one clique line to the file."""
-        self._handle.write(" ".join(str(v) for v in sorted(clique)))
-        self._handle.write("\n")
+        """Append one clique line to the file (buffered when canonical)."""
+        if self._buffer is not None:
+            self._buffer.append(clique)
+        else:
+            self._handle.write(" ".join(str(v) for v in sorted(clique)))
+            self._handle.write("\n")
         self.count += 1
 
     def close(self) -> None:
-        """Flush and close the output file."""
-        if not self._handle.closed:
-            self._handle.close()
+        """Flush and close the output file (writes the canonical report)."""
+        if self._handle.closed:
+            return
+        if self._buffer is not None:
+            self._handle.write(render_clique_lines(self._buffer))
+            self._buffer = None
+        self._handle.close()
 
     def __enter__(self) -> "CliqueFileSink":
         return self

@@ -1,0 +1,56 @@
+"""Shared-memory parallel enumeration engine for ExtMCE.
+
+The subsystem follows the decomposition recipe of *Shared-Memory
+Parallel Maximal Clique Enumeration* (Das, Sanei-Mehri & Tirthapura,
+arXiv:1807.09417), adapted to the paper's step-wise H*-graph recursion:
+
+* :mod:`repro.parallel.partition` — splits each step's work into
+  per-vertex clique-tree subproblems and partition-aligned lifting
+  batches;
+* :mod:`repro.parallel.executor` — runs chunks on a ``multiprocessing``
+  pool, with per-worker trace files and graceful in-process fallback;
+* :mod:`repro.parallel.merge` — reassembles worker results into the
+  exact stream the serial driver would produce (worker-count-invariant
+  by construction);
+* :mod:`repro.parallel.driver` — :class:`ParallelExtMCE`, the drop-in
+  driver wrapper wired to ``ExtMCEConfig.workers``.
+
+Quick start::
+
+    from repro import DiskGraph, ExtMCEConfig
+    from repro.parallel import ParallelExtMCE
+
+    algo = ParallelExtMCE(DiskGraph.open("graph.bin"),
+                          ExtMCEConfig(workers=4))
+    for clique in algo.enumerate_cliques():
+        ...
+"""
+
+from repro.parallel.driver import ParallelExtMCE
+from repro.parallel.executor import StepExecutor
+from repro.parallel.merge import merge_lift_results, merge_tree_results
+from repro.parallel.partition import (
+    LiftChunk,
+    LiftTask,
+    TreeTask,
+    chunk_lift_tasks,
+    chunk_tree_tasks,
+    lift_tasks,
+    serialize_star,
+    tree_tasks,
+)
+
+__all__ = [
+    "LiftChunk",
+    "LiftTask",
+    "ParallelExtMCE",
+    "StepExecutor",
+    "TreeTask",
+    "chunk_lift_tasks",
+    "chunk_tree_tasks",
+    "lift_tasks",
+    "merge_lift_results",
+    "merge_tree_results",
+    "serialize_star",
+    "tree_tasks",
+]

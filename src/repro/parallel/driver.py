@@ -1,0 +1,188 @@
+"""``ParallelExtMCE``: the shared-memory parallel ExtMCE driver.
+
+A drop-in :class:`~repro.core.extmce.ExtMCE` subclass that parallelizes
+the two dominant costs of every recursion step while leaving the paper's
+external-memory skeleton — and its correctness argument — untouched:
+
+* **Clique-tree construction** (Algorithm 3, Line 6): the H*-max-clique
+  enumeration is split into per-vertex root subproblems (see
+  :mod:`repro.parallel.partition`) and fanned out; the driver merges the
+  results deterministically and assembles ``T_H*`` in-process, charged
+  to the one authoritative memory model.
+
+* **The M1/M2/M3 lifting** (Algorithm 2, phase 2): the distinct ``HNB``
+  sets are resolved by workers that read the Section-4.2.3 spill files
+  directly; pages they read are folded back into the driver's I/O
+  counters.
+
+Everything order-sensitive stays serial in the driver: the global
+maximality hashtable (Section 4.3) is consulted and mutated only here,
+on a clique stream whose order is reconstructed by the merger to match
+the serial driver exactly.  Hence the headline guarantee, asserted by
+the test suite: *serial ExtMCE, ``workers=1``, and ``workers=4`` produce
+identical results in identical order*.
+
+Worker telemetry: each worker writes its own trace file under the step
+workdir; on run completion the per-worker streams are merged
+(:func:`repro.telemetry.merge_traces`) into the driver's main trace, so
+one JSONL file still tells the whole story.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.core.categories import compute_core_plus_max_cliques
+from repro.core.clique_tree import assemble_clique_tree
+from repro.core.extmce import ExtMCE, ExtMCEConfig
+from repro.core.hstar import StarGraph
+from repro.parallel.executor import StepExecutor
+from repro.parallel.merge import merge_lift_results, merge_tree_results
+from repro.parallel.partition import (
+    chunk_lift_tasks,
+    chunk_tree_tasks,
+    lift_tasks,
+    serialize_star,
+    tree_tasks,
+)
+from repro.storage.partitions import HnbPartitionStore
+
+Clique = frozenset
+
+
+class ParallelExtMCE(ExtMCE):
+    """ExtMCE with per-step worker-pool fan-out.
+
+    Configure the worker count through
+    :attr:`~repro.core.extmce.ExtMCEConfig.workers`; ``workers=1`` (the
+    default) runs fully in-process and behaves exactly like the serial
+    driver.  All other knobs, the checkpoint/resume protocol, sinks and
+    reports are inherited unchanged.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.graph import AdjacencyGraph
+    >>> from repro.storage import DiskGraph
+    >>> g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     dg = DiskGraph.create(f"{tmp}/g.bin", g)
+    ...     algo = ParallelExtMCE(dg, ExtMCEConfig(workdir=tmp, workers=2))
+    ...     sorted(sorted(c) for c in algo.enumerate_cliques())
+    [[0, 1, 2], [2, 3]]
+    """
+
+    #: Wall-clock ceiling per fan-out phase; a deadlocked pool trips this
+    #: and the executor recomputes the phase in-process instead of
+    #: hanging the enumeration forever.
+    task_timeout_seconds: float | None = 600.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._executor: StepExecutor | None = None
+        self._worker_trace_dir: Path | None = None
+        self.fallback_steps = 0
+
+    @property
+    def workers(self) -> int:
+        """Effective worker count (always ≥ 1)."""
+        return max(1, self._config.workers)
+
+    # ------------------------------------------------------------------
+    # Step lifecycle: one executor (and one pool) per recursion step
+    # ------------------------------------------------------------------
+    def _process_step(self, step, star, current, workdir, hashtable, step_start):
+        if self.workers <= 1:
+            yield from super()._process_step(
+                step, star, current, workdir, hashtable, step_start
+            )
+            return
+        if self._worker_trace_dir is None and self._trace is not None:
+            self._worker_trace_dir = workdir / "worker_traces"
+        pool_started = time.perf_counter()
+        with StepExecutor(
+            self.workers,
+            serialize_star(star),
+            trace_dir=self._worker_trace_dir,
+            task_timeout=self.task_timeout_seconds,
+        ) as executor:
+            self._executor = executor
+            try:
+                yield from super()._process_step(
+                    step, star, current, workdir, hashtable, step_start
+                )
+            finally:
+                self._executor = None
+                if executor.fell_back:
+                    self.fallback_steps += 1
+                if self._trace is not None:
+                    self._trace.emit(
+                        "parallel_step_completed",
+                        step=step,
+                        workers=self.workers,
+                        fell_back=executor.fell_back,
+                        pool_elapsed=round(time.perf_counter() - pool_started, 6),
+                    )
+
+    def _drive(self, workdir: Path) -> Iterator[Clique]:
+        # Merge worker traces inside _drive's lifetime: the base class
+        # closes the main trace (and may delete the workdir) right after
+        # this generator finishes, so the fold-in must happen first.
+        try:
+            yield from super()._drive(workdir)
+        finally:
+            self._merge_worker_traces()
+
+    # ------------------------------------------------------------------
+    # Hook overrides
+    # ------------------------------------------------------------------
+    def _build_step_tree(self, step: int, star: StarGraph):
+        if self._executor is None or (step == 1 and self._first_step is not None):
+            return super()._build_step_tree(step, star)
+        tasks = tree_tasks(star)
+        chunks = chunk_tree_tasks(tasks, self.workers)
+        results = self._executor.map_tree(chunks)
+        star_cliques, core_maximal = merge_tree_results(tasks, results, star)
+        tree = assemble_clique_tree(
+            star, star_cliques, core_maximal, memory=self._memory
+        )
+        return tree, core_maximal
+
+    def _compute_categories(self, star: StarGraph, core_maximal, store):
+        if self._executor is None or not isinstance(store, HnbPartitionStore):
+            return super()._compute_categories(star, core_maximal, store)
+        return compute_core_plus_max_cliques(
+            star, core_maximal, store, resolver=self._resolve_parallel
+        )
+
+    def _resolve_parallel(self, ordered, store):
+        """Phase-2 resolver: fan the spill partitions out to the pool."""
+        assert self._executor is not None
+        tasks = lift_tasks(ordered, store)
+        chunks = chunk_lift_tasks(tasks, store, self.workers)
+        results = self._executor.map_lift(chunks)
+        max_cliques_of, pages_read = merge_lift_results(tasks, results)
+        io = store.io_stats
+        if io is not None and pages_read:
+            io.record_read(pages_read)
+        return max_cliques_of
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _merge_worker_traces(self) -> None:
+        directory = self._worker_trace_dir
+        self._worker_trace_dir = None
+        if directory is None or not directory.exists():
+            return
+        if self._trace is not None and not self._trace.closed:
+            from repro.telemetry import merge_traces
+
+            self._trace.absorb(merge_traces(sorted(directory.glob("*.jsonl"))))
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+__all__ = ["ParallelExtMCE"]

@@ -1,0 +1,258 @@
+"""The worker pool: process management, serialization, fallback.
+
+One :class:`StepExecutor` lives for one recursion step (the worker-side
+state is the step's core graph, which changes every step).  It owns a
+``multiprocessing`` pool when ``workers > 1`` and degrades to in-process
+execution — same task functions, same results, same order — when
+
+* ``workers == 1`` (no pool is ever created),
+* the pool cannot be created (platforms without working semaphores), or
+* the pool dies mid-flight (a worker segfaults or is OOM-killed): the
+  surviving driver terminates the pool and recomputes the whole phase
+  inline.  Tasks are pure functions of (payload, task), so recomputation
+  is safe and the fallback result is identical by construction.
+
+Workers never share file handles with the driver: each worker process
+opens its own spill files (read-only) and its own trace file (append
+mode, flushed per event), which is what keeps parallel telemetry and
+partition I/O crash-safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques, tomita_subproblem
+from repro.graph.adjacency import AdjacencyGraph
+from repro.storage.pagestore import PAGE_SIZE_BYTES
+from repro.storage.partitions import read_partition_file
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.partition import LiftChunk, TreeTask
+
+Clique = frozenset
+
+
+class WorkerContext:
+    """Per-process state installed by the pool initializer.
+
+    Holds the reconstructed core graph and (lazily) this worker's private
+    :class:`~repro.telemetry.TraceWriter`.  The trace file is per-PID, so
+    append-mode handles are never shared across processes; every event is
+    flushed on emit, so a crashing worker still leaves a readable trace.
+    """
+
+    def __init__(self, payload: dict, trace_dir: str | None) -> None:
+        self.core_graph = AdjacencyGraph.from_adjacency(
+            {v: neighbors for v, neighbors in payload["core_adjacency"].items()}
+        )
+        self._trace_dir = trace_dir
+        self._trace = None
+
+    def emit(self, event: str, **fields: object) -> None:
+        if self._trace_dir is None:
+            return
+        if self._trace is None:
+            from repro.telemetry import TraceWriter
+
+            self._trace = TraceWriter(
+                Path(self._trace_dir) / f"worker_{os.getpid():08d}.jsonl"
+            )
+        self._trace.emit(event, **fields)
+
+
+_CONTEXT: WorkerContext | None = None
+
+
+def _init_worker(payload: dict, trace_dir: str | None) -> None:
+    global _CONTEXT
+    _CONTEXT = WorkerContext(payload, trace_dir)
+
+
+def _run_tree_chunk(
+    chunk: "tuple[TreeTask, ...]",
+) -> list[tuple[int, tuple[tuple[int, ...], ...]]]:
+    """Solve one chunk of tree subproblems; results keyed by task index.
+
+    Clique vertex tuples are sorted, but the *list* order within a task
+    preserves the pivoted enumeration order — the merger relies on task
+    indices alone for determinism.
+    """
+    assert _CONTEXT is not None, "worker used before initialization"
+    graph = _CONTEXT.core_graph
+    results: list[tuple[int, tuple[tuple[int, ...], ...]]] = []
+    try:
+        for task in chunk:
+            if task.kind == "core":
+                found = tuple(
+                    tuple(sorted(clique))
+                    for clique in tomita_subproblem(graph, task.vertex)
+                )
+            else:
+                induced = graph.induced_subgraph(task.anchors)
+                found = tuple(
+                    tuple(sorted(clique))
+                    for clique in tomita_maximal_cliques(induced)
+                )
+            results.append((task.index, found))
+        _CONTEXT.emit(
+            "tree_chunk_completed",
+            tasks=len(chunk),
+            cliques=sum(len(found) for _, found in results),
+        )
+    except Exception as error:
+        _CONTEXT.emit("tree_chunk_failed", tasks=len(chunk), error=repr(error))
+        raise
+    return results
+
+
+def _run_lift_chunk(
+    chunk: "LiftChunk",
+) -> tuple[list[tuple[int, tuple[tuple[int, ...], ...]]], int]:
+    """Resolve one chunk of ``HNB`` sets against the spill files.
+
+    Returns the per-task ``maxCL`` lists plus the pages this worker read,
+    so the driver can fold worker I/O back into its metered totals.
+    """
+    assert _CONTEXT is not None, "worker used before initialization"
+    loaded: dict[int, dict[int, frozenset[int]]] = {}
+    pages_read = 0
+    results: list[tuple[int, tuple[tuple[int, ...], ...]]] = []
+    try:
+        for task in chunk.tasks:
+            adjacency: dict[int, frozenset[int]] = {}
+            for pindex in task.partition_indices:
+                if pindex not in loaded:
+                    path = chunk.paths[pindex]
+                    loaded[pindex] = read_partition_file(path)
+                    size = os.path.getsize(path)
+                    pages_read += (size + PAGE_SIZE_BYTES - 1) // PAGE_SIZE_BYTES
+                adjacency.update(loaded[pindex])
+            wanted = set(task.shared)
+            induced = AdjacencyGraph()
+            for v in task.shared:
+                induced.add_vertex(v)
+            for v in task.shared:
+                for u in adjacency.get(v, frozenset()) & wanted:
+                    induced.add_edge(v, u)
+            results.append(
+                (
+                    task.index,
+                    tuple(
+                        tuple(sorted(clique))
+                        for clique in tomita_maximal_cliques(induced)
+                    ),
+                )
+            )
+        _CONTEXT.emit(
+            "lift_chunk_completed",
+            tasks=len(chunk.tasks),
+            partitions_loaded=len(loaded),
+            pages_read=pages_read,
+        )
+    except Exception as error:
+        _CONTEXT.emit("lift_chunk_failed", tasks=len(chunk.tasks), error=repr(error))
+        raise
+    return results, pages_read
+
+
+class StepExecutor:
+    """Run task chunks for one recursion step, in parallel if possible.
+
+    ``map_tree`` / ``map_lift`` return chunk results in submission order
+    regardless of completion order (``Pool.map`` semantics), so callers
+    downstream see a worker-count-independent stream.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        payload: dict,
+        trace_dir: str | Path | None = None,
+        task_timeout: float | None = None,
+    ) -> None:
+        self._workers = max(1, int(workers))
+        self._payload = payload
+        self._trace_dir = str(trace_dir) if trace_dir is not None else None
+        self._task_timeout = task_timeout
+        self._pool = None
+        self.fell_back = False
+        if self._workers > 1:
+            try:
+                self._pool = multiprocessing.Pool(
+                    processes=self._workers,
+                    initializer=_init_worker,
+                    initargs=(self._payload, self._trace_dir),
+                )
+            except Exception:
+                self._pool = None
+                self.fell_back = True
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
+    def map_tree(self, chunks):
+        """Run tree chunks; one result list per chunk, submission order."""
+        return self._map(_run_tree_chunk, chunks)
+
+    def map_lift(self, chunks):
+        """Run lift chunks; one ``(results, pages)`` pair per chunk."""
+        return self._map(_run_lift_chunk, chunks)
+
+    def _map(self, func, chunks):
+        chunks = list(chunks)
+        if not chunks:
+            return []
+        if self._pool is not None:
+            try:
+                async_result = self._pool.map_async(func, chunks, chunksize=1)
+                return async_result.get(self._task_timeout)
+            except Exception:
+                # The pool is unusable (dead worker, timeout, pickling
+                # failure).  Tear it down and recompute everything
+                # in-process: tasks are pure, so this is merely slower,
+                # never different.
+                self._terminate()
+                self.fell_back = True
+        return self._map_inline(func, chunks)
+
+    def _map_inline(self, func, chunks):
+        global _CONTEXT
+        previous = _CONTEXT
+        _CONTEXT = WorkerContext(self._payload, self._trace_dir)
+        try:
+            return [func(chunk) for chunk in chunks]
+        finally:
+            _CONTEXT = previous
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down (idempotent); workers exit and the OS
+        closes their trace handles — every event was already flushed."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def _terminate(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "StepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if exc_info and exc_info[0] is not None:
+            self._terminate()
+        else:
+            self.close()
+
+
+__all__ = ["StepExecutor", "WorkerContext"]

@@ -33,6 +33,35 @@ from repro.storage.pagestore import PageStore
 _RECORD_HEADER = struct.Struct("<QI")
 
 
+def parse_partition_records(data: bytes) -> dict[int, frozenset[int]]:
+    """Decode a partition file's record stream to ``vertex -> neighbors``."""
+    loaded: dict[int, frozenset[int]] = {}
+    offset = 0
+    while offset < len(data):
+        vertex, degree = _RECORD_HEADER.unpack_from(data, offset)
+        offset += _RECORD_HEADER.size
+        neighbors = struct.unpack_from(f"<{degree}Q", data, offset)
+        offset += 8 * degree
+        loaded[vertex] = frozenset(neighbors)
+    return loaded
+
+
+def read_partition_file(path: str | Path) -> dict[int, frozenset[int]]:
+    """Read one spill file directly, bypassing :class:`PageStore`.
+
+    This is the worker-side entry point of :mod:`repro.parallel`: worker
+    processes must not share the driver's append-mode store handles or its
+    :class:`~repro.storage.iostats.IOStats`, so they open the (read-only,
+    already fully written) partition files themselves.  Pages read this
+    way are reported back to the driver and merged into its I/O counters
+    after the fan-out, keeping the metered totals honest.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"partition file {path} does not exist")
+    return parse_partition_records(path.read_bytes())
+
+
 class HnbPartitionStore:
     """Partitioned on-disk adjacency among a designated vertex set."""
 
@@ -145,6 +174,21 @@ class HnbPartitionStore:
         """Number of spill partitions."""
         return len(self._partitions)
 
+    @property
+    def io_stats(self):
+        """The I/O counters the spill files report to (``None`` when the
+        store has no partitions).  The parallel driver folds worker-side
+        page reads back in here."""
+        return self._stores[0].io_stats if self._stores else None
+
+    def partition_paths(self) -> list[Path]:
+        """Filesystem location of every spill file, by partition index.
+
+        Workers re-open these read-only (:func:`read_partition_file`)
+        instead of sharing the driver's store handles.
+        """
+        return [store.path for store in self._stores]
+
     def partitions_for(self, vertices: Iterable[int]) -> frozenset[int]:
         """Indices of the partitions covering ``vertices``.
 
@@ -217,17 +261,8 @@ class HnbPartitionStore:
             return self._resident[index]
         while len(self._resident) >= self._max_resident:
             self._evict(self._lru[0])
-        data = self._stores[index].read_all()
-        loaded: dict[int, frozenset[int]] = {}
-        offset = 0
-        units = 0
-        while offset < len(data):
-            vertex, degree = _RECORD_HEADER.unpack_from(data, offset)
-            offset += _RECORD_HEADER.size
-            neighbors = struct.unpack_from(f"<{degree}Q", data, offset)
-            offset += 8 * degree
-            loaded[vertex] = frozenset(neighbors)
-            units += 1 + degree
+        loaded = parse_partition_records(self._stores[index].read_all())
+        units = sum(1 + len(neighbors) for neighbors in loaded.values())
         if self._memory is not None:
             # Memory pressure may reclaim resident partitions; the one
             # being loaded is not in the LRU yet and cannot be victimised.

@@ -1,0 +1,86 @@
+"""Tests for the Par-TTT-style parallel Bron–Kerbosch baseline."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.bron_kerbosch import (
+    bron_kerbosch_maximal_cliques,
+    tomita_maximal_cliques,
+    tomita_subproblem,
+)
+from repro.baselines.parallel_bk import (
+    _chunk_vertices,
+    parallel_bron_kerbosch_maximal_cliques,
+)
+
+from tests.helpers import cliques_of, figure1_graph, seeded_gnp, small_graphs
+
+
+class TestSubproblemSplit:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=small_graphs())
+    def test_subproblems_partition_the_clique_set(self, graph):
+        oracle = cliques_of(tomita_maximal_cliques(graph))
+        pieces = []
+        for v in sorted(graph.vertices()):
+            for clique in tomita_subproblem(graph, v):
+                assert min(clique) == v
+                pieces.append(clique)
+        assert len(pieces) == len(oracle)  # no duplicates across subproblems
+        assert cliques_of(pieces) == oracle
+
+    def test_figure1_subproblem_of_smallest_vertex(self):
+        graph = figure1_graph()
+        found = cliques_of(tomita_subproblem(graph, 0))
+        assert found == {c for c in cliques_of(tomita_maximal_cliques(graph)) if min(c) == 0}
+
+
+class TestParallelBK:
+    def test_matches_serial_oracles(self):
+        graph = seeded_gnp(70, 0.18, seed=8)
+        oracle = cliques_of(bron_kerbosch_maximal_cliques(graph))
+        result = parallel_bron_kerbosch_maximal_cliques(graph, workers=2)
+        assert cliques_of(result) == oracle
+
+    def test_output_order_canonical_and_worker_invariant(self):
+        graph = seeded_gnp(40, 0.25, seed=2)
+        one = parallel_bron_kerbosch_maximal_cliques(graph, workers=1)
+        four = parallel_bron_kerbosch_maximal_cliques(graph, workers=4)
+        assert one == four
+        as_tuples = [tuple(sorted(c)) for c in one]
+        assert as_tuples == sorted(as_tuples)
+
+    def test_empty_graph(self):
+        from repro.graph.adjacency import AdjacencyGraph
+
+        assert parallel_bron_kerbosch_maximal_cliques(AdjacencyGraph(), workers=2) == []
+
+    def test_isolated_vertices(self):
+        from repro.graph.adjacency import AdjacencyGraph
+
+        graph = AdjacencyGraph.from_edges([], vertices=range(3))
+        result = parallel_bron_kerbosch_maximal_cliques(graph, workers=2)
+        assert cliques_of(result) == {frozenset({v}) for v in range(3)}
+
+    def test_pool_failure_falls_back(self, monkeypatch):
+        import multiprocessing
+
+        def boom(*args, **kwargs):
+            raise OSError("pool unavailable")
+
+        monkeypatch.setattr(multiprocessing, "Pool", boom)
+        graph = seeded_gnp(30, 0.3, seed=4)
+        result = parallel_bron_kerbosch_maximal_cliques(graph, workers=4)
+        assert cliques_of(result) == cliques_of(tomita_maximal_cliques(graph))
+
+
+class TestChunking:
+    def test_stripes_cover_everything_once(self):
+        vertices = list(range(17))
+        chunks = _chunk_vertices(vertices, 4)
+        flattened = sorted(v for chunk in chunks for v in chunk)
+        assert flattened == vertices
+
+    def test_degenerate_chunk_counts(self):
+        assert _chunk_vertices([1], 8) == [(1,)]
+        assert _chunk_vertices([], 3) == []

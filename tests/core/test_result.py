@@ -1,6 +1,12 @@
 """Tests for clique output sinks."""
 
-from repro.core.result import CliqueCollector, CliqueCounter, CliqueFileSink
+from repro.core.result import (
+    CliqueCollector,
+    CliqueCounter,
+    CliqueFileSink,
+    canonical_clique_order,
+    render_clique_lines,
+)
 
 
 class TestCollector:
@@ -53,3 +59,35 @@ class TestFileSink:
         sink = CliqueFileSink(tmp_path / "c.txt")
         sink.close()
         sink.close()
+
+
+class TestCanonicalOrder:
+    def test_lexicographic_over_sorted_tuples(self):
+        cliques = [frozenset({9}), frozenset({3, 1}), frozenset({1, 2})]
+        assert canonical_clique_order(cliques) == [(1, 2), (1, 3), (9,)]
+
+    def test_render_matches_order(self):
+        cliques = [frozenset({2, 1}), frozenset({0})]
+        assert render_clique_lines(cliques) == "0\n1 2\n"
+
+    def test_collector_canonical(self):
+        collector = CliqueCollector()
+        collector.accept(frozenset({5, 4}))
+        collector.accept(frozenset({0}))
+        assert collector.canonical() == [(0,), (4, 5)]
+
+    def test_canonical_sink_reorders_on_close(self, tmp_path):
+        path = tmp_path / "c.txt"
+        with CliqueFileSink(path, canonical=True) as sink:
+            sink.accept(frozenset({9}))
+            sink.accept(frozenset({1, 2}))
+        assert path.read_text() == "1 2\n9\n"
+
+    def test_canonical_sink_insertion_order_independent(self, tmp_path):
+        a, b = tmp_path / "a.txt", tmp_path / "b.txt"
+        cliques = [frozenset({7}), frozenset({2, 3}), frozenset({1, 9})]
+        for path, order in ((a, cliques), (b, list(reversed(cliques)))):
+            with CliqueFileSink(path, canonical=True) as sink:
+                for clique in order:
+                    sink.accept(clique)
+        assert a.read_bytes() == b.read_bytes()

@@ -1,0 +1,89 @@
+"""Executor tests: pool vs inline equivalence, fallback, worker traces."""
+
+import pytest
+
+from repro.core.clique_tree import enumerate_star_cliques
+from repro.core.hstar import extract_hstar_graph
+from repro.parallel.executor import StepExecutor
+from repro.parallel.merge import merge_tree_results
+from repro.parallel.partition import chunk_tree_tasks, serialize_star, tree_tasks
+
+from tests.helpers import cliques_of, seeded_gnp
+
+
+@pytest.fixture
+def star():
+    return extract_hstar_graph(seeded_gnp(50, 0.18, seed=21))
+
+
+def _run_tree(executor, star):
+    tasks = tree_tasks(star)
+    chunks = chunk_tree_tasks(tasks, workers=2)
+    results = executor.map_tree(chunks)
+    return merge_tree_results(tasks, results, star)
+
+
+class TestPoolVersusInline:
+    def test_pool_and_inline_agree_with_serial(self, star):
+        expected = cliques_of(enumerate_star_cliques(star))
+        with StepExecutor(1, serialize_star(star)) as inline:
+            inline_cliques, inline_core = _run_tree(inline, star)
+        with StepExecutor(2, serialize_star(star)) as pooled:
+            pooled_cliques, pooled_core = _run_tree(pooled, star)
+        assert cliques_of(inline_cliques) == expected
+        assert inline_cliques == pooled_cliques  # order, not just set
+        assert inline_core == pooled_core
+
+    def test_workers_one_never_creates_pool(self, star):
+        with StepExecutor(1, serialize_star(star)) as executor:
+            assert executor._pool is None
+            assert not executor.fell_back
+
+    def test_empty_chunk_list(self, star):
+        with StepExecutor(2, serialize_star(star)) as executor:
+            assert executor.map_tree([]) == []
+
+
+class TestFallback:
+    def test_dead_pool_falls_back_inline(self, star):
+        expected = cliques_of(enumerate_star_cliques(star))
+        with StepExecutor(2, serialize_star(star)) as executor:
+            # Simulate the pool dying under the driver: terminate it
+            # out-of-band, then ask for work.
+            executor._pool.terminate()
+            executor._pool.join()
+            star_cliques, _ = _run_tree(executor, star)
+            assert executor.fell_back
+            assert executor._pool is None
+        assert cliques_of(star_cliques) == expected
+
+    def test_pool_creation_failure_falls_back(self, star, monkeypatch):
+        import multiprocessing
+
+        def boom(*args, **kwargs):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(multiprocessing, "Pool", boom)
+        with StepExecutor(4, serialize_star(star)) as executor:
+            assert executor.fell_back
+            star_cliques, _ = _run_tree(executor, star)
+        assert cliques_of(star_cliques) == cliques_of(enumerate_star_cliques(star))
+
+
+class TestWorkerTraces:
+    def test_workers_write_private_flushed_trace_files(self, star, tmp_path):
+        trace_dir = tmp_path / "wt"
+        with StepExecutor(2, serialize_star(star), trace_dir=trace_dir) as executor:
+            _run_tree(executor, star)
+        from repro.telemetry import load_trace
+
+        files = sorted(trace_dir.glob("worker_*.jsonl"))
+        assert files, "workers should have written per-process trace files"
+        total = 0
+        for path in files:
+            events = [e for e in load_trace(path)]
+            seqs = [e["seq"] for e in events]
+            assert seqs == list(range(len(seqs)))  # per-file monotone seq
+            total += sum(1 for e in events if e["event"] == "tree_chunk_completed")
+        tasks = tree_tasks(star)
+        assert total == len(chunk_tree_tasks(tasks, workers=2))

@@ -1,0 +1,84 @@
+"""Merger tests: determinism and loud failure on malformed results."""
+
+import pytest
+
+from repro.parallel.merge import flatten_indexed, merge_lift_results, merge_tree_results
+from repro.parallel.partition import LiftTask, TreeTask
+from repro.core.hstar import StarGraph
+
+
+def _tiny_star():
+    # Core triangle {0,1,2} with periphery vertex 9 adjacent to 0 and 1.
+    return StarGraph(
+        core=frozenset({0, 1, 2}),
+        neighbor_lists={
+            0: frozenset({1, 2, 9}),
+            1: frozenset({0, 2, 9}),
+            2: frozenset({0, 1}),
+        },
+    )
+
+
+class TestFlatten:
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task index"):
+            flatten_indexed([[(0, ())], [(0, ())]])
+
+    def test_order_independent(self):
+        a = flatten_indexed([[(1, "b")], [(0, "a")]])
+        b = flatten_indexed([[(0, "a"), (1, "b")]])
+        assert a == b
+
+
+class TestMergeTree:
+    def test_missing_task_rejected(self):
+        star = _tiny_star()
+        tasks = [TreeTask(index=0, kind="core", vertex=0)]
+        with pytest.raises(ValueError, match="missing task indices"):
+            merge_tree_results(tasks, [], star)
+
+    def test_core_kernels_filtered_by_common_periphery(self):
+        star = _tiny_star()
+        tasks = [
+            TreeTask(index=0, kind="core", vertex=0),
+            TreeTask(index=1, kind="anchor", vertex=9, anchors=(0, 1)),
+        ]
+        chunk_results = [
+            [(0, ((0, 1, 2),))],  # M_H member; HNB({0,1,2}) is empty
+            [(1, ((0, 1),))],  # kernel within nb(9) ∩ H
+        ]
+        star_cliques, core_maximal = merge_tree_results(tasks, chunk_results, star)
+        assert core_maximal == {frozenset({0, 1, 2})}
+        assert star_cliques == [frozenset({0, 1, 2}), frozenset({0, 1, 9})]
+
+    def test_kernel_with_common_periphery_not_a_star_clique(self):
+        star = _tiny_star()
+        tasks = [TreeTask(index=0, kind="core", vertex=0)]
+        # Pretend {0,1} were core-maximal: HNB({0,1}) = {9} is nonempty,
+        # so it belongs to M_H but not to the H*-max-clique set.
+        star_cliques, core_maximal = merge_tree_results(
+            tasks, [[(0, ((0, 1),))]], star
+        )
+        assert core_maximal == {frozenset({0, 1})}
+        assert star_cliques == []
+
+
+class TestMergeLift:
+    def test_results_keyed_by_shared_set_and_pages_summed(self):
+        tasks = [
+            LiftTask(index=0, shared=(7, 9), partition_indices=(0,)),
+            LiftTask(index=1, shared=(3,), partition_indices=(1,)),
+        ]
+        chunk_results = [
+            ([(1, ((3,),))], 2),
+            ([(0, ((7, 9),))], 5),
+        ]
+        max_cliques_of, pages = merge_lift_results(tasks, chunk_results)
+        assert pages == 7
+        assert max_cliques_of[frozenset({7, 9})] == [frozenset({7, 9})]
+        assert max_cliques_of[frozenset({3})] == [frozenset({3})]
+
+    def test_missing_lift_task_rejected(self):
+        tasks = [LiftTask(index=0, shared=(1,), partition_indices=(0,))]
+        with pytest.raises(ValueError, match="missing lift task"):
+            merge_lift_results(tasks, [([], 0)])

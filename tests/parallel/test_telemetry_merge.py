@@ -1,0 +1,68 @@
+"""Parallel telemetry: per-worker files folded into one coherent trace."""
+
+import json
+
+from repro import DiskGraph, ExtMCEConfig, ParallelExtMCE, load_trace, merge_traces
+from repro.telemetry import TraceWriter
+
+from tests.helpers import seeded_gnp
+
+
+class TestMergeTraces:
+    def test_merge_orders_by_worker_then_seq(self, tmp_path):
+        a = tmp_path / "worker_a.jsonl"
+        b = tmp_path / "worker_b.jsonl"
+        with TraceWriter(b) as w:
+            w.emit("beta0")
+            w.emit("beta1")
+        with TraceWriter(a) as w:
+            w.emit("alpha0")
+        merged = merge_traces([b, a])
+        assert [e["event"] for e in merged] == ["alpha0", "beta0", "beta1"]
+        assert [e["seq"] for e in merged] == [0, 1, 2]
+        assert merged[0]["worker"] == "worker_a"
+
+    def test_missing_files_skipped(self, tmp_path):
+        present = tmp_path / "worker_x.jsonl"
+        with TraceWriter(present) as w:
+            w.emit("only")
+        merged = merge_traces([present, tmp_path / "worker_gone.jsonl"])
+        assert [e["event"] for e in merged] == ["only"]
+
+    def test_absorb_renumbers_and_keeps_payload(self, tmp_path):
+        worker = tmp_path / "worker_w.jsonl"
+        with TraceWriter(worker) as w:
+            w.emit("chunk_done", tasks=3)
+        main = tmp_path / "main.jsonl"
+        with TraceWriter(main) as writer:
+            writer.emit("run_started")
+            writer.absorb(merge_traces([worker]))
+        events = load_trace(main)
+        assert [e["event"] for e in events] == ["run_started", "chunk_done"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[1]["tasks"] == 3
+        assert events[1]["worker"] == "worker_w"
+        assert events[1]["worker_seq"] == 0
+
+
+class TestDriverTraceIntegration:
+    def test_parallel_run_produces_single_coherent_trace(self, tmp_path):
+        graph = seeded_gnp(60, 0.15, seed=5)
+        disk = DiskGraph.create(tmp_path / "g.bin", graph)
+        trace = tmp_path / "run.jsonl"
+        algo = ParallelExtMCE(
+            disk,
+            ExtMCEConfig(workdir=tmp_path / "w", workers=2, trace_path=trace),
+        )
+        list(algo.enumerate_cliques())
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        kinds = {e["event"] for e in events}
+        assert "run_started" in kinds and "run_completed" in kinds
+        assert "parallel_step_completed" in kinds
+        # Worker events were folded in and the merged file still has one
+        # strictly monotone seq counter.
+        assert any("worker" in e for e in events)
+        seqs = [e["seq"] for e in events]
+        assert seqs == list(range(len(seqs)))
+        # The per-worker spill directory is cleaned up after the fold-in.
+        assert not (tmp_path / "w" / "worker_traces").exists()

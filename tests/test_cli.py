@@ -68,6 +68,15 @@ class TestEnumerate:
         assert main(["enumerate", str(small_disk.path), "--budget", "5000"]) == 0
         assert "peak memory" in capsys.readouterr().out
 
+    def test_workers_flag_matches_serial_output(self, small_disk, tmp_path, capsys):
+        serial = tmp_path / "serial.txt"
+        parallel = tmp_path / "parallel.txt"
+        base = ["enumerate", str(small_disk.path), "--canonical"]
+        assert main(base + ["-o", str(serial)]) == 0
+        assert main(base + ["-o", str(parallel), "--workers", "2"]) == 0
+        assert "workers         : 2" in capsys.readouterr().out
+        assert parallel.read_bytes() == serial.read_bytes()
+
 
 class TestGenerate:
     def test_writes_dataset(self, tmp_path, capsys):
