@@ -9,7 +9,6 @@ import tempfile
 import time
 
 from repro.analysis.tables import render_table
-from repro.baselines.bron_kerbosch import tomita_maximal_cliques
 from repro.baselines.stix import StixDynamicMCE
 from repro.core.clique_tree import build_clique_tree
 from repro.core.estimator import estimate_tree_size

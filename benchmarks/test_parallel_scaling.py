@@ -40,6 +40,7 @@ def _run_one(graph, workers):
         "seconds": elapsed,
         "recursions": algo.report.num_recursions,
         "fallback_steps": getattr(algo, "fallback_steps", 0),
+        "payload_bytes": getattr(algo, "last_payload_bytes", 0),
     }
 
 
@@ -57,7 +58,8 @@ def test_parallel_scaling_sweep(benchmark, save_result, results_dir):
         render_table(
             f"Parallel scaling: ParallelExtMCE on powerlaw-cluster "
             f"(n={NUM_VERTICES}, m=5, p=0.7), host cpus={os.cpu_count()}",
-            ["workers", "cliques", "seconds", "speedup", "recursions", "fallbacks"],
+            ["workers", "cliques", "seconds", "speedup", "recursions",
+             "fallbacks", "payload B"],
             [
                 (
                     r["workers"],
@@ -66,6 +68,7 @@ def test_parallel_scaling_sweep(benchmark, save_result, results_dir):
                     f"{r['speedup']:.2f}x",
                     r["recursions"],
                     r["fallback_steps"],
+                    r["payload_bytes"],
                 )
                 for r in results
             ],

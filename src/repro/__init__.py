@@ -74,6 +74,11 @@ from repro.errors import (
 )
 from repro.dynamic import HStarMaintainer
 from repro.graph import AdjacencyGraph
+from repro.kernel import (
+    CompactGraph,
+    maximal_cliques_bitset,
+    subproblem_bitset,
+)
 from repro.storage import (
     BufferPool,
     DiskGraph,
@@ -96,6 +101,7 @@ __all__ = [
     "CliqueCounter",
     "CliqueFileSink",
     "CliqueTree",
+    "CompactGraph",
     "DiskGraph",
     "EdgeNotFoundError",
     "EstimationError",
@@ -130,10 +136,12 @@ __all__ = [
     "extract_lstar_graph",
     "k_clique_communities",
     "load_trace",
+    "maximal_cliques_bitset",
     "maximal_independent_sets",
     "maximum_clique",
     "merge_traces",
     "parallel_bron_kerbosch_maximal_cliques",
+    "subproblem_bitset",
     "summarize_trace",
     "tomita_maximal_cliques",
     "top_k_cliques",

@@ -9,7 +9,7 @@ output model follows.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable
 
 from repro.errors import GraphError
 

@@ -59,7 +59,11 @@ def _expand_plain(
         excluded.add(v)
 
 
-def tomita_subproblem(graph: AdjacencyGraph, start: Vertex) -> Iterator[Clique]:
+def tomita_subproblem(
+    graph: AdjacencyGraph,
+    start: Vertex,
+    kernel: str = "set",
+) -> Iterator[Clique]:
     """Enumerate the maximal cliques whose smallest member is ``start``.
 
     This is the root split of the Par-TTT vertex decomposition (Das,
@@ -73,7 +77,18 @@ def tomita_subproblem(graph: AdjacencyGraph, start: Vertex) -> Iterator[Clique]:
     The union over all vertices therefore partitions the clique set,
     which is what makes per-vertex subproblems independently
     distributable with no cross-worker deduplication.
+
+    ``kernel="bitset"`` routes the expansion through
+    :mod:`repro.kernel` (identical stream, bitmask hot path).
     """
+    from repro.kernel import validate_kernel
+
+    if validate_kernel(kernel) == "bitset":
+        from repro.kernel import CompactGraph, subproblem_bitset
+
+        graph.neighbors(start)  # surface VertexNotFoundError eagerly
+        yield from subproblem_bitset(CompactGraph.from_adjacency(graph), start)
+        return
     neighbors = graph.neighbors(start)
     candidates = {u for u in neighbors if u > start}
     excluded = {u for u in neighbors if u < start}
@@ -83,6 +98,7 @@ def tomita_subproblem(graph: AdjacencyGraph, start: Vertex) -> Iterator[Clique]:
 def tomita_maximal_cliques(
     graph: AdjacencyGraph,
     memory: "MemoryModel | None" = None,
+    kernel: str = "set",
 ) -> Iterator[Clique]:
     """Enumerate all maximal cliques with Tomita-style max-pivoting.
 
@@ -94,7 +110,21 @@ def tomita_maximal_cliques(
     plus one per vertex) is charged for the duration of the enumeration and
     each recursion level charges its candidate sets, reproducing the linear
     space behaviour the paper criticises in Section 1.
+
+    ``kernel="bitset"`` runs the compact big-int expansion of
+    :mod:`repro.kernel` instead of the set algebra; the emitted stream is
+    byte-identical.  Metered runs (``memory`` given) always use the set
+    path — its per-frame set sizes are what the Figure 3(b) accounting
+    models, and the bitset collector's transient output buffer would
+    falsify them.
     """
+    from repro.kernel import validate_kernel
+
+    if validate_kernel(kernel) == "bitset" and memory is None:
+        from repro.kernel import CompactGraph, maximal_cliques_bitset
+
+        yield from maximal_cliques_bitset(CompactGraph.from_adjacency(graph))
+        return
     if memory is None:
         yield from _expand_pivot(graph, [], set(graph.vertices()), set(), None)
         return
@@ -137,14 +167,30 @@ def _choose_pivot(
     candidates: set[Vertex],
     excluded: set[Vertex],
 ) -> Vertex:
-    """Pick the pivot maximising ``|candidates ∩ nb(u)|`` (ties: smallest id)."""
+    """Pick the pivot maximising ``|candidates ∩ nb(u)|`` (ties: smallest id).
+
+    Two scan optimisations, both stream-preserving:
+
+    * the intersection is taken with the smaller operand first, so CPython
+      walks ``min(|candidates|, |nb(u)|)`` elements;
+    * the scan stops once some pivot covers *every* candidate — the
+      extension ``candidates - nb(pivot)`` is empty for any such pivot,
+      so which covering vertex wins the tie cannot affect the output.
+    """
     best_vertex = None
     best_score = -1
+    target = len(candidates)
     for u in candidates | excluded:
-        score = len(candidates & graph.neighbors(u))
+        neighbors = graph.neighbors(u)
+        if target <= len(neighbors):
+            score = len(candidates & neighbors)
+        else:
+            score = len(neighbors & candidates)
         if score > best_score or (score == best_score and _lt(u, best_vertex)):
             best_vertex = u
             best_score = score
+            if score == target:
+                break
     assert best_vertex is not None  # caller guarantees a non-empty union
     return best_vertex
 

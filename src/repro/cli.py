@@ -85,6 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the output file in canonical sorted "
                                  "order (byte-identical across runs and "
                                  "worker counts; buffers all cliques)")
+    enumerate_.add_argument("--kernel", choices=("set", "bitset"),
+                            default="bitset",
+                            help="enumeration hot path: 'bitset' (big-int "
+                                 "adjacency masks, default) or 'set' "
+                                 "(frozenset reference); the clique stream "
+                                 "is identical either way")
 
     generate = sub.add_parser("generate", help="synthesize a dataset stand-in")
     generate.add_argument("dataset", choices=sorted(DATASETS))
@@ -184,7 +190,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 args.checkpoint_dir,
                 config=ExtMCEConfig(
                     memory_budget_units=args.budget, trace_path=args.trace,
-                    workers=args.workers,
+                    workers=args.workers, kernel=args.kernel,
                 ),
                 memory=memory,
             )
@@ -198,6 +204,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 checkpoint=args.checkpoint_dir is not None,
                 trace_path=args.trace,
                 workers=args.workers,
+                kernel=args.kernel,
             )
             algo = driver_cls(disk, config, memory=memory)
         try:

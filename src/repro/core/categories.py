@@ -139,13 +139,50 @@ def ordered_distinct_hnb(
 def resolve_hnb_cliques(
     ordered: list[Clique],
     periphery_adjacency: PeripheryAdjacency,
+    kernel: str = "set",
 ) -> dict[Clique, list[Clique]]:
-    """Phase 2 of Algorithm 2, serial strategy: ``maxCL(G[HNB])`` per set."""
+    """Phase 2 of Algorithm 2, serial strategy: ``maxCL(G[HNB])`` per set.
+
+    ``kernel`` selects the enumeration hot path (see :mod:`repro.kernel`);
+    the per-set clique lists are identical either way.
+    """
     max_cliques_of: dict[Clique, list[Clique]] = {}
     for shared in ordered:
         induced = periphery_adjacency.induced_subgraph(shared)
-        max_cliques_of[shared] = list(tomita_maximal_cliques(induced))
+        max_cliques_of[shared] = list(tomita_maximal_cliques(induced, kernel=kernel))
     return max_cliques_of
+
+
+class _PeripheryMaskIndex:
+    """Bitmask view of periphery adjacency for the M3 maximality test.
+
+    Periphery vertices get bit positions on first sight; each blocker's
+    periphery neighborhood is masked once and cached, turning Eq. (11)'s
+    ``C2 ⊆ nb(u)`` checks from per-element hash probes into one ``&``.
+    """
+
+    def __init__(self, star: StarGraph) -> None:
+        self._star = star
+        self._bit_of: dict[int, int] = {}
+        self._neighbor_masks: dict[int, int] = {}
+
+    def mask_of(self, vertices: Iterable[int]) -> int:
+        bit_of = self._bit_of
+        mask = 0
+        for vertex in vertices:
+            bit = bit_of.get(vertex)
+            if bit is None:
+                bit = 1 << len(bit_of)
+                bit_of[vertex] = bit
+            mask |= bit
+        return mask
+
+    def blocker_mask(self, u: int) -> int:
+        mask = self._neighbor_masks.get(u)
+        if mask is None:
+            mask = self.mask_of(self._star.periphery_neighbors(u))
+            self._neighbor_masks[u] = mask
+        return mask
 
 
 def assemble_categories(
@@ -154,18 +191,37 @@ def assemble_categories(
     m2_items: list[tuple[Clique, Clique]],
     m3_items: list[tuple[Clique, Clique]],
     max_cliques_of: dict[Clique, list[Clique]],
+    kernel: str = "set",
 ) -> CategorizedCliques:
-    """Phase 3 of Algorithm 2: combine kernels with their extensions."""
+    """Phase 3 of Algorithm 2: combine kernels with their extensions.
+
+    With ``kernel="bitset"`` the M3 maximality test runs on cached
+    periphery bitmasks (one subset comparison per blocker) instead of
+    per-element ``frozenset`` containment; the selected cliques are
+    identical.
+    """
+    from repro.kernel import validate_kernel
+
+    masks = (
+        _PeripheryMaskIndex(star) if validate_kernel(kernel) == "bitset" else None
+    )
     result = CategorizedCliques(m1=list(m1))
-    for kernel, shared in m2_items:
+    for core_clique, shared in m2_items:
         for extension in max_cliques_of[shared]:
-            result.m2.append(kernel | extension)
-    for kernel, shared in m3_items:
-        blockers = star.common_core_neighbors(kernel)
+            result.m2.append(core_clique | extension)
+    for core_clique, shared in m3_items:
+        blockers = star.common_core_neighbors(core_clique)
         for extension in max_cliques_of[shared]:
-            if _extendable_by_core(star, blockers, extension):
+            if masks is not None:
+                extension_mask = masks.mask_of(extension)
+                if any(
+                    extension_mask & masks.blocker_mask(u) == extension_mask
+                    for u in blockers
+                ):
+                    continue
+            elif _extendable_by_core(star, blockers, extension):
                 continue
-            result.m3.append(kernel | extension)
+            result.m3.append(core_clique | extension)
     return result
 
 
@@ -174,6 +230,7 @@ def compute_core_plus_max_cliques(
     core_maximal: set[Clique],
     periphery_adjacency: PeripheryAdjacency,
     resolver: HnbResolver | None = None,
+    kernel: str = "set",
 ) -> CategorizedCliques:
     """Compute ``M_H+ = M1 ∪ M2 ∪ M3`` (Algorithm 2).
 
@@ -190,12 +247,20 @@ def compute_core_plus_max_cliques(
     resolver:
         Optional phase-2 strategy override (see :data:`HnbResolver`);
         defaults to the serial :func:`resolve_hnb_cliques`.
+    kernel:
+        Enumeration kernel for phase 2 and the M3 maximality tests
+        (``"set"`` or ``"bitset"``); the output is identical either way.
+        A custom ``resolver`` is responsible for its own kernel choice.
     """
     m1, m2_items, m3_items = collect_lift_items(star, core_maximal)
     ordered = ordered_distinct_hnb(m2_items + m3_items, periphery_adjacency)
-    resolve = resolver if resolver is not None else resolve_hnb_cliques
-    max_cliques_of = resolve(ordered, periphery_adjacency)
-    return assemble_categories(star, m1, m2_items, m3_items, max_cliques_of)
+    if resolver is not None:
+        max_cliques_of = resolver(ordered, periphery_adjacency)
+    else:
+        max_cliques_of = resolve_hnb_cliques(ordered, periphery_adjacency, kernel=kernel)
+    return assemble_categories(
+        star, m1, m2_items, m3_items, max_cliques_of, kernel=kernel
+    )
 
 
 def enumerate_x_candidates(star: StarGraph) -> Iterator[tuple[Clique, Clique]]:

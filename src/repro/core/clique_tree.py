@@ -226,6 +226,7 @@ class CliqueTree:
 def enumerate_star_cliques(
     star: StarGraph,
     use_structure: bool = True,
+    kernel: str = "set",
 ) -> Iterator[Clique]:
     """Enumerate the maximal cliques of ``G_H*`` (the H*-max-cliques).
 
@@ -233,23 +234,52 @@ def enumerate_star_cliques(
     structure is exploited as described in the module docstring; otherwise
     the generic pivoted enumerator runs on the materialised star graph.
     Both yield the same set — a property the test suite asserts.
+
+    ``kernel="bitset"`` compacts the core graph once and carves each
+    periphery vertex's anchor subproblem out of it with a subset mask,
+    instead of materialising one induced ``AdjacencyGraph`` per periphery
+    vertex; the emitted stream is byte-identical to the set path.
     """
+    from repro.kernel import validate_kernel
+
     if not use_structure:
-        yield from tomita_maximal_cliques(star.star_graph())
+        yield from tomita_maximal_cliques(star.star_graph(), kernel=kernel)
+        return
+
+    if validate_kernel(kernel) == "bitset":
+        from repro.kernel import maximal_cliques_bitset
+
+        compact = star.core_compact()
+        for core_clique in maximal_cliques_bitset(compact):
+            if not star.common_periphery(core_clique):
+                yield core_clique
+        for w, anchors in _anchor_items(star):
+            subset = compact.subset_mask(anchors)
+            for core_clique in maximal_cliques_bitset(compact, subset):
+                yield core_clique | {w}
         return
 
     core_graph = star.core_graph()
-    for kernel in tomita_maximal_cliques(core_graph):
-        if not star.common_periphery(kernel):
-            yield kernel
+    for core_clique in tomita_maximal_cliques(core_graph):
+        if not star.common_periphery(core_clique):
+            yield core_clique
+    for w, anchors in _anchor_items(star):
+        induced = core_graph.induced_subgraph(anchors)
+        for core_clique in tomita_maximal_cliques(induced):
+            yield core_clique | {w}
+
+
+def _anchor_items(star: StarGraph) -> list[tuple[int, set[int]]]:
+    """``(w, anchors)`` per periphery vertex ``w``, ascending by ``w``.
+
+    The anchors of ``w`` are its core neighbors — the vertex set whose
+    induced maximal cliques become ``K ∪ {w}`` leaves (Lemma 2).
+    """
     anchors_of: dict[int, set[int]] = {}
     for v in star.core:
         for w in star.periphery_neighbors(v):
             anchors_of.setdefault(w, set()).add(v)
-    for w in sorted(anchors_of):
-        induced = core_graph.induced_subgraph(anchors_of[w])
-        for kernel in tomita_maximal_cliques(induced):
-            yield kernel | {w}
+    return sorted(anchors_of.items())
 
 
 def assemble_clique_tree(
@@ -279,6 +309,7 @@ def build_clique_tree_from_cliques(
     star: StarGraph,
     cliques: Iterable[Clique],
     memory: "MemoryModel | None" = None,
+    kernel: str = "set",
 ) -> tuple[CliqueTree, set[Clique]]:
     """Construct ``T_H*`` from an already-known H*-max-clique set.
 
@@ -288,7 +319,7 @@ def build_clique_tree_from_cliques(
     the saving Table 7's "Time w/ T_H*" column measures.  ``M_H`` is still
     recomputed from the (small) core graph for the Algorithm 2 markings.
     """
-    core_maximal = set(tomita_maximal_cliques(star.core_graph()))
+    core_maximal = set(tomita_maximal_cliques(star.core_graph(), kernel=kernel))
     tree = assemble_clique_tree(star, cliques, core_maximal, memory=memory)
     return tree, core_maximal
 
@@ -297,17 +328,19 @@ def build_clique_tree(
     star: StarGraph,
     memory: "MemoryModel | None" = None,
     use_structure: bool = True,
+    kernel: str = "set",
 ) -> tuple[CliqueTree, set[Clique]]:
     """Construct ``T_H*`` and the core-maximal clique set ``M_H``.
 
     Returns the populated tree and ``M_H`` (the maximal cliques of the
     core graph), with the tree's ``M_H`` paths marked per Algorithm 2's
     requirement.  Memory for every tree node is charged to ``memory``.
+    ``kernel`` selects the enumeration hot path; the tree is identical.
     """
-    core_maximal = set(tomita_maximal_cliques(star.core_graph()))
+    core_maximal = set(tomita_maximal_cliques(star.core_graph(), kernel=kernel))
     tree = assemble_clique_tree(
         star,
-        enumerate_star_cliques(star, use_structure=use_structure),
+        enumerate_star_cliques(star, use_structure=use_structure, kernel=kernel),
         core_maximal,
         memory=memory,
     )

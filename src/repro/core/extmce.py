@@ -90,6 +90,13 @@ class ExtMCEConfig:
         :class:`ExtMCE` ignores it; ``1`` means in-process execution even
         under the parallel driver.  Kept here (rather than on the driver)
         so checkpoints and :meth:`ExtMCE.resume` round-trip it.
+    kernel:
+        Enumeration kernel (``"set"`` or ``"bitset"``, see
+        :mod:`repro.kernel`) used for tree construction and the M2/M3
+        lifting.  The clique stream is byte-identical across kernels —
+        asserted by the test suite — so the default is the fast bitset
+        path; ``"set"`` remains for metered memory accounting and as the
+        reference implementation.
     """
 
     memory_budget_units: int | None = None
@@ -102,6 +109,7 @@ class ExtMCEConfig:
     checkpoint: bool = False
     trace_path: str | Path | None = None
     workers: int = 1
+    kernel: str = "bitset"
 
 
 @dataclass
@@ -437,10 +445,16 @@ class ExtMCE:
         """
         if step == 1 and self._first_step is not None:
             return build_clique_tree_from_cliques(
-                star, self._first_step[1], memory=self._memory
+                star,
+                self._first_step[1],
+                memory=self._memory,
+                kernel=self._config.kernel,
             )
         return build_clique_tree(
-            star, memory=self._memory, use_structure=self._config.use_structure
+            star,
+            memory=self._memory,
+            use_structure=self._config.use_structure,
+            kernel=self._config.kernel,
         )
 
     def _compute_categories(self, star: StarGraph, core_maximal, store):
@@ -450,7 +464,9 @@ class ExtMCE:
         partitions out to workers; the hashtable filter downstream always
         stays in the driver process.
         """
-        return compute_core_plus_max_cliques(star, core_maximal, store)
+        return compute_core_plus_max_cliques(
+            star, core_maximal, store, kernel=self._config.kernel
+        )
 
     # ------------------------------------------------------------------
     # Global maximality bookkeeping (Section 4.3)

@@ -104,6 +104,21 @@ class StarGraph:
                 graph.add_edge(v, u)
         return graph
 
+    def core_compact(self):
+        """``G_H`` as a :class:`~repro.kernel.compact.CompactGraph`.
+
+        The bitset construction/enumeration paths build this once per
+        step and then carve per-anchor subproblems out of it with subset
+        masks, instead of materialising an induced ``AdjacencyGraph`` per
+        periphery vertex.  Its CSR arrays are also the parallel engine's
+        worker payload (:func:`repro.parallel.partition.serialize_star`).
+        """
+        from repro.kernel import CompactGraph
+
+        return CompactGraph.from_neighbor_lists(
+            {v: self.neighbor_lists[v] & self.core for v in self.core}
+        )
+
     def core_neighbors(self, vertex: int) -> frozenset[int]:
         """``nb(v) ∩ H`` for a core vertex."""
         return self.neighbor_lists[vertex] & self.core

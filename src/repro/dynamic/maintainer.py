@@ -27,7 +27,7 @@ graph and tree units, matching what the paper's maintenance keeps resident.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 

@@ -8,6 +8,7 @@ distribution (Section 3.2) — plus enough triadic closure that maximal
 cliques of non-trivial size exist, as they do in the real networks.
 """
 
+from repro.generators.communities import defective_clique_communities
 from repro.generators.datasets import (
     DATASETS,
     DatasetSpec,
@@ -29,6 +30,7 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "barabasi_albert_graph",
+    "defective_clique_communities",
     "edge_stream",
     "generate_dataset",
     "list_datasets",

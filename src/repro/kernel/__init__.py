@@ -1,0 +1,39 @@
+"""repro.kernel — compact CSR + big-int bitmask enumeration kernel.
+
+The performance core of the repository: a dense-renumbered graph
+representation (:class:`CompactGraph`) and a bitmask rewrite of the
+pivoted Tomita expansion (:func:`maximal_cliques_bitset`,
+:func:`subproblem_bitset`) whose clique stream is byte-identical to the
+set-based enumerators in :mod:`repro.baselines.bron_kerbosch`.
+
+Consumers select it through ``kernel="bitset"`` switches on the
+enumeration entry points (and ``--kernel`` on the CLI); see
+``docs/ALGORITHMS.md`` for the representation and the determinism
+argument.
+"""
+
+from repro.kernel.bitmce import (
+    iter_bits,
+    maximal_cliques_bitset,
+    subproblem_bitset,
+)
+from repro.kernel.compact import CompactGraph
+
+KERNELS = ("set", "bitset")
+
+
+def validate_kernel(kernel: str) -> str:
+    """Return ``kernel`` if it names a known enumeration kernel."""
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {KERNELS}")
+    return kernel
+
+
+__all__ = [
+    "KERNELS",
+    "CompactGraph",
+    "iter_bits",
+    "maximal_cliques_bitset",
+    "subproblem_bitset",
+    "validate_kernel",
+]

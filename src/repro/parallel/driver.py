@@ -85,6 +85,9 @@ class ParallelExtMCE(ExtMCE):
         self._executor: StepExecutor | None = None
         self._worker_trace_dir: Path | None = None
         self.fallback_steps = 0
+        #: Pickled worker-payload size of the most recent parallel step;
+        #: the scaling bench reads this per worker-count/kernel row.
+        self.last_payload_bytes = 0
 
     @property
     def workers(self) -> int:
@@ -105,11 +108,12 @@ class ParallelExtMCE(ExtMCE):
         pool_started = time.perf_counter()
         with StepExecutor(
             self.workers,
-            serialize_star(star),
+            serialize_star(star, kernel=self._config.kernel),
             trace_dir=self._worker_trace_dir,
             task_timeout=self.task_timeout_seconds,
         ) as executor:
             self._executor = executor
+            self.last_payload_bytes = executor.payload_bytes
             try:
                 yield from super()._process_step(
                     step, star, current, workdir, hashtable, step_start
@@ -123,6 +127,8 @@ class ParallelExtMCE(ExtMCE):
                         "parallel_step_completed",
                         step=step,
                         workers=self.workers,
+                        kernel=self._config.kernel,
+                        payload_bytes=self.last_payload_bytes,
                         fell_back=executor.fell_back,
                         pool_elapsed=round(time.perf_counter() - pool_started, 6),
                     )
@@ -155,7 +161,11 @@ class ParallelExtMCE(ExtMCE):
         if self._executor is None or not isinstance(store, HnbPartitionStore):
             return super()._compute_categories(star, core_maximal, store)
         return compute_core_plus_max_cliques(
-            star, core_maximal, store, resolver=self._resolve_parallel
+            star,
+            core_maximal,
+            store,
+            resolver=self._resolve_parallel,
+            kernel=self._config.kernel,
         )
 
     def _resolve_parallel(self, ordered, store):

@@ -43,12 +43,29 @@ class WorkerContext:
     :class:`~repro.telemetry.TraceWriter`.  The trace file is per-PID, so
     append-mode handles are never shared across processes; every event is
     flushed on emit, so a crashing worker still leaves a readable trace.
+
+    Two payload formats (see
+    :func:`repro.parallel.partition.serialize_star`): the ``"bitset"``
+    payload carries compact CSR arrays and rehydrates a
+    :class:`~repro.kernel.CompactGraph` without re-sorting anything; the
+    ``"set"`` payload carries the legacy dict-of-tuples adjacency and
+    rebuilds an :class:`AdjacencyGraph`.
     """
 
     def __init__(self, payload: dict, trace_dir: str | None) -> None:
-        self.core_graph = AdjacencyGraph.from_adjacency(
-            {v: neighbors for v, neighbors in payload["core_adjacency"].items()}
-        )
+        self.kernel = payload.get("kernel", "set")
+        if self.kernel == "bitset":
+            from repro.kernel import CompactGraph
+
+            self.core_compact = CompactGraph.from_csr(
+                payload["labels"], payload["indptr"], payload["indices"]
+            )
+            self.core_graph = None
+        else:
+            self.core_compact = None
+            self.core_graph = AdjacencyGraph.from_adjacency(
+                {v: neighbors for v, neighbors in payload["core_adjacency"].items()}
+            )
         self._trace_dir = trace_dir
         self._trace = None
 
@@ -82,22 +99,40 @@ def _run_tree_chunk(
     indices alone for determinism.
     """
     assert _CONTEXT is not None, "worker used before initialization"
-    graph = _CONTEXT.core_graph
     results: list[tuple[int, tuple[tuple[int, ...], ...]]] = []
     try:
-        for task in chunk:
-            if task.kind == "core":
-                found = tuple(
-                    tuple(sorted(clique))
-                    for clique in tomita_subproblem(graph, task.vertex)
-                )
-            else:
-                induced = graph.induced_subgraph(task.anchors)
-                found = tuple(
-                    tuple(sorted(clique))
-                    for clique in tomita_maximal_cliques(induced)
-                )
-            results.append((task.index, found))
+        if _CONTEXT.kernel == "bitset":
+            from repro.kernel import maximal_cliques_bitset, subproblem_bitset
+
+            compact = _CONTEXT.core_compact
+            for task in chunk:
+                if task.kind == "core":
+                    found = tuple(
+                        tuple(sorted(clique))
+                        for clique in subproblem_bitset(compact, task.vertex)
+                    )
+                else:
+                    subset = compact.subset_mask(task.anchors)
+                    found = tuple(
+                        tuple(sorted(clique))
+                        for clique in maximal_cliques_bitset(compact, subset)
+                    )
+                results.append((task.index, found))
+        else:
+            graph = _CONTEXT.core_graph
+            for task in chunk:
+                if task.kind == "core":
+                    found = tuple(
+                        tuple(sorted(clique))
+                        for clique in tomita_subproblem(graph, task.vertex)
+                    )
+                else:
+                    induced = graph.induced_subgraph(task.anchors)
+                    found = tuple(
+                        tuple(sorted(clique))
+                        for clique in tomita_maximal_cliques(induced)
+                    )
+                results.append((task.index, found))
         _CONTEXT.emit(
             "tree_chunk_completed",
             tasks=len(chunk),
@@ -143,7 +178,9 @@ def _run_lift_chunk(
                     task.index,
                     tuple(
                         tuple(sorted(clique))
-                        for clique in tomita_maximal_cliques(induced)
+                        for clique in tomita_maximal_cliques(
+                            induced, kernel=_CONTEXT.kernel
+                        )
                     ),
                 )
             )
@@ -190,6 +227,15 @@ class StepExecutor:
             except Exception:
                 self._pool = None
                 self.fell_back = True
+
+    @property
+    def payload_bytes(self) -> int:
+        """Pickled size of the per-worker payload — what each pool
+        process receives at initialization.  The benchmarks record this
+        for the CSR-vs-dict payload comparison."""
+        import pickle
+
+        return len(pickle.dumps(self._payload))
 
     # ------------------------------------------------------------------
     # Mapping

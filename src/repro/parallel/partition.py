@@ -26,6 +26,7 @@ every task carries its global ``index``, and the merger orders by it.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -170,6 +171,19 @@ def chunk_lift_tasks(
     return chunks
 
 
+def _packed(values, top: int) -> array:
+    """``values`` as the narrowest unsigned array that can hold ``top``.
+
+    Pickled arrays ship their raw buffer, so width is wire size: CSR
+    indices are compact ids below ``n`` and usually fit one or two bytes
+    each, where pickled Python ints cost two to five.
+    """
+    for code, limit in (("B", 0xFF), ("H", 0xFFFF), ("I", 0xFFFFFFFF)):
+        if top <= limit:
+            return array(code, values)
+    return array("q", values)
+
+
 def _seal_lift_chunk(tasks: list[LiftTask], paths: list[str]) -> LiftChunk:
     needed = sorted({index for task in tasks for index in task.partition_indices})
     return LiftChunk(
@@ -177,7 +191,7 @@ def _seal_lift_chunk(tasks: list[LiftTask], paths: list[str]) -> LiftChunk:
     )
 
 
-def serialize_star(star: StarGraph) -> dict:
+def serialize_star(star: StarGraph, kernel: str = "bitset") -> dict:
     """A picklable snapshot of the parts of a star graph workers need.
 
     Only the *core* adjacency travels: core tasks run inside ``G_H`` and
@@ -185,8 +199,30 @@ def serialize_star(star: StarGraph) -> dict:
     lists — the bulk of ``G_H*`` — stay in the driver, which keeps the
     per-worker footprint at ``O(|G_H|) = O(h²)`` instead of
     ``O(|G_H*|)``.
+
+    With ``kernel="bitset"`` the payload is the compact CSR form —
+    three flat arrays that pickle far smaller than a dict of per-vertex
+    neighbor tuples (``benchmarks/test_kernel_speedup.py`` records the
+    ratio) and rehydrate via :meth:`CompactGraph.from_csr` without any
+    re-sorting.  The legacy dict-of-tuples payload remains for
+    ``kernel="set"`` workers.
     """
+    from repro.kernel import validate_kernel
+
+    if validate_kernel(kernel) == "bitset":
+        compact = star.core_compact()
+        labels = compact.labels
+        packed_labels: "tuple | array" = labels
+        if labels and all(isinstance(v, int) and 0 <= v for v in labels):
+            packed_labels = _packed(labels, labels[-1])
+        return {
+            "kernel": "bitset",
+            "labels": packed_labels,
+            "indptr": _packed(compact.indptr, len(compact.indices)),
+            "indices": _packed(compact.indices, max(compact.num_vertices - 1, 0)),
+        }
     return {
+        "kernel": "set",
         "core": tuple(sorted(star.core)),
         "core_adjacency": {
             v: tuple(sorted(star.core_neighbors(v))) for v in sorted(star.core)

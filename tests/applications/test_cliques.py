@@ -7,7 +7,7 @@ from repro.baselines.bron_kerbosch import tomita_maximal_cliques
 from repro.errors import GraphError
 from repro.graph.adjacency import AdjacencyGraph
 
-from tests.helpers import figure1_graph, seeded_gnp
+from tests.helpers import seeded_gnp
 
 
 def fs(*members):

@@ -1,6 +1,5 @@
 """Tests for the Par-TTT-style parallel Bron–Kerbosch baseline."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.bron_kerbosch import (

@@ -8,7 +8,6 @@ from hypothesis import given, settings, strategies as st
 from repro.baselines.bron_kerbosch import tomita_maximal_cliques
 from repro.baselines.stix import StixDynamicMCE
 from repro.errors import EdgeNotFoundError, GraphError
-from repro.graph.adjacency import AdjacencyGraph
 from repro.storage.memory import MemoryModel
 
 from tests.helpers import cliques_of

@@ -1,6 +1,5 @@
 """Tests for Algorithm 2 (M1/M2/M3, Lemmas 4-6, Example 2, Theorem 3)."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.baselines.bron_kerbosch import tomita_maximal_cliques
@@ -12,7 +11,7 @@ from repro.core.categories import (
 from repro.core.clique_tree import build_clique_tree
 from repro.core.hstar import extract_hstar_graph
 
-from tests.helpers import cliques_of, figure1_graph, names_of, seeded_gnp, small_graphs
+from tests.helpers import cliques_of, figure1_graph, names_of, small_graphs
 
 
 def categorize(graph):

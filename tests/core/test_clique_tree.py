@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.baselines.bron_kerbosch import tomita_maximal_cliques
 from repro.core.clique_tree import (
     CliqueTree,
     build_clique_tree,

@@ -1,7 +1,6 @@
 """Tests for Algorithm 1 (one-scan h-vertex extraction)."""
 
-import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.core.hindex import (
     compute_h_index_reference,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.hstar import StarGraph, extract_hstar_graph
 from repro.errors import GraphError
-from repro.graph.adjacency import AdjacencyGraph
 from repro.storage.diskgraph import DiskGraph
 
 from tests.helpers import FIGURE1_ID, figure1_graph, names_of

@@ -9,7 +9,6 @@ from repro.baselines.bron_kerbosch import tomita_maximal_cliques
 from repro.core.clique_tree import enumerate_star_cliques
 from repro.dynamic.maintainer import HStarMaintainer
 from repro.errors import EdgeNotFoundError, GraphError
-from repro.graph.adjacency import AdjacencyGraph
 
 from tests.helpers import cliques_of, figure1_graph
 

@@ -5,7 +5,6 @@ exercised end-to-end on ``protein`` (and reduced parameters) so harness
 regressions surface in the unit suite.
 """
 
-import pytest
 
 from repro.experiments import figure3, table2, table3, table4, table5, table6, table7
 

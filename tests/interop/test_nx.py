@@ -9,7 +9,7 @@ from repro.errors import GraphError
 from repro.graph.adjacency import AdjacencyGraph
 from repro.interop.nx import from_networkx, to_networkx
 
-from tests.helpers import cliques_of, figure1_graph, small_graphs
+from tests.helpers import cliques_of, small_graphs
 
 
 class TestConversion:

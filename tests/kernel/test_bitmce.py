@@ -1,0 +1,100 @@
+"""Unit tests for the big-int bitmask enumeration kernel."""
+
+import pytest
+
+from repro.errors import VertexNotFoundError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.kernel import (
+    CompactGraph,
+    iter_bits,
+    maximal_cliques_bitset,
+    subproblem_bitset,
+)
+
+from tests.helpers import cliques_of, figure1_graph, names_of, seeded_gnp
+
+
+def complete_graph(n: int) -> AdjacencyGraph:
+    return AdjacencyGraph.from_edges(
+        [(u, v) for u in range(n) for v in range(u + 1, n)]
+    )
+
+
+class TestIterBits:
+    def test_yields_ascending_positions(self):
+        assert list(iter_bits(0b101101)) == [0, 2, 3, 5]
+
+    def test_zero_mask(self):
+        assert list(iter_bits(0)) == []
+
+    def test_wide_mask(self):
+        mask = 1 << 500 | 1 << 63 | 1
+        assert list(iter_bits(mask)) == [0, 63, 500]
+
+
+class TestMaximalCliquesBitset:
+    def test_figure1_core(self):
+        star_core = figure1_graph().induced_subgraph(range(5))
+        cg = CompactGraph.from_adjacency(star_core)
+        found = {names_of(c) for c in maximal_cliques_bitset(cg)}
+        assert found == {"abc", "bcde"}
+
+    def test_empty_graph(self):
+        cg = CompactGraph.from_adjacency(AdjacencyGraph())
+        assert list(maximal_cliques_bitset(cg)) == []
+
+    def test_single_vertex(self):
+        g = AdjacencyGraph()
+        g.add_vertex(7)
+        cg = CompactGraph.from_adjacency(g)
+        assert list(maximal_cliques_bitset(cg)) == [frozenset({7})]
+
+    def test_isolated_vertices_are_singleton_cliques(self):
+        g = AdjacencyGraph.from_edges([(0, 1)], vertices=range(4))
+        cg = CompactGraph.from_adjacency(g)
+        assert cliques_of(maximal_cliques_bitset(cg)) == {
+            frozenset({0, 1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_complete_graph_single_clique(self):
+        cg = CompactGraph.from_adjacency(complete_graph(9))
+        assert list(maximal_cliques_bitset(cg)) == [frozenset(range(9))]
+
+    def test_star_graph_cliques_are_edges(self):
+        g = AdjacencyGraph.from_edges([(0, leaf) for leaf in range(1, 6)])
+        cg = CompactGraph.from_adjacency(g)
+        assert cliques_of(maximal_cliques_bitset(cg)) == {
+            frozenset({0, leaf}) for leaf in range(1, 6)
+        }
+
+    def test_subset_mask_matches_induced_subgraph(self):
+        g = seeded_gnp(30, 0.3, seed=11)
+        cg = CompactGraph.from_adjacency(g)
+        subset = set(range(0, 30, 2))
+        induced = CompactGraph.from_adjacency(g.induced_subgraph(subset))
+        restricted = list(maximal_cliques_bitset(cg, cg.subset_mask(subset)))
+        assert restricted == list(maximal_cliques_bitset(induced))
+
+    def test_empty_subset_mask_yields_nothing(self):
+        cg = CompactGraph.from_adjacency(seeded_gnp(10, 0.4, seed=2))
+        assert list(maximal_cliques_bitset(cg, 0)) == []
+
+
+class TestSubproblemBitset:
+    def test_partitions_by_smallest_member(self):
+        g = seeded_gnp(25, 0.3, seed=6)
+        cg = CompactGraph.from_adjacency(g)
+        all_cliques = list(maximal_cliques_bitset(cg))
+        recombined = []
+        for start in sorted(g.vertices()):
+            for clique in subproblem_bitset(cg, start):
+                assert min(clique) == start
+                recombined.append(clique)
+        assert cliques_of(recombined) == cliques_of(all_cliques)
+
+    def test_unknown_start_raises(self):
+        cg = CompactGraph.from_adjacency(seeded_gnp(5, 0.5, seed=1))
+        with pytest.raises(VertexNotFoundError):
+            list(subproblem_bitset(cg, 99))

@@ -1,0 +1,110 @@
+"""Unit tests for the compact CSR + bitmask graph representation."""
+
+import pytest
+
+from repro.errors import GraphError, VertexNotFoundError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.kernel import CompactGraph
+
+from tests.helpers import figure1_graph, seeded_gnp
+
+
+class TestFromAdjacency:
+    def test_labels_ascending_and_positional(self):
+        g = AdjacencyGraph.from_edges([(10, 30), (30, 20)])
+        cg = CompactGraph.from_adjacency(g)
+        assert cg.labels == (10, 20, 30)
+        assert cg.index_of == {10: 0, 20: 1, 30: 2}
+
+    def test_masks_match_adjacency(self):
+        g = seeded_gnp(40, 0.2, seed=3)
+        cg = CompactGraph.from_adjacency(g)
+        for i, label in enumerate(cg.labels):
+            expected = {cg.index_of[u] for u in g.neighbors(label)}
+            actual = {
+                j for j in range(cg.num_vertices) if cg.masks[i] >> j & 1
+            }
+            assert actual == expected
+            assert not cg.masks[i] >> i & 1  # no self-loop bit
+
+    def test_masks_symmetric(self):
+        cg = CompactGraph.from_adjacency(seeded_gnp(30, 0.3, seed=9))
+        for i in range(cg.num_vertices):
+            for j in range(cg.num_vertices):
+                assert (cg.masks[i] >> j & 1) == (cg.masks[j] >> i & 1)
+
+    def test_counts_and_degrees(self):
+        g = figure1_graph()
+        cg = CompactGraph.from_adjacency(g)
+        assert cg.num_vertices == g.num_vertices
+        assert cg.num_edges == g.num_edges
+        for i, label in enumerate(cg.labels):
+            assert cg.degree(i) == len(g.neighbors(label))
+
+    def test_unorderable_labels_rejected(self):
+        g = AdjacencyGraph.from_edges([(1, "a")])
+        with pytest.raises(GraphError):
+            CompactGraph.from_adjacency(g)
+
+    def test_empty_graph(self):
+        cg = CompactGraph.from_adjacency(AdjacencyGraph())
+        assert cg.num_vertices == 0
+        assert cg.num_edges == 0
+        assert cg.full_mask == 0
+
+
+class TestFromNeighborLists:
+    def test_symmetrises_one_sided_lists(self):
+        cg = CompactGraph.from_neighbor_lists({1: [2], 2: [], 3: [2]})
+        assert cg.num_edges == 2
+        assert cg.masks[cg.index_of[2]] == (
+            1 << cg.index_of[1] | 1 << cg.index_of[3]
+        )
+
+    def test_unknown_neighbor_rejected(self):
+        with pytest.raises(VertexNotFoundError):
+            CompactGraph.from_neighbor_lists({1: [2]})
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            CompactGraph.from_neighbor_lists({1: [1]})
+
+
+class TestFromCsr:
+    def test_round_trips_the_fast_path(self):
+        reference = CompactGraph.from_adjacency(seeded_gnp(25, 0.25, seed=4))
+        cg = CompactGraph.from_csr(
+            reference.labels, reference.indptr, reference.indices
+        )
+        assert cg.labels == reference.labels
+        assert cg.masks == reference.masks
+        assert list(cg.indptr) == list(reference.indptr)
+        assert list(cg.indices) == list(reference.indices)
+
+    def test_accepts_plain_sequences(self):
+        cg = CompactGraph.from_csr((5, 7), [0, 1, 2], [1, 0])
+        assert cg.labels == (5, 7)
+        assert cg.masks == [0b10, 0b01]
+
+
+class TestQueries:
+    def test_subset_mask(self):
+        cg = CompactGraph.from_adjacency(figure1_graph())
+        mask = cg.subset_mask([cg.labels[0], cg.labels[3]])
+        assert mask == 0b1001
+
+    def test_subset_mask_unknown_vertex(self):
+        cg = CompactGraph.from_adjacency(figure1_graph())
+        with pytest.raises(VertexNotFoundError):
+            cg.subset_mask([10_000])
+
+    def test_full_mask(self):
+        cg = CompactGraph.from_adjacency(seeded_gnp(10, 0.5, seed=1))
+        assert cg.full_mask == (1 << 10) - 1
+
+    def test_to_adjacency_round_trip(self):
+        g = seeded_gnp(35, 0.15, seed=8)
+        back = CompactGraph.from_adjacency(g).to_adjacency_graph()
+        assert set(back.vertices()) == set(g.vertices())
+        for v in g.vertices():
+            assert back.neighbors(v) == g.neighbors(v)

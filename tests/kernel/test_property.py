@@ -1,0 +1,86 @@
+"""Property tests: the bitset kernel against the Bron-Kerbosch oracle.
+
+``bron_kerbosch_maximal_cliques`` is the repo's unpivoted reference
+implementation — deliberately naive, independently written.  The bitset
+kernel must agree with it on the *set* of maximal cliques for arbitrary
+graphs, and with the set-based Tomita path on the exact stream.
+"""
+
+from hypothesis import given, settings
+
+from repro.baselines.bron_kerbosch import (
+    bron_kerbosch_maximal_cliques,
+    tomita_maximal_cliques,
+)
+from repro.generators import powerlaw_cluster_graph
+from repro.graph.adjacency import AdjacencyGraph
+from repro.kernel import CompactGraph, maximal_cliques_bitset
+
+from tests.helpers import cliques_of, small_graphs
+
+
+def bitset_cliques(graph):
+    return list(maximal_cliques_bitset(CompactGraph.from_adjacency(graph)))
+
+
+@given(graph=small_graphs())
+@settings(max_examples=120, deadline=None)
+def test_bitset_matches_oracle_on_arbitrary_graphs(graph):
+    assert cliques_of(bitset_cliques(graph)) == cliques_of(
+        bron_kerbosch_maximal_cliques(graph)
+    )
+
+
+@given(graph=small_graphs())
+@settings(max_examples=120, deadline=None)
+def test_bitset_stream_matches_set_stream(graph):
+    assert bitset_cliques(graph) == list(
+        tomita_maximal_cliques(graph, kernel="set")
+    )
+
+
+def test_oracle_agreement_on_seeded_scale_free_graph():
+    graph = powerlaw_cluster_graph(300, 3, 0.4, seed=17)
+    assert cliques_of(bitset_cliques(graph)) == cliques_of(
+        bron_kerbosch_maximal_cliques(graph)
+    )
+
+
+class TestEdgeCaseGraphs:
+    def test_empty_graph(self):
+        assert bitset_cliques(AdjacencyGraph()) == []
+
+    def test_only_isolated_vertices(self):
+        graph = AdjacencyGraph.from_edges([], vertices=range(6))
+        assert cliques_of(bitset_cliques(graph)) == {
+            frozenset({v}) for v in range(6)
+        }
+
+    def test_stars(self):
+        for leaves in (1, 2, 7):
+            graph = AdjacencyGraph.from_edges(
+                [(0, leaf) for leaf in range(1, leaves + 1)]
+            )
+            expected = {frozenset({0, leaf}) for leaf in range(1, leaves + 1)}
+            assert cliques_of(bitset_cliques(graph)) == expected
+
+    def test_complete_graphs(self):
+        for n in (2, 3, 8, 65):  # 65 crosses the 64-bit word boundary
+            graph = AdjacencyGraph.from_edges(
+                [(u, v) for u in range(n) for v in range(u + 1, n)]
+            )
+            assert bitset_cliques(graph) == [frozenset(range(n))]
+
+    def test_oracle_agreement_on_edge_cases(self):
+        cases = [
+            AdjacencyGraph.from_edges([], vertices=range(4)),
+            AdjacencyGraph.from_edges([(0, 1), (2, 3)], vertices=range(5)),
+            AdjacencyGraph.from_edges([(0, leaf) for leaf in range(1, 9)]),
+            AdjacencyGraph.from_edges(
+                [(u, v) for u in range(7) for v in range(u + 1, 7)]
+            ),
+        ]
+        for graph in cases:
+            assert cliques_of(bitset_cliques(graph)) == cliques_of(
+                bron_kerbosch_maximal_cliques(graph)
+            )

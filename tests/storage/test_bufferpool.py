@@ -116,3 +116,98 @@ class TestMemoryCharging:
         for page in range(3):
             pool.read(page * PAGE_SIZE_BYTES, 8)
         assert memory.in_use_units == UNITS_PER_PAGE
+
+
+class TestLRUEvictionOrder:
+    def _resident(self, pool):
+        return set(pool._pages)
+
+    def test_victim_is_least_recently_used(self, store):
+        pool = BufferPool(store, capacity_pages=3, policy="lru")
+        for page in (0, 1, 2):
+            pool.read(page * PAGE_SIZE_BYTES, 8)
+        pool.read(0, 8)  # refresh page 0; page 1 is now the LRU victim
+        pool.read(3 * PAGE_SIZE_BYTES, 8)
+        assert self._resident(pool) == {0, 2, 3}
+
+    def test_hit_refresh_changes_successive_victims(self, store):
+        pool = BufferPool(store, capacity_pages=2, policy="lru")
+        pool.read(0, 8)
+        pool.read(PAGE_SIZE_BYTES, 8)
+        pool.read(0, 8)  # page 1 becomes LRU
+        pool.read(2 * PAGE_SIZE_BYTES, 8)  # evicts 1
+        assert self._resident(pool) == {0, 2}
+        pool.read(3 * PAGE_SIZE_BYTES, 8)  # evicts 0 (2 was just used)
+        assert self._resident(pool) == {2, 3}
+
+    def test_fifo_ignores_recency(self, store):
+        pool = BufferPool(store, capacity_pages=3, policy="fifo")
+        for page in (0, 1, 2):
+            pool.read(page * PAGE_SIZE_BYTES, 8)
+        pool.read(0, 8)  # a hit must NOT save page 0 under FIFO
+        pool.read(3 * PAGE_SIZE_BYTES, 8)
+        assert self._resident(pool) == {1, 2, 3}
+
+
+class TestHitRateAccounting:
+    def test_empty_pool_reports_zero(self, store):
+        pool = BufferPool(store, capacity_pages=2)
+        assert pool.hit_rate == 0.0
+
+    def test_exact_ratio(self, store):
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(0, 8)          # miss
+        pool.read(16, 8)         # hit (same page)
+        pool.read(32, 8)         # hit
+        pool.read(PAGE_SIZE_BYTES, 8)  # miss
+        assert pool.hits == 2
+        assert pool.misses == 2
+        assert pool.hit_rate == 0.5
+
+    def test_multi_page_read_counts_each_page(self, store):
+        pool = BufferPool(store, capacity_pages=4)
+        pool.read(0, 2 * PAGE_SIZE_BYTES)  # pages 0 and 1: two misses
+        assert (pool.hits, pool.misses) == (0, 2)
+        pool.read(0, 2 * PAGE_SIZE_BYTES)  # both cached now
+        assert (pool.hits, pool.misses) == (2, 2)
+
+
+class TestDrop:
+    def test_drop_empties_the_pool(self, store):
+        pool = BufferPool(store, capacity_pages=3)
+        for page in range(3):
+            pool.read(page * PAGE_SIZE_BYTES, 8)
+        pool.drop()
+        assert pool.resident_pages == 0
+
+    def test_drop_preserves_counters(self, store):
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(0, 8)
+        pool.read(8, 8)
+        pool.drop()
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_reads_after_drop_miss_again(self, store):
+        pool = BufferPool(store, capacity_pages=2)
+        pool.read(0, 8)
+        pool.drop()
+        pool.read(0, 8)
+        assert pool.misses == 2
+
+    def test_drop_is_idempotent(self, store):
+        memory = MemoryModel()
+        pool = BufferPool(store, capacity_pages=2, memory=memory)
+        pool.read(0, 8)
+        pool.drop()
+        pool.drop()
+        assert memory.in_use_units == 0
+        assert pool.resident_pages == 0
+
+    def test_drop_then_reuse_under_clock_policy(self, store):
+        pool = BufferPool(store, capacity_pages=2, policy="clock")
+        for page in range(4):
+            pool.read(page * PAGE_SIZE_BYTES, 8)
+        pool.drop()
+        for page in range(4):
+            pool.read(page * PAGE_SIZE_BYTES, 8)
+        assert pool.resident_pages <= 2

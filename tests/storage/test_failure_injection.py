@@ -9,7 +9,6 @@ import struct
 import pytest
 
 from repro.errors import StorageError, StorageFormatError
-from repro.graph.adjacency import AdjacencyGraph
 from repro.storage.diskgraph import DiskGraph
 from repro.storage.format import FILE_MAGIC
 

@@ -6,7 +6,6 @@ captured, so the documented entry points can never silently rot.
 
 import importlib.util
 import io
-import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 
