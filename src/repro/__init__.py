@@ -63,16 +63,20 @@ from repro.core import (
     extract_lstar_graph,
 )
 from repro.errors import (
+    CorruptDataError,
     EdgeNotFoundError,
     EstimationError,
     GraphError,
+    InjectedFaultError,
     MemoryBudgetExceeded,
     ReproError,
     StorageError,
     StorageFormatError,
+    StorageIOError,
     VertexNotFoundError,
 )
 from repro.dynamic import HStarMaintainer
+from repro.faults import FaultPlan, FaultRule
 from repro.graph import AdjacencyGraph
 from repro.kernel import (
     CompactGraph,
@@ -102,15 +106,19 @@ __all__ = [
     "CliqueFileSink",
     "CliqueTree",
     "CompactGraph",
+    "CorruptDataError",
     "DiskGraph",
     "EdgeNotFoundError",
     "EstimationError",
     "ExtMCE",
     "ExtMCEConfig",
     "ExtMCEReport",
+    "FaultPlan",
+    "FaultRule",
     "GraphError",
     "HStarMaintainer",
     "IOStats",
+    "InjectedFaultError",
     "MemoryBudgetExceeded",
     "MemoryModel",
     "ParallelExtMCE",
@@ -120,6 +128,7 @@ __all__ = [
     "StixDynamicMCE",
     "StorageError",
     "StorageFormatError",
+    "StorageIOError",
     "TraceWriter",
     "VerificationReport",
     "VertexNotFoundError",

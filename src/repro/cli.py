@@ -91,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  "adjacency masks, default) or 'set' "
                                  "(frozenset reference); the clique stream "
                                  "is identical either way")
+    enumerate_.add_argument("--max-retries", type=int, default=2,
+                            help="per-chunk resubmissions before the parallel "
+                                 "engine recomputes a failing chunk inline")
+    enumerate_.add_argument("--verify-checksums",
+                            action=argparse.BooleanOptionalAction, default=True,
+                            help="verify per-record CRC32s when reading "
+                                 "checksummed (v2) disk graphs")
+    enumerate_.add_argument("--fault-plan", type=Path,
+                            help="JSON fault-injection spec (testing only; "
+                                 "see repro.faults.FaultPlan.to_spec)")
 
     generate = sub.add_parser("generate", help="synthesize a dataset stand-in")
     generate.add_argument("dataset", choices=sorted(DATASETS))
@@ -144,14 +154,21 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_graph(path: Path) -> DiskGraph:
+def _open_graph(path: Path, fault_plan=None, verify_checksums: bool = True) -> DiskGraph:
     """Open a DiskGraph, converting a text edge list transparently."""
     try:
-        return DiskGraph.open(path)
+        return DiskGraph.open(
+            path, fault_plan=fault_plan, verify_checksums=verify_checksums
+        )
     except StorageError:
         converted = path.with_suffix(path.suffix + ".converted.bin")
         with tempfile.TemporaryDirectory(prefix="repro_convert_") as tmp:
-            return edge_list_file_to_disk_graph(path, converted, tmp)
+            disk = edge_list_file_to_disk_graph(path, converted, tmp)
+        if fault_plan is None and verify_checksums:
+            return disk
+        return DiskGraph.open(
+            disk.path, fault_plan=fault_plan, verify_checksums=verify_checksums
+        )
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -179,6 +196,18 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    fault_plan = None
+    if args.fault_plan is not None:
+        import json
+
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_spec(json.loads(args.fault_plan.read_text()))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read fault plan {args.fault_plan}: {exc}",
+                  file=sys.stderr)
+            return 2
     memory = MemoryModel(budget=args.budget)
     counter = CliqueCounter()
     sink = CliqueFileSink(args.output, canonical=args.canonical) if args.output else None
@@ -191,11 +220,17 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 config=ExtMCEConfig(
                     memory_budget_units=args.budget, trace_path=args.trace,
                     workers=args.workers, kernel=args.kernel,
+                    verify_checksums=args.verify_checksums,
+                    max_retries=args.max_retries, fault_plan=fault_plan,
                 ),
                 memory=memory,
             )
         else:
-            disk = _open_graph(args.graph)
+            disk = _open_graph(
+                args.graph,
+                fault_plan=fault_plan,
+                verify_checksums=args.verify_checksums,
+            )
             workdir = args.checkpoint_dir if args.checkpoint_dir else tmp
             config = ExtMCEConfig(
                 workdir=workdir,
@@ -205,6 +240,9 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 trace_path=args.trace,
                 workers=args.workers,
                 kernel=args.kernel,
+                verify_checksums=args.verify_checksums,
+                max_retries=args.max_retries,
+                fault_plan=fault_plan,
             )
             algo = driver_cls(disk, config, memory=memory)
         try:

@@ -13,21 +13,41 @@ already emitted are emitted again.  The checkpoint records
 ``cliques_emitted`` (the count through the last completed step) so a
 file-backed consumer can truncate before resuming; counting consumers can
 simply restart from that number.
+
+Durability: the checkpoint is what a crashed run resumes from, so it gets
+the strongest guarantees in the library — the scratch file is fsynced
+before the atomic rename, the directory is fsynced after it, and the
+document carries a CRC32 so a damaged file is rejected as
+:class:`~repro.errors.CorruptDataError` rather than silently resuming
+from garbage.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro.errors import CorruptDataError, StorageError
 
 CHECKPOINT_FILENAME = "checkpoint.json"
 
 #: Format version; bump on layout changes so stale files fail loudly.
-_VERSION = 1
+#: Version 2 adds the document CRC32; version-1 files (written before
+#: checksumming existed) are still accepted, without verification.
+_VERSION = 2
+_ACCEPTED_VERSIONS = (1, 2)
+
+
+def _document_crc(payload: dict) -> int:
+    """CRC32 over the canonical serialisation of the state document.
+
+    ``sort_keys`` plus JSON's shortest-round-trip float repr make the
+    serialisation deterministic, so writer and reader always agree.
+    """
+    return zlib.crc32(json.dumps(payload, sort_keys=True).encode("utf-8"))
 
 
 @dataclass
@@ -58,10 +78,10 @@ class CheckpointState:
     @classmethod
     def from_json(cls, data: dict) -> "CheckpointState":
         """Parse and validate a checkpoint document."""
-        if data.get("version") != _VERSION:
+        if data.get("version") not in _ACCEPTED_VERSIONS:
             raise StorageError(
                 f"unsupported checkpoint version {data.get('version')!r} "
-                f"(expected {_VERSION})"
+                f"(expected one of {_ACCEPTED_VERSIONS})"
             )
         try:
             return cls(
@@ -78,20 +98,43 @@ class CheckpointState:
 
 
 def write_checkpoint(workdir: str | Path, state: CheckpointState) -> Path:
-    """Atomically persist a checkpoint into ``workdir``."""
+    """Durably and atomically persist a checkpoint into ``workdir``.
+
+    Write order: scratch file → ``fsync(scratch)`` → ``os.replace`` →
+    ``fsync(directory)``.  Without the first fsync the rename can land
+    before the data, leaving a valid-looking empty/partial checkpoint
+    after a power loss; without the second, the rename itself may not
+    survive.  The CRC32 covers the state document, so even a torn write
+    that slips through is detected at read time.
+    """
     workdir = Path(workdir)
     workdir.mkdir(parents=True, exist_ok=True)
     target = workdir / CHECKPOINT_FILENAME
     scratch = workdir / (CHECKPOINT_FILENAME + ".tmp")
-    scratch.write_text(json.dumps(state.to_json(), indent=2))
-    os.replace(scratch, target)
+    payload = state.to_json()
+    document = {**payload, "crc32": _document_crc(payload)}
+    try:
+        with open(scratch, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(document, indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, target)
+        directory_fd = os.open(workdir, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+    except OSError as exc:
+        raise StorageError(f"failed to persist checkpoint at {target}: {exc}") from exc
     return target
 
 
 def read_checkpoint(workdir: str | Path) -> CheckpointState:
     """Load the checkpoint from ``workdir``.
 
-    Raises :class:`~repro.errors.StorageError` when absent or malformed.
+    Raises :class:`~repro.errors.StorageError` when absent or malformed,
+    and :class:`~repro.errors.CorruptDataError` when the document's CRC32
+    does not match its contents.
     """
     path = Path(workdir) / CHECKPOINT_FILENAME
     if not path.exists():
@@ -100,6 +143,18 @@ def read_checkpoint(workdir: str | Path) -> CheckpointState:
         data = json.loads(path.read_text())
     except json.JSONDecodeError as exc:
         raise StorageError(f"corrupt checkpoint at {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise StorageError(f"corrupt checkpoint at {path}: not a JSON object")
+    stored_crc = data.pop("crc32", None)
+    if data.get("version") == 2:
+        if stored_crc is None:
+            raise CorruptDataError(f"checkpoint at {path} is missing its crc32 field")
+        computed = _document_crc(data)
+        if stored_crc != computed:
+            raise CorruptDataError(
+                f"checkpoint checksum mismatch at {path}: "
+                f"stored {stored_crc:#010x}, computed {computed:#010x}"
+            )
     state = CheckpointState.from_json(data)
     if not Path(state.residual_path).exists():
         raise StorageError(
@@ -109,7 +164,13 @@ def read_checkpoint(workdir: str | Path) -> CheckpointState:
 
 
 def clear_checkpoint(workdir: str | Path) -> None:
-    """Remove the checkpoint file (called when a run completes)."""
-    path = Path(workdir) / CHECKPOINT_FILENAME
-    if path.exists():
-        path.unlink()
+    """Remove the checkpoint file and any stale scratch file.
+
+    Called when a run completes; also the cleanup point for a scratch
+    file left behind by a write interrupted before its atomic rename.
+    """
+    workdir = Path(workdir)
+    for name in (CHECKPOINT_FILENAME, CHECKPOINT_FILENAME + ".tmp"):
+        path = workdir / name
+        if path.exists():
+            path.unlink()

@@ -40,6 +40,7 @@ from repro.core.checkpoint import (
 from repro.core.clique_tree import build_clique_tree, build_clique_tree_from_cliques
 from repro.core.estimator import estimate_tree_size, shrink_core_to_budget
 from repro.errors import GraphError
+from repro.faults import FaultPlan
 from repro.core.hstar import StarGraph, extract_hstar_graph
 from repro.core.lstar import extract_lstar_graph
 from repro.storage.diskgraph import DiskGraph
@@ -97,6 +98,20 @@ class ExtMCEConfig:
         asserted by the test suite — so the default is the fast bitset
         path; ``"set"`` remains for metered memory accounting and as the
         reference implementation.
+    verify_checksums:
+        Verify per-record CRC32s when reading checksummed (format v2)
+        disk graphs; flipping this off trades integrity for a little
+        decode speed.  Applies to the input graph and every residual
+        derived from it.
+    max_retries:
+        Per-chunk resubmission budget of the parallel executor before a
+        failing chunk degrades to inline recomputation (see
+        :class:`repro.parallel.executor.StepExecutor`).
+    fault_plan:
+        Deterministic fault-injection schedule for the parallel
+        executor's ``"chunk"`` site (see :mod:`repro.faults`); storage
+        faults are configured on the :class:`DiskGraph` itself.  ``None``
+        (production) injects nothing.
     """
 
     memory_budget_units: int | None = None
@@ -110,6 +125,9 @@ class ExtMCEConfig:
     trace_path: str | Path | None = None
     workers: int = 1
     kernel: str = "bitset"
+    verify_checksums: bool = True
+    max_retries: int = 2
+    fault_plan: "FaultPlan | None" = None
 
 
 @dataclass
@@ -186,6 +204,9 @@ class ExtMCE:
         self._resume_state: CheckpointState | None = None
         if self._config.checkpoint and self._config.workdir is None:
             raise GraphError("checkpointing requires an explicit workdir")
+        if not self._config.verify_checksums:
+            # Propagates to every residual via DiskGraph.rewrite_without.
+            disk_graph.verify_checksums = False
         self.report = ExtMCEReport()
 
     @classmethod
@@ -204,7 +225,6 @@ class ExtMCE:
         the checkpointed residual graph carries everything.
         """
         state = read_checkpoint(workdir)
-        residual = DiskGraph.open(state.residual_path)
         if config is None:
             config = ExtMCEConfig(workdir=workdir, seed=state.seed, checkpoint=True)
         else:
@@ -212,6 +232,9 @@ class ExtMCE:
                 **{**config.__dict__, "workdir": workdir, "seed": state.seed,
                    "checkpoint": True}
             )
+        residual = DiskGraph.open(
+            state.residual_path, verify_checksums=config.verify_checksums
+        )
         algo = cls(residual, config, memory=memory)
         algo._resume_state = state
         algo.report.estimated_recursions = state.estimated_recursions

@@ -59,5 +59,39 @@ class StorageFormatError(StorageError):
     """A binary record on disk failed to decode."""
 
 
+class StorageIOError(StorageError):
+    """An underlying I/O operation failed (really or by injection).
+
+    Wraps ``OSError`` from the filesystem — and stands in for it under
+    fault injection — so callers catching :class:`ReproError` see every
+    disk failure as a typed library error, never a raw builtin.
+    """
+
+    def __init__(self, operation: str, path: object, detail: str = "") -> None:
+        message = f"{operation} failed on {path}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.operation = operation
+        self.path = path
+
+
+class CorruptDataError(StorageError):
+    """Stored data failed its integrity check (CRC32 mismatch).
+
+    Raised instead of returning silently wrong bytes: a flipped bit in a
+    page-store or disk-graph block must become a typed error, never a
+    wrong clique stream.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault-injection rule fired (see :mod:`repro.faults`).
+
+    Only ever raised when a :class:`~repro.faults.FaultPlan` is threaded
+    into a component; production runs without a plan never see it.
+    """
+
+
 class EstimationError(ReproError):
     """The clique-tree size estimator was invoked on an unusable input."""

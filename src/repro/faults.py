@@ -1,0 +1,273 @@
+"""Deterministic, seeded fault injection for the external-memory stack.
+
+Multi-hour ExtMCE runs live in a world where disks flip bits, workers get
+OOM-killed and machines reboot.  This module makes those conditions
+*reproducible* so the hardening around them can be tested: a
+:class:`FaultPlan` is a list of :class:`FaultRule` entries plus a seed,
+threaded into the storage layer (:class:`~repro.storage.pagestore.PageStore`,
+:class:`~repro.storage.bufferpool.BufferPool`,
+:class:`~repro.storage.diskgraph.DiskGraph`) and the parallel executor
+(:class:`~repro.parallel.executor.StepExecutor`).  Each component consults
+the plan at well-defined operation sites; the plan decides — as a pure
+function of the rule list, the seed and the operation sequence — whether a
+fault fires there and what kind.
+
+Operation sites and the fault kinds they honour::
+
+    site         component                 kinds
+    ----------   -----------------------   ---------------------------------
+    "read"       PageStore.read_at         io_error, short_read, corrupt,
+                                           latency
+    "scan"       PageStore.scan_chunks     io_error, short_read, corrupt,
+                                           latency
+    "write"      PageStore.write_all /     io_error, torn_write, latency
+                 append / patch
+    "pool_read"  BufferPool._page          io_error, corrupt, latency
+    "chunk"      StepExecutor submission   worker_kill, worker_error,
+                                           timeout, poison, latency
+
+The failure-model contract the plan exists to enforce: under *every*
+schedule expressible here, a run either completes with a clique stream
+byte-identical to the fault-free run, or raises a typed
+:class:`~repro.errors.ReproError` leaving a resumable checkpoint — never
+silent wrong output.  ``tests/faults/`` exercises exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ReproError
+
+#: Fault kinds understood by the storage layer.
+STORAGE_KINDS = ("io_error", "short_read", "torn_write", "corrupt", "latency")
+
+#: Fault kinds understood by the parallel executor.
+EXECUTOR_KINDS = ("worker_kill", "worker_error", "timeout", "poison", "latency")
+
+_ALL_KINDS = tuple(dict.fromkeys(STORAGE_KINDS + EXECUTOR_KINDS))
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injectable failure mode.
+
+    Attributes
+    ----------
+    operation:
+        The operation site this rule arms ("read", "write", "scan",
+        "pool_read", "chunk").
+    kind:
+        What happens when the rule fires (see module docstring).
+    probability:
+        Chance of firing per eligible match, drawn from the plan's seeded
+        RNG; ``1.0`` (the default) fires deterministically.
+    after:
+        Number of eligible matches to let pass before the rule may fire
+        — "fail the third residual write" is ``after=2``.
+    max_firings:
+        Total firings before the rule disarms; ``None`` means unlimited.
+        The default of 1 models a transient fault that a retry survives.
+    path_contains:
+        Only match operations on paths containing this substring
+        (ignored for the pathless "chunk" site).
+    latency_seconds:
+        Sleep duration for ``latency`` faults and the worker-side stall
+        for ``timeout`` faults.
+    """
+
+    operation: str
+    kind: str
+    probability: float = 1.0
+    after: int = 0
+    max_firings: int | None = 1
+    path_contains: str | None = None
+    latency_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ALL_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; choose from {_ALL_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ReproError(f"fault probability must be in [0, 1], got {self.probability}")
+        if self.after < 0:
+            raise ReproError(f"fault 'after' must be non-negative, got {self.after}")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A fired fault: what to inject, where, and with what randomness.
+
+    ``fraction`` is a deterministic draw in ``[0, 1)`` the injection site
+    uses to pick a byte position to corrupt or a truncation point, so two
+    runs of the same plan damage the same bytes.
+    """
+
+    kind: str
+    rule: FaultRule
+    operation: str
+    path: str | None
+    sequence: int
+    fraction: float
+
+    @property
+    def latency_seconds(self) -> float:
+        """Sleep duration for latency/timeout kinds."""
+        return self.rule.latency_seconds
+
+
+@dataclass
+class _RuleState:
+    matches: int = 0
+    firings: int = 0
+
+
+class FaultPlan:
+    """A seeded schedule of faults, consulted by instrumented components.
+
+    The plan is deterministic: given the same rules, seed and sequence of
+    :meth:`draw` calls, the same faults fire at the same operations with
+    the same ``fraction`` draws.  It is shared *within one process*; the
+    executor applies "chunk" faults driver-side (wrapping the submitted
+    task) precisely so worker processes never need the plan.
+    """
+
+    def __init__(self, rules: Sequence[FaultRule] = (), seed: int = 0) -> None:
+        self._rules = list(rules)
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._states = [_RuleState() for _ in self._rules]
+        self._sequence = 0
+        #: Every fault that fired, in firing order (for tests/telemetry).
+        self.firings: list[Fault] = []
+
+    @property
+    def rules(self) -> list[FaultRule]:
+        """The armed rules, in priority order (first match wins)."""
+        return list(self._rules)
+
+    @property
+    def seed(self) -> int:
+        """The seed the plan's RNG was built from."""
+        return self._seed
+
+    def draw(self, operation: str, path: str | None = None) -> Fault | None:
+        """Decide whether a fault fires at this operation.
+
+        Called by instrumented components once per operation.  Returns
+        the fired :class:`Fault` (first matching armed rule wins) or
+        ``None``.  Every call advances the deterministic sequence.
+        """
+        self._sequence += 1
+        for rule, state in zip(self._rules, self._states):
+            if rule.operation != operation:
+                continue
+            if rule.path_contains is not None and (
+                path is None or rule.path_contains not in path
+            ):
+                continue
+            state.matches += 1
+            if state.matches <= rule.after:
+                continue
+            if rule.max_firings is not None and state.firings >= rule.max_firings:
+                continue
+            if rule.probability < 1.0 and self._rng.random() >= rule.probability:
+                continue
+            state.firings += 1
+            fault = Fault(
+                kind=rule.kind,
+                rule=rule,
+                operation=operation,
+                path=path,
+                sequence=self._sequence,
+                fraction=self._rng.random(),
+            )
+            self.firings.append(fault)
+            return fault
+        return None
+
+    def reset(self) -> None:
+        """Rewind to the armed state (fresh RNG, zeroed counters)."""
+        self._rng = random.Random(self._seed)
+        self._states = [_RuleState() for _ in self._rules]
+        self._sequence = 0
+        self.firings = []
+
+    # ------------------------------------------------------------------
+    # Serialization (the CLI's --fault-plan reads this spec as JSON)
+    # ------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """Plain-data representation, JSON-serialisable."""
+        return {
+            "seed": self._seed,
+            "rules": [
+                {
+                    "operation": rule.operation,
+                    "kind": rule.kind,
+                    "probability": rule.probability,
+                    "after": rule.after,
+                    "max_firings": rule.max_firings,
+                    "path_contains": rule.path_contains,
+                    "latency_seconds": rule.latency_seconds,
+                }
+                for rule in self._rules
+            ],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "FaultPlan":
+        """Build a plan from :meth:`to_spec` output (or hand-written JSON)."""
+        try:
+            rules = [
+                FaultRule(
+                    operation=str(entry["operation"]),
+                    kind=str(entry["kind"]),
+                    probability=float(entry.get("probability", 1.0)),
+                    after=int(entry.get("after", 0)),
+                    # Missing key → the FaultRule default (one transient
+                    # firing); an explicit JSON null → unlimited.
+                    max_firings=(
+                        None
+                        if entry.get("max_firings", 1) is None
+                        else int(entry.get("max_firings", 1))
+                    ),
+                    path_contains=(
+                        None
+                        if entry.get("path_contains") is None
+                        else str(entry["path_contains"])
+                    ),
+                    latency_seconds=float(entry.get("latency_seconds", 0.05)),
+                )
+                for entry in spec.get("rules", [])
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed fault-plan spec: {exc}") from exc
+        return cls(rules, seed=int(spec.get("seed", 0)))
+
+
+def corrupt_bytes(data: bytes, fraction: float) -> bytes:
+    """Flip one byte of ``data`` at the position selected by ``fraction``.
+
+    The shared corruption primitive of the injection sites: XORs with
+    0xFF, so the damage is guaranteed to change the byte and therefore to
+    trip a covering CRC32.
+    """
+    if not data:
+        return data
+    position = min(int(fraction * len(data)), len(data) - 1)
+    mutated = bytearray(data)
+    mutated[position] ^= 0xFF
+    return bytes(mutated)
+
+
+__all__ = [
+    "EXECUTOR_KINDS",
+    "STORAGE_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultRule",
+    "corrupt_bytes",
+]

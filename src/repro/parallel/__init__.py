@@ -8,7 +8,8 @@ arXiv:1807.09417), adapted to the paper's step-wise H*-graph recursion:
   per-vertex clique-tree subproblems and partition-aligned lifting
   batches;
 * :mod:`repro.parallel.executor` — runs chunks on a ``multiprocessing``
-  pool, with per-worker trace files and graceful in-process fallback;
+  pool with per-worker trace files and chunk-granular fault recovery
+  (bounded retry, pool rebuild after worker death, inline degradation);
 * :mod:`repro.parallel.merge` — reassembles worker results into the
   exact stream the serial driver would produce (worker-count-invariant
   by construction);
@@ -27,7 +28,7 @@ Quick start::
 """
 
 from repro.parallel.driver import ParallelExtMCE
-from repro.parallel.executor import StepExecutor
+from repro.parallel.executor import ExecutorStats, StepExecutor
 from repro.parallel.merge import merge_lift_results, merge_tree_results
 from repro.parallel.partition import (
     LiftChunk,
@@ -41,6 +42,7 @@ from repro.parallel.partition import (
 )
 
 __all__ = [
+    "ExecutorStats",
     "LiftChunk",
     "LiftTask",
     "ParallelExtMCE",

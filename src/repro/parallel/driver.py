@@ -39,7 +39,7 @@ from repro.core.categories import compute_core_plus_max_cliques
 from repro.core.clique_tree import assemble_clique_tree
 from repro.core.extmce import ExtMCE, ExtMCEConfig
 from repro.core.hstar import StarGraph
-from repro.parallel.executor import StepExecutor
+from repro.parallel.executor import ExecutorStats, StepExecutor
 from repro.parallel.merge import merge_lift_results, merge_tree_results
 from repro.parallel.partition import (
     chunk_lift_tasks,
@@ -75,9 +75,10 @@ class ParallelExtMCE(ExtMCE):
     [[0, 1, 2], [2, 3]]
     """
 
-    #: Wall-clock ceiling per fan-out phase; a deadlocked pool trips this
-    #: and the executor recomputes the phase in-process instead of
-    #: hanging the enumeration forever.
+    #: Wall-clock ceiling per submitted chunk; a dead or deadlocked
+    #: worker trips this, the pool is rebuilt and only the unfinished
+    #: chunks are resubmitted — the enumeration never hangs and never
+    #: recomputes work that already finished.
     task_timeout_seconds: float | None = 600.0
 
     def __init__(self, *args, **kwargs) -> None:
@@ -85,6 +86,9 @@ class ParallelExtMCE(ExtMCE):
         self._executor: StepExecutor | None = None
         self._worker_trace_dir: Path | None = None
         self.fallback_steps = 0
+        #: Run-level accumulation of every step executor's recovery
+        #: counters (retries, timeouts, rebuilds, inline fallbacks).
+        self.executor_stats = ExecutorStats()
         #: Pickled worker-payload size of the most recent parallel step;
         #: the scaling bench reads this per worker-count/kernel row.
         self.last_payload_bytes = 0
@@ -111,6 +115,9 @@ class ParallelExtMCE(ExtMCE):
             serialize_star(star, kernel=self._config.kernel),
             trace_dir=self._worker_trace_dir,
             task_timeout=self.task_timeout_seconds,
+            max_retries=self._config.max_retries,
+            fault_plan=self._config.fault_plan,
+            on_event=self._trace.emit if self._trace is not None else None,
         ) as executor:
             self._executor = executor
             self.last_payload_bytes = executor.payload_bytes
@@ -120,6 +127,7 @@ class ParallelExtMCE(ExtMCE):
                 )
             finally:
                 self._executor = None
+                self.executor_stats.merge(executor.stats)
                 if executor.fell_back:
                     self.fallback_steps += 1
                 if self._trace is not None:
@@ -131,6 +139,7 @@ class ParallelExtMCE(ExtMCE):
                         payload_bytes=self.last_payload_bytes,
                         fell_back=executor.fell_back,
                         pool_elapsed=round(time.perf_counter() - pool_started, 6),
+                        **executor.stats.to_dict(),
                     )
 
     def _drive(self, workdir: Path) -> Iterator[Clique]:

@@ -1,16 +1,31 @@
-"""The worker pool: process management, serialization, fallback.
+"""The worker pool: process management, serialization, per-chunk recovery.
 
 One :class:`StepExecutor` lives for one recursion step (the worker-side
 state is the step's core graph, which changes every step).  It owns a
-``multiprocessing`` pool when ``workers > 1`` and degrades to in-process
-execution — same task functions, same results, same order — when
+``multiprocessing`` pool when ``workers > 1`` and recovers from failures
+at *chunk* granularity — the unit of loss is one chunk, never the step:
 
-* ``workers == 1`` (no pool is ever created),
-* the pool cannot be created (platforms without working semaphores), or
-* the pool dies mid-flight (a worker segfaults or is OOM-killed): the
-  surviving driver terminates the pool and recomputes the whole phase
-  inline.  Tasks are pure functions of (payload, task), so recomputation
-  is safe and the fallback result is identical by construction.
+* a chunk that errors (worker raised, payload unpicklable) is retried up
+  to ``max_retries`` times on the pool, then recomputed inline;
+* a chunk that times out marks the pool broken — ``multiprocessing.Pool``
+  never reports an abruptly dead worker, so the per-chunk
+  ``apply_async(...).get(timeout)`` *is* the death detector — the pool is
+  torn down and rebuilt (bounded), and only the unfinished chunks are
+  resubmitted;
+* when the pool cannot be (re)created at all, the executor degrades to
+  in-process execution for everything still pending (``fell_back``).
+
+Tasks are pure functions of (payload, task), so recomputation is safe and
+every recovery path yields results identical by construction; retries,
+rebuilds and inline fallbacks are counted in :class:`ExecutorStats` and
+surfaced through the ``on_event`` hook into the run's trace.
+
+An optional :class:`~repro.faults.FaultPlan` injects executor faults at
+submission time (operation ``"chunk"``): the driver wraps the submitted
+task with a directive the worker executes on arrival — kill yourself,
+raise, stall — so worker processes never need the plan object itself.
+Inline recomputation always runs the *raw* chunk: injection exercises the
+pool path, and degradation must converge to the correct answer.
 
 Workers never share file handles with the driver: each worker process
 opens its own spill files (read-only) and its own trace file (append
@@ -22,18 +37,27 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.baselines.bron_kerbosch import tomita_maximal_cliques, tomita_subproblem
+from repro.errors import InjectedFaultError
 from repro.graph.adjacency import AdjacencyGraph
 from repro.storage.pagestore import PAGE_SIZE_BYTES
 from repro.storage.partitions import read_partition_file
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
     from repro.parallel.partition import LiftChunk, TreeTask
 
 Clique = frozenset
+
+#: Grace period for salvaging completed chunks off a pool already declared
+#: broken (their workers may have finished before the breakage).
+_SALVAGE_TIMEOUT_SECONDS = 0.05
 
 
 class WorkerContext:
@@ -196,12 +220,85 @@ def _run_lift_chunk(
     return results, pages_read
 
 
+class _Poison:
+    """A wrapper whose pickling always fails — the ``poison`` fault."""
+
+    def __init__(self, chunk: object) -> None:
+        self.chunk = chunk
+
+    def __reduce__(self):
+        raise TypeError("injected unpicklable payload")
+
+
+def _dispatch_chunk(task):
+    """Worker-side entry point: obey the fault directive, then run.
+
+    ``task`` is ``(directive, phase, chunk)``.  The directive is attached
+    driver-side by :meth:`StepExecutor._submit` so workers never hold a
+    :class:`~repro.faults.FaultPlan`; ``None`` means run normally.
+    """
+    directive, phase, chunk = task
+    if directive is not None:
+        kind = directive[0]
+        if kind == "worker_kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif kind == "worker_error":
+            raise InjectedFaultError("injected worker error")
+        elif kind == "sleep":
+            time.sleep(directive[1])
+    if phase == "tree":
+        return _run_tree_chunk(chunk)
+    return _run_lift_chunk(chunk)
+
+
+@dataclass
+class ExecutorStats:
+    """Recovery counters for one executor (or, merged, one run).
+
+    ``chunk_retries`` counts resubmissions after a failed attempt;
+    ``chunk_timeouts`` / ``chunk_errors`` classify the failures;
+    ``pool_rebuilds`` counts pool teardown-and-recreate cycles;
+    ``inline_chunks`` counts chunks that exhausted their retries and were
+    recomputed in-process.
+    """
+
+    chunk_retries: int = 0
+    chunk_timeouts: int = 0
+    chunk_errors: int = 0
+    pool_rebuilds: int = 0
+    inline_chunks: int = 0
+
+    def merge(self, other: "ExecutorStats") -> None:
+        """Accumulate another executor's counters into this one."""
+        self.chunk_retries += other.chunk_retries
+        self.chunk_timeouts += other.chunk_timeouts
+        self.chunk_errors += other.chunk_errors
+        self.pool_rebuilds += other.pool_rebuilds
+        self.inline_chunks += other.inline_chunks
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-dict view for telemetry events."""
+        return {
+            "chunk_retries": self.chunk_retries,
+            "chunk_timeouts": self.chunk_timeouts,
+            "chunk_errors": self.chunk_errors,
+            "pool_rebuilds": self.pool_rebuilds,
+            "inline_chunks": self.inline_chunks,
+        }
+
+    @property
+    def any_recovery(self) -> bool:
+        """Whether any fault-recovery machinery engaged."""
+        return any(self.to_dict().values())
+
+
 class StepExecutor:
     """Run task chunks for one recursion step, in parallel if possible.
 
     ``map_tree`` / ``map_lift`` return chunk results in submission order
-    regardless of completion order (``Pool.map`` semantics), so callers
-    downstream see a worker-count-independent stream.
+    regardless of completion order, so callers downstream see a
+    worker-count-independent stream — retries, pool rebuilds and inline
+    fallbacks never reorder or change results, only delay them.
     """
 
     def __init__(
@@ -210,12 +307,25 @@ class StepExecutor:
         payload: dict,
         trace_dir: str | Path | None = None,
         task_timeout: float | None = None,
+        max_retries: int = 2,
+        fault_plan: "FaultPlan | None" = None,
+        on_event: Callable[..., None] | None = None,
     ) -> None:
         self._workers = max(1, int(workers))
         self._payload = payload
         self._trace_dir = str(trace_dir) if trace_dir is not None else None
         self._task_timeout = task_timeout
+        self._max_retries = max(0, int(max_retries))
+        self._faults = fault_plan
+        self._on_event = on_event
         self._pool = None
+        self._inline_context: WorkerContext | None = None
+        # Lifetime cap on rebuilds: enough to outlast max_retries worth of
+        # worker deaths, but bounded so a persistently hostile environment
+        # degrades to inline execution instead of thrashing.
+        self._max_rebuilds = max(3, self._max_retries + 1)
+        self._rebuilds_used = 0
+        self.stats = ExecutorStats()
         self.fell_back = False
         if self._workers > 1:
             try:
@@ -242,37 +352,171 @@ class StepExecutor:
     # ------------------------------------------------------------------
     def map_tree(self, chunks):
         """Run tree chunks; one result list per chunk, submission order."""
-        return self._map(_run_tree_chunk, chunks)
+        return self._map("tree", chunks)
 
     def map_lift(self, chunks):
         """Run lift chunks; one ``(results, pages)`` pair per chunk."""
-        return self._map(_run_lift_chunk, chunks)
+        return self._map("lift", chunks)
 
-    def _map(self, func, chunks):
+    def _map(self, phase, chunks):
+        """Run every chunk to completion, whatever the pool does.
+
+        Round structure: submit all unfinished chunks, collect their
+        results in submission order, classify failures (retry, timeout →
+        pool rebuild, retries exhausted → inline), repeat until done.
+        The loop terminates because every failure either charges an
+        attempt against a chunk (bounded by ``max_retries`` before the
+        chunk goes inline) or consumes a pool rebuild (bounded by the
+        lifetime cap before the executor degrades to inline entirely).
+        """
         chunks = list(chunks)
         if not chunks:
             return []
-        if self._pool is not None:
-            try:
-                async_result = self._pool.map_async(func, chunks, chunksize=1)
-                return async_result.get(self._task_timeout)
-            except Exception:
-                # The pool is unusable (dead worker, timeout, pickling
-                # failure).  Tear it down and recompute everything
-                # in-process: tasks are pure, so this is merely slower,
-                # never different.
-                self._terminate()
-                self.fell_back = True
-        return self._map_inline(func, chunks)
+        results: list = [None] * len(chunks)
+        done = [False] * len(chunks)
+        attempts = [0] * len(chunks)
+        while not all(done):
+            if self._pool is None:
+                for index, chunk in enumerate(chunks):
+                    if not done[index]:
+                        results[index] = self._run_chunk_inline(phase, chunk)
+                        done[index] = True
+                break
+            handles = []
+            submit_failed = False
+            for index, chunk in enumerate(chunks):
+                if done[index]:
+                    continue
+                handle = self._submit(phase, chunk)
+                if handle is None:
+                    submit_failed = True
+                    break
+                handles.append((index, handle))
+            broken = self._collect(phase, handles, chunks, results, done, attempts)
+            if submit_failed or broken:
+                self._rebuild_pool()
+        return results
 
-    def _map_inline(self, func, chunks):
-        global _CONTEXT
-        previous = _CONTEXT
-        _CONTEXT = WorkerContext(self._payload, self._trace_dir)
+    def _submit(self, phase, chunk):
+        """Submit one chunk; returns ``None`` when the pool is unusable.
+
+        The fault plan is consulted here (operation ``"chunk"``), once per
+        submission — so a transient rule fires on the first attempt and
+        lets the retry through.
+        """
+        directive = None
+        payload_chunk = chunk
+        if self._faults is not None:
+            fault = self._faults.draw("chunk")
+            if fault is not None:
+                if fault.kind == "worker_kill":
+                    directive = ("worker_kill",)
+                elif fault.kind == "worker_error":
+                    directive = ("worker_error",)
+                elif fault.kind == "poison":
+                    payload_chunk = _Poison(chunk)
+                elif fault.kind in ("timeout", "latency"):
+                    stall = fault.latency_seconds
+                    if fault.kind == "timeout" and self._task_timeout is not None:
+                        # Guarantee the stall outlasts the chunk deadline.
+                        stall = max(stall, self._task_timeout * 4)
+                    directive = ("sleep", stall)
         try:
-            return [func(chunk) for chunk in chunks]
+            return self._pool.apply_async(
+                _dispatch_chunk, ((directive, phase, payload_chunk),)
+            )
+        except Exception:
+            return None
+
+    def _collect(self, phase, handles, chunks, results, done, attempts):
+        """Harvest submitted chunks; returns True if the pool is broken.
+
+        A timeout is the only way to learn a worker died mid-task
+        (``multiprocessing.Pool`` never surfaces abrupt worker death), so
+        it breaks the pool.  Chunks behind the breakage get one short
+        salvage window — their workers may have finished — and otherwise
+        go back to pending *without* being charged an attempt: they were
+        collateral, not the fault.
+        """
+        broken = False
+        for index, handle in handles:
+            try:
+                results[index] = handle.get(
+                    _SALVAGE_TIMEOUT_SECONDS if broken else self._task_timeout
+                )
+                done[index] = True
+            except multiprocessing.TimeoutError:
+                if broken:
+                    continue
+                broken = True
+                self.stats.chunk_timeouts += 1
+                self._emit("chunk_timeout", phase=phase, chunk_index=index)
+                self._fail(phase, index, chunks, results, done, attempts)
+            except Exception as error:
+                self.stats.chunk_errors += 1
+                self._emit(
+                    "chunk_error", phase=phase, chunk_index=index, error=repr(error)
+                )
+                self._fail(phase, index, chunks, results, done, attempts)
+        return broken
+
+    def _fail(self, phase, index, chunks, results, done, attempts):
+        """Charge a failed attempt; retry on the pool or degrade inline."""
+        attempts[index] += 1
+        if attempts[index] > self._max_retries:
+            self.stats.inline_chunks += 1
+            self._emit(
+                "chunk_inline_fallback",
+                phase=phase,
+                chunk_index=index,
+                attempts=attempts[index],
+            )
+            results[index] = self._run_chunk_inline(phase, chunks[index])
+            done[index] = True
+        else:
+            self.stats.chunk_retries += 1
+            self._emit(
+                "chunk_retry", phase=phase, chunk_index=index, attempt=attempts[index]
+            )
+
+    def _rebuild_pool(self) -> None:
+        """Tear down the broken pool and build a fresh one (bounded)."""
+        self._terminate()
+        if self._rebuilds_used >= self._max_rebuilds:
+            self.fell_back = True
+            self._emit("executor_degraded", reason="pool rebuild limit reached")
+            return
+        self._rebuilds_used += 1
+        try:
+            self._pool = multiprocessing.Pool(
+                processes=self._workers,
+                initializer=_init_worker,
+                initargs=(self._payload, self._trace_dir),
+            )
+            self.stats.pool_rebuilds += 1
+            self._emit("pool_rebuild", rebuilds=self._rebuilds_used)
+        except Exception:
+            self._pool = None
+            self.fell_back = True
+            self._emit("executor_degraded", reason="pool recreation failed")
+
+    def _run_chunk_inline(self, phase, chunk):
+        """Recompute one raw chunk in-process (no fault directives)."""
+        global _CONTEXT
+        if self._inline_context is None:
+            self._inline_context = WorkerContext(self._payload, self._trace_dir)
+        previous = _CONTEXT
+        _CONTEXT = self._inline_context
+        try:
+            if phase == "tree":
+                return _run_tree_chunk(chunk)
+            return _run_lift_chunk(chunk)
         finally:
             _CONTEXT = previous
+
+    def _emit(self, event: str, **fields: object) -> None:
+        if self._on_event is not None:
+            self._on_event(event, **fields)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -301,4 +545,4 @@ class StepExecutor:
             self.close()
 
 
-__all__ = ["StepExecutor", "WorkerContext"]
+__all__ = ["ExecutorStats", "StepExecutor", "WorkerContext"]

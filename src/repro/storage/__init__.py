@@ -33,7 +33,7 @@ from repro.storage.edgelist import (
 from repro.storage.iostats import IOStats
 from repro.storage.memory import MemoryModel
 from repro.storage.pagestore import PAGE_SIZE_BYTES, PageStore
-from repro.storage.partitions import HnbPartitionStore
+from repro.storage.partitions import HnbPartitionStore, read_partition_file
 from repro.storage.random_access import RandomAccessDiskGraph
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "edge_list_file_to_disk_graph",
     "edge_list_to_disk_graph",
     "read_edge_list",
+    "read_partition_file",
     "read_timestamped_edge_list",
     "write_edge_list",
     "write_timestamped_edge_list",

@@ -10,15 +10,25 @@ a seek plus a page read on the underlying :class:`PageStore`.
 
 Replacement policies: ``lru`` (default), ``fifo``, and ``clock`` (the
 second-chance approximation real buffer managers use).
+
+An optional :class:`~repro.faults.FaultPlan` can inject faults at the
+cache-fill site (operation ``"pool_read"``): corrupted page contents,
+I/O errors, and latency — modelling bit rot *between* the device and the
+cache, which only record-level checksums downstream can catch.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
-from repro.errors import StorageError
+from repro.errors import StorageError, StorageIOError
 from repro.storage.memory import MemoryModel
 from repro.storage.pagestore import PAGE_SIZE_BYTES, PageStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
 
 #: Accounting units per cached page (8-byte units, 4096-byte pages).
 UNITS_PER_PAGE = PAGE_SIZE_BYTES // 8
@@ -35,6 +45,7 @@ class BufferPool:
         capacity_pages: int,
         policy: str = "lru",
         memory: MemoryModel | None = None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if capacity_pages < 1:
             raise StorageError(f"capacity must be at least one page, got {capacity_pages}")
@@ -44,6 +55,7 @@ class BufferPool:
         self._capacity = capacity_pages
         self._policy = policy
         self._memory = memory
+        self._faults = fault_plan if fault_plan is not None else store.fault_plan
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         self._ref_bits: dict[int, bool] = {}
         self._clock_ring: list[int] = []
@@ -106,12 +118,33 @@ class BufferPool:
         if remaining <= 0:
             raise StorageError(f"page {index} is beyond the end of {self._store.path}")
         data = self._store.read_at(offset, min(PAGE_SIZE_BYTES, remaining))
+        data = self._inject(index, data)
         if self._memory is not None:
             self._memory.allocate(UNITS_PER_PAGE, label="buffer pool")
         self._pages[index] = data
         if self._policy == "clock":
             self._ref_bits[index] = True
             self._clock_ring.append(index)
+        return data
+
+    def _inject(self, index: int, data: bytes) -> bytes:
+        """Consult the fault plan at the cache-fill boundary."""
+        if self._faults is None:
+            return data
+        fault = self._faults.draw("pool_read", path=str(self._store.path))
+        if fault is None:
+            return data
+        if fault.kind == "io_error":
+            raise StorageIOError(
+                "pool_read", self._store.path, f"injected I/O error on page {index}"
+            )
+        if fault.kind == "latency":
+            time.sleep(fault.latency_seconds)
+            return data
+        if fault.kind == "corrupt":
+            from repro.faults import corrupt_bytes
+
+            return corrupt_bytes(data, fault.fraction)
         return data
 
     def _evict_one(self) -> None:

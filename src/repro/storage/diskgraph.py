@@ -11,18 +11,29 @@ three ways, all provided here:
 * targeted adjacency loads for a known vertex subset, implemented as one
   sequential pass rather than per-vertex seeks, which is the
   external-memory discipline the paper insists on.
+
+Integrity: new files are written in format v2 (``HSTARGR2``), which adds
+a CRC32 to every record; a flipped bit on disk is reported as a typed
+:class:`~repro.errors.CorruptDataError` at scan time instead of flowing
+into the clique stream as a wrong neighbor list.  v1 files open and scan
+unchanged.  ``verify_checksums=False`` skips the check (for metered runs
+where the CRC cost would distort timings); residual rewrites inherit the
+source graph's verify setting and fault plan.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from collections.abc import Iterable, Iterator
 from pathlib import Path
+from typing import TYPE_CHECKING
 
-from repro.errors import StorageError, StorageFormatError
+from repro.errors import CorruptDataError, StorageError, StorageFormatError
 from repro.graph.adjacency import AdjacencyGraph
 from repro.storage.format import (
     FILE_MAGIC,
+    FILE_MAGIC_V2,
     VertexRecord,
     decode_record,
     encode_record,
@@ -31,17 +42,41 @@ from repro.storage.format import (
 from repro.storage.iostats import IOStats
 from repro.storage.pagestore import PageStore
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
+
 _COUNTS = struct.Struct("<QQ")
-_HEADER_BYTES = len(FILE_MAGIC) + _COUNTS.size
+_CRC = struct.Struct("<I")
+
+
+def _pack_counts(num_vertices: int, num_edges: int, checksum: bool) -> bytes:
+    """The header's count block, with a trailing CRC32 in format v2."""
+    counts = _COUNTS.pack(num_vertices, num_edges)
+    if not checksum:
+        return counts
+    return counts + _CRC.pack(zlib.crc32(counts))
+_HEADER_BYTES_V1 = len(FILE_MAGIC) + _COUNTS.size
+#: The v2 header appends a CRC32 over the vertex/edge counts, so a
+#: corrupted header block fails typed instead of yielding a wrong size.
+_HEADER_BYTES_V2 = _HEADER_BYTES_V1 + _CRC.size
 
 
 class DiskGraph:
     """An undirected graph stored on disk as sorted adjacency records."""
 
-    def __init__(self, store: PageStore, num_vertices: int, num_edges: int) -> None:
+    def __init__(
+        self,
+        store: PageStore,
+        num_vertices: int,
+        num_edges: int,
+        checksummed: bool = True,
+        verify_checksums: bool = True,
+    ) -> None:
         self._store = store
         self._num_vertices = num_vertices
         self._num_edges = num_edges
+        self._checksummed = checksummed
+        self._verify = verify_checksums
 
     # ------------------------------------------------------------------
     # Construction
@@ -52,6 +87,8 @@ class DiskGraph:
         path: str | Path,
         graph: AdjacencyGraph,
         io_stats: IOStats | None = None,
+        fault_plan: "FaultPlan | None" = None,
+        verify_checksums: bool = True,
     ) -> "DiskGraph":
         """Write an in-memory graph to ``path`` and return a handle.
 
@@ -62,7 +99,10 @@ class DiskGraph:
             (v, sorted(graph.neighbors(v)), graph.degree(v))
             for v in sorted(graph.vertices())
         )
-        return cls.from_records(path, records, io_stats=io_stats)
+        return cls.from_records(
+            path, records, io_stats=io_stats,
+            fault_plan=fault_plan, verify_checksums=verify_checksums,
+        )
 
     @classmethod
     def from_records(
@@ -70,14 +110,20 @@ class DiskGraph:
         path: str | Path,
         records: Iterable[tuple[int, list[int], int]],
         io_stats: IOStats | None = None,
+        fault_plan: "FaultPlan | None" = None,
+        verify_checksums: bool = True,
+        checksum: bool = True,
     ) -> "DiskGraph":
         """Stream ``(vertex, sorted neighbors, original degree)`` records.
 
         Records must arrive in ascending vertex order; counts are patched
         into the header after the stream ends so nothing is buffered.
+        ``checksum=False`` writes the legacy v1 layout (no per-record
+        CRC) for compatibility tooling.
         """
-        store = PageStore(path, io_stats)
-        store.write_all(FILE_MAGIC + _COUNTS.pack(0, 0))
+        store = PageStore(path, io_stats, fault_plan=fault_plan)
+        magic = FILE_MAGIC_V2 if checksum else FILE_MAGIC
+        store.write_all(magic + _pack_counts(0, 0, checksum))
         num_vertices = 0
         directed_degree_total = 0
         previous_vertex = -1
@@ -90,7 +136,7 @@ class DiskGraph:
             previous_vertex = vertex
             num_vertices += 1
             directed_degree_total += len(neighbors)
-            buffer += encode_record(vertex, neighbors, original_degree)
+            buffer += encode_record(vertex, neighbors, original_degree, checksum=checksum)
             if len(buffer) >= 1 << 20:
                 store.append(bytes(buffer))
                 buffer.clear()
@@ -99,18 +145,45 @@ class DiskGraph:
         if directed_degree_total % 2 != 0:
             raise StorageError("adjacency records are not symmetric: odd degree total")
         num_edges = directed_degree_total // 2
-        store.patch(len(FILE_MAGIC), _COUNTS.pack(num_vertices, num_edges))
-        return cls(store, num_vertices, num_edges)
+        store.patch(len(magic), _pack_counts(num_vertices, num_edges, checksum))
+        return cls(
+            store, num_vertices, num_edges,
+            checksummed=checksum, verify_checksums=verify_checksums,
+        )
 
     @classmethod
-    def open(cls, path: str | Path, io_stats: IOStats | None = None) -> "DiskGraph":
-        """Open an existing graph file, validating its header."""
-        store = PageStore(path, io_stats)
-        header = store.read_at(0, _HEADER_BYTES)
-        if header[: len(FILE_MAGIC)] != FILE_MAGIC:
+    def open(
+        cls,
+        path: str | Path,
+        io_stats: IOStats | None = None,
+        fault_plan: "FaultPlan | None" = None,
+        verify_checksums: bool = True,
+    ) -> "DiskGraph":
+        """Open an existing graph file, validating its header.
+
+        Accepts both the checksummed v2 format and legacy v1 files.
+        """
+        store = PageStore(path, io_stats, fault_plan=fault_plan)
+        header = store.read_at(0, _HEADER_BYTES_V1)
+        magic = header[: len(FILE_MAGIC)]
+        if magic not in (FILE_MAGIC, FILE_MAGIC_V2):
             raise StorageFormatError(f"{path} is not a DiskGraph file")
-        num_vertices, num_edges = _COUNTS.unpack_from(header, len(FILE_MAGIC))
-        return cls(store, num_vertices, num_edges)
+        counts = header[len(magic) :]
+        num_vertices, num_edges = _COUNTS.unpack(counts)
+        checksummed = magic == FILE_MAGIC_V2
+        if checksummed and verify_checksums:
+            (stored,) = _CRC.unpack(store.read_at(_HEADER_BYTES_V1, _CRC.size))
+            computed = zlib.crc32(counts)
+            if stored != computed:
+                raise CorruptDataError(
+                    f"header checksum mismatch in {path}: "
+                    f"stored {stored:#010x}, computed {computed:#010x}"
+                )
+        return cls(
+            store, num_vertices, num_edges,
+            checksummed=checksummed,
+            verify_checksums=verify_checksums,
+        )
 
     # ------------------------------------------------------------------
     # Metadata
@@ -124,6 +197,11 @@ class DiskGraph:
     def io_stats(self) -> IOStats:
         """I/O counters for this graph's storage stack."""
         return self._store.io_stats
+
+    @property
+    def fault_plan(self) -> "FaultPlan | None":
+        """The fault plan threaded through this graph's stores, if any."""
+        return self._store.fault_plan
 
     @property
     def num_vertices(self) -> int:
@@ -143,12 +221,36 @@ class DiskGraph:
     @property
     def header_bytes(self) -> int:
         """Byte offset of the first vertex record."""
-        return _HEADER_BYTES
+        return _HEADER_BYTES_V2 if self._checksummed else _HEADER_BYTES_V1
 
     @property
     def page_store(self) -> PageStore:
         """The underlying metered page store (for buffer-pool layering)."""
         return self._store
+
+    @property
+    def format_version(self) -> int:
+        """On-disk format: 2 for checksummed records, 1 for legacy."""
+        return 2 if self._checksummed else 1
+
+    @property
+    def verify_checksums(self) -> bool:
+        """Whether v2 record checksums are verified on read."""
+        return self._verify
+
+    @verify_checksums.setter
+    def verify_checksums(self, value: bool) -> None:
+        self._verify = bool(value)
+
+    def record_nbytes(self, degree: int) -> int:
+        """On-disk size of a record with ``degree`` neighbors, this format."""
+        return record_size(degree, checksum=self._checksummed)
+
+    def decode_one(self, buffer: bytes, offset: int = 0) -> tuple[VertexRecord, int]:
+        """Decode one record in this graph's format (verify per setting)."""
+        return decode_record(
+            buffer, offset, checksum=self._checksummed, verify=self._verify
+        )
 
     # ------------------------------------------------------------------
     # Access
@@ -159,7 +261,7 @@ class DiskGraph:
         pending = bytearray()
         chunks = self._store.scan_chunks()
         # Drop the fixed-size header from the first chunk.
-        to_skip = _HEADER_BYTES
+        to_skip = self.header_bytes
         for chunk in chunks:
             if to_skip:
                 skip = min(to_skip, len(chunk))
@@ -170,7 +272,7 @@ class DiskGraph:
             pending += chunk
             offset = 0
             while True:
-                record, next_offset = _try_decode(pending, offset)
+                record, next_offset = self._try_decode(pending, offset)
                 if record is None:
                     break
                 offset = next_offset
@@ -207,7 +309,7 @@ class DiskGraph:
         Removes every vertex in ``removed`` and all incident edges — the
         per-recursion shrink step of Algorithm 3 — in one sequential read
         of this file and one sequential write of the new one.  Original
-        degrees are carried over unchanged.
+        degrees, the verify setting and any fault plan carry over.
         """
         removed_set = set(removed)
 
@@ -218,7 +320,10 @@ class DiskGraph:
                 survivors = [u for u in record.neighbors if u not in removed_set]
                 yield record.vertex, survivors, record.original_degree
 
-        return DiskGraph.from_records(new_path, residual_records(), io_stats=self.io_stats)
+        return DiskGraph.from_records(
+            new_path, residual_records(), io_stats=self.io_stats,
+            fault_plan=self.fault_plan, verify_checksums=self._verify,
+        )
 
     def to_adjacency_graph(self) -> AdjacencyGraph:
         """Materialise the whole graph in memory (tests and baselines)."""
@@ -239,14 +344,23 @@ class DiskGraph:
             f"m={self._num_edges})"
         )
 
-
-def _try_decode(buffer: bytearray, offset: int) -> tuple[VertexRecord | None, int]:
-    """Decode a record if the buffer holds it completely."""
-    header_end = offset + 16  # <QII
-    if header_end > len(buffer):
-        return None, offset
-    degree = int.from_bytes(buffer[offset + 8 : offset + 12], "little")
-    if offset + record_size(degree) > len(buffer):
-        return None, offset
-    record, next_offset = decode_record(bytes(buffer[offset : offset + record_size(degree)]))
-    return record, offset + next_offset
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _try_decode(
+        self, buffer: bytearray, offset: int
+    ) -> tuple[VertexRecord | None, int]:
+        """Decode a record if the buffer holds it completely."""
+        header_end = offset + 16  # <QII
+        if header_end > len(buffer):
+            return None, offset
+        degree = int.from_bytes(buffer[offset + 8 : offset + 12], "little")
+        nbytes = self.record_nbytes(degree)
+        if offset + nbytes > len(buffer):
+            return None, offset
+        record, consumed = decode_record(
+            bytes(buffer[offset : offset + nbytes]),
+            checksum=self._checksummed,
+            verify=self._verify,
+        )
+        return record, offset + consumed

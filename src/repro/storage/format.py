@@ -6,26 +6,38 @@ One record per vertex::
     current degree   uint32   (degree in the *residual* graph)
     original degree  uint32   (degree in the graph as first written)
     neighbors        current-degree x uint64
+    crc32            uint32   (format v2 only; over header + neighbors)
 
 The original degree is persisted because the paper's recursion needs it
 long after the residual graph has shed edges: a singleton ``{v}`` is a
 maximal clique of ``G`` only when ``d(v) = 0`` *in the original graph*
 (Section 4.3).  Keeping it in the record preserves the external-memory
 discipline — no in-memory map over all of ``V`` is required.
+
+Format v2 (magic ``HSTARGR2``) appends a CRC32 to every record so a
+flipped bit on disk surfaces as a typed
+:class:`~repro.errors.CorruptDataError` instead of a silently wrong
+neighbor list.  v1 files (``HSTARGR1``) remain readable — they simply
+carry no checksums to verify.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.errors import StorageFormatError
+from repro.errors import CorruptDataError, StorageFormatError
 
 _HEADER = struct.Struct("<QII")
+_CRC = struct.Struct("<I")
 
-#: Magic bytes identifying a DiskGraph file, followed by version.
+#: Magic bytes identifying a format-v1 DiskGraph file (no checksums).
 FILE_MAGIC = b"HSTARGR1"
+
+#: Magic bytes identifying a format-v2 DiskGraph file (per-record CRC32).
+FILE_MAGIC_V2 = b"HSTARGR2"
 
 
 @dataclass(frozen=True)
@@ -42,8 +54,13 @@ class VertexRecord:
         return len(self.neighbors)
 
 
-def encode_record(vertex: int, neighbors: Sequence[int], original_degree: int) -> bytes:
-    """Serialise one vertex record.
+def encode_record(
+    vertex: int,
+    neighbors: Sequence[int],
+    original_degree: int,
+    checksum: bool = False,
+) -> bytes:
+    """Serialise one vertex record (format v2 when ``checksum`` is set).
 
     Raises :class:`~repro.errors.StorageFormatError` for ids that do not
     fit the fixed-width layout.
@@ -57,13 +74,23 @@ def encode_record(vertex: int, neighbors: Sequence[int], original_degree: int) -
         body = struct.pack(f"<{len(neighbors)}Q", *neighbors)
     except struct.error as exc:
         raise StorageFormatError(f"record for vertex {vertex} failed to encode: {exc}") from exc
-    return header + body
+    if not checksum:
+        return header + body
+    return header + body + _CRC.pack(zlib.crc32(header + body))
 
 
-def decode_record(buffer: bytes, offset: int = 0) -> tuple[VertexRecord, int]:
+def decode_record(
+    buffer: bytes,
+    offset: int = 0,
+    checksum: bool = False,
+    verify: bool = True,
+) -> tuple[VertexRecord, int]:
     """Decode one record at ``offset``; return it and the next offset.
 
-    Raises :class:`~repro.errors.StorageFormatError` on truncation.
+    ``checksum`` selects the format-v2 layout (trailing CRC32);
+    ``verify`` controls whether a v2 checksum is actually checked.
+    Raises :class:`~repro.errors.StorageFormatError` on truncation and
+    :class:`~repro.errors.CorruptDataError` on a CRC mismatch.
     """
     end = offset + _HEADER.size
     if end > len(buffer):
@@ -76,10 +103,23 @@ def decode_record(buffer: bytes, offset: int = 0) -> tuple[VertexRecord, int]:
             f"need {8 * degree} bytes, have {len(buffer) - end}"
         )
     neighbors = struct.unpack_from(f"<{degree}Q", buffer, end)
+    if checksum:
+        crc_end = body_end + _CRC.size
+        if crc_end > len(buffer):
+            raise StorageFormatError(f"truncated record checksum for vertex {vertex}")
+        if verify:
+            (stored,) = _CRC.unpack_from(buffer, body_end)
+            computed = zlib.crc32(buffer[offset:body_end])
+            if stored != computed:
+                raise CorruptDataError(
+                    f"checksum mismatch for vertex {vertex}: "
+                    f"stored {stored:#010x}, computed {computed:#010x}"
+                )
+        body_end = crc_end
     record = VertexRecord(vertex=vertex, original_degree=original_degree, neighbors=neighbors)
     return record, body_end
 
 
-def record_size(degree: int) -> int:
+def record_size(degree: int, checksum: bool = False) -> int:
     """Size in bytes of a record with the given current degree."""
-    return _HEADER.size + 8 * degree
+    return _HEADER.size + 8 * degree + (_CRC.size if checksum else 0)

@@ -21,32 +21,68 @@ This module reproduces that machinery over :class:`DiskGraph`:
 from __future__ import annotations
 
 import struct
+import zlib
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro.errors import CorruptDataError, StorageError, StorageFormatError
 from repro.graph.adjacency import AdjacencyGraph
 from repro.storage.diskgraph import DiskGraph
 from repro.storage.memory import MemoryModel
 from repro.storage.pagestore import PageStore
 
-_RECORD_HEADER = struct.Struct("<QI")
+#: Per-record header: vertex id, neighbor count, CRC32 over the neighbor
+#: block.  Spill files are written and read within one run, so the layout
+#: needs no version negotiation — but it does need integrity: a torn
+#: write or flipped bit in a partition would otherwise surface as a wrong
+#: ``maxCL`` result, i.e. a silently wrong clique stream.
+_RECORD_HEADER = struct.Struct("<QII")
 
 
-def parse_partition_records(data: bytes) -> dict[int, frozenset[int]]:
-    """Decode a partition file's record stream to ``vertex -> neighbors``."""
+def encode_partition_record(vertex: int, neighbors: Sequence[int]) -> bytes:
+    """Serialise one spill-file record (checksummed)."""
+    body = struct.pack(f"<{len(neighbors)}Q", *neighbors)
+    return _RECORD_HEADER.pack(vertex, len(neighbors), zlib.crc32(body)) + body
+
+
+def parse_partition_records(
+    data: bytes, verify: bool = True
+) -> dict[int, frozenset[int]]:
+    """Decode a partition file's record stream to ``vertex -> neighbors``.
+
+    Raises :class:`~repro.errors.StorageFormatError` on truncation and
+    :class:`~repro.errors.CorruptDataError` on a checksum mismatch —
+    never returns a partial or damaged adjacency silently.
+    """
     loaded: dict[int, frozenset[int]] = {}
     offset = 0
     while offset < len(data):
-        vertex, degree = _RECORD_HEADER.unpack_from(data, offset)
-        offset += _RECORD_HEADER.size
-        neighbors = struct.unpack_from(f"<{degree}Q", data, offset)
+        try:
+            vertex, degree, stored = _RECORD_HEADER.unpack_from(data, offset)
+            offset += _RECORD_HEADER.size
+            body = data[offset : offset + 8 * degree]
+            if len(body) < 8 * degree:
+                raise StorageFormatError(
+                    f"truncated partition record for vertex {vertex}"
+                )
+            neighbors = struct.unpack(f"<{degree}Q", body)
+        except struct.error as exc:
+            raise StorageFormatError(f"malformed partition record: {exc}") from exc
+        if verify:
+            computed = zlib.crc32(body)
+            if stored != computed:
+                raise CorruptDataError(
+                    f"partition record checksum mismatch for vertex {vertex}: "
+                    f"stored {stored:#010x}, computed {computed:#010x}"
+                )
         offset += 8 * degree
         loaded[vertex] = frozenset(neighbors)
     return loaded
 
 
-def read_partition_file(path: str | Path) -> dict[int, frozenset[int]]:
+def read_partition_file(
+    path: str | Path, verify: bool = True
+) -> dict[int, frozenset[int]]:
     """Read one spill file directly, bypassing :class:`PageStore`.
 
     This is the worker-side entry point of :mod:`repro.parallel`: worker
@@ -59,7 +95,7 @@ def read_partition_file(path: str | Path) -> dict[int, frozenset[int]]:
     path = Path(path)
     if not path.exists():
         raise StorageError(f"partition file {path} does not exist")
-    return parse_partition_records(path.read_bytes())
+    return parse_partition_records(path.read_bytes(), verify=verify)
 
 
 class HnbPartitionStore:
@@ -145,7 +181,11 @@ class HnbPartitionStore:
             v: index for index, group in enumerate(partitions) for v in group
         }
         stores = [
-            PageStore(directory / f"hnb_part_{index:05d}.bin", disk_graph.io_stats)
+            PageStore(
+                directory / f"hnb_part_{index:05d}.bin",
+                disk_graph.io_stats,
+                fault_plan=disk_graph.fault_plan,
+            )
             for index in range(len(partitions))
         ]
         for store in stores:
@@ -156,8 +196,7 @@ class HnbPartitionStore:
             if index is None:
                 continue
             inner = [u for u in record.neighbors if u in member_set]
-            buffers[index] += _RECORD_HEADER.pack(record.vertex, len(inner))
-            buffers[index] += struct.pack(f"<{len(inner)}Q", *inner)
+            buffers[index] += encode_partition_record(record.vertex, inner)
             if len(buffers[index]) >= 1 << 20:
                 stores[index].append(bytes(buffers[index]))
                 buffers[index].clear()

@@ -13,7 +13,6 @@ from __future__ import annotations
 from repro.errors import VertexNotFoundError
 from repro.storage.bufferpool import BufferPool
 from repro.storage.diskgraph import DiskGraph
-from repro.storage.format import decode_record, record_size
 from repro.storage.memory import MemoryModel
 
 #: Accounting units per offset-index entry (vertex id + offset).
@@ -41,7 +40,7 @@ class RandomAccessDiskGraph:
         self._index: dict[int, tuple[int, int]] = {}
         offset = disk_graph.header_bytes
         for record in disk_graph.scan():
-            size = record_size(record.degree)
+            size = disk_graph.record_nbytes(record.degree)
             self._index[record.vertex] = (offset, size)
             offset += size
         if memory is not None:
@@ -70,7 +69,7 @@ class RandomAccessDiskGraph:
             offset, size = self._index[vertex]
         except KeyError:
             raise VertexNotFoundError(vertex) from None
-        record, _ = decode_record(self._pool.read(offset, size))
+        record, _ = self._disk.decode_one(self._pool.read(offset, size))
         return frozenset(record.neighbors)
 
     def degree(self, vertex: int) -> int:

@@ -175,4 +175,25 @@ def summarize_trace(events: list[dict]) -> str:
             f"run completed: {total.get('total_cliques')} cliques in "
             f"{total.get('elapsed', 0):.2f} s, peak {total.get('peak_memory_units')} units"
         )
+    resilience = _summarize_resilience(events)
+    if resilience:
+        lines.append(resilience)
     return "\n".join(lines)
+
+
+def _summarize_resilience(events: list[dict]) -> str | None:
+    """One line of recovery counters, only when any recovery happened."""
+    retries = sum(1 for e in events if e.get("event") == "chunk_retry")
+    timeouts = sum(1 for e in events if e.get("event") == "chunk_timeout")
+    errors = sum(1 for e in events if e.get("event") == "chunk_error")
+    rebuilds = sum(1 for e in events if e.get("event") == "pool_rebuild")
+    inline = sum(1 for e in events if e.get("event") == "chunk_inline_fallback")
+    degraded = sum(1 for e in events if e.get("event") == "executor_degraded")
+    if not (retries or timeouts or errors or rebuilds or inline or degraded):
+        return None
+    return (
+        f"fault recovery: {retries} chunk retries "
+        f"({timeouts} timeouts, {errors} errors), "
+        f"{rebuilds} pool rebuilds, {inline} inline fallbacks, "
+        f"{degraded} degradations"
+    )

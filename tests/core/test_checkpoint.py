@@ -13,7 +13,7 @@ from repro.core.checkpoint import (
     write_checkpoint,
 )
 from repro.core.extmce import ExtMCE, ExtMCEConfig
-from repro.errors import GraphError, StorageError
+from repro.errors import CorruptDataError, GraphError, StorageError
 from repro.storage.diskgraph import DiskGraph
 
 from tests.helpers import cliques_of, seeded_gnp
@@ -140,3 +140,41 @@ class TestResume:
         assert resumed._config.estimator_probes == 8
         assert resumed._config.workdir == work
         assert rest  # still produces the remaining cliques
+
+
+class TestDurability:
+    def make_state(self, tmp_path):
+        (tmp_path / "r.bin").write_bytes(b"x")
+        return CheckpointState(2, str(tmp_path / "r.bin"), 7, 11, 2.5, 4)
+
+    def test_document_carries_crc(self, tmp_path):
+        write_checkpoint(tmp_path, self.make_state(tmp_path))
+        document = json.loads((tmp_path / CHECKPOINT_FILENAME).read_text())
+        assert document["version"] == 2
+        assert isinstance(document["crc32"], int)
+
+    def test_tampered_field_detected(self, tmp_path):
+        write_checkpoint(tmp_path, self.make_state(tmp_path))
+        target = tmp_path / CHECKPOINT_FILENAME
+        document = json.loads(target.read_text())
+        document["cliques_emitted"] = 999  # silent rewind would lose cliques
+        target.write_text(json.dumps(document))
+        with pytest.raises(CorruptDataError):
+            read_checkpoint(tmp_path)
+
+    def test_legacy_v1_document_accepted(self, tmp_path):
+        # Pre-CRC checkpoints (version 1, no crc32 field) must still resume.
+        state = self.make_state(tmp_path)
+        payload = dict(state.to_json())
+        payload["version"] = 1
+        (tmp_path / CHECKPOINT_FILENAME).write_text(json.dumps(payload))
+        assert read_checkpoint(tmp_path) == state
+
+    def test_write_leaves_no_scratch_file(self, tmp_path):
+        write_checkpoint(tmp_path, self.make_state(tmp_path))
+        assert not (tmp_path / (CHECKPOINT_FILENAME + ".tmp")).exists()
+
+    def test_clear_removes_stale_scratch(self, tmp_path):
+        (tmp_path / (CHECKPOINT_FILENAME + ".tmp")).write_text("{}")
+        clear_checkpoint(tmp_path)
+        assert not (tmp_path / (CHECKPOINT_FILENAME + ".tmp")).exists()

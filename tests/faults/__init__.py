@@ -1,0 +1,1 @@
+"""Fault-injection suite: storage, executor, and end-to-end contracts."""

@@ -1,0 +1,151 @@
+"""StepExecutor failure paths: retry, pool rebuild, inline degradation.
+
+Satellite contract: a dead worker mid-map, a chunk timeout, and an
+unpicklable payload each exercise retry-then-degrade at *chunk*
+granularity, with matching counters in :class:`ExecutorStats` and events
+through ``on_event``.
+"""
+
+import pytest
+
+from repro.core.clique_tree import enumerate_star_cliques
+from repro.core.hstar import extract_hstar_graph
+from repro.faults import FaultPlan, FaultRule
+from repro.parallel.executor import StepExecutor
+from repro.parallel.merge import merge_tree_results
+from repro.parallel.partition import chunk_tree_tasks, serialize_star, tree_tasks
+
+from tests.helpers import cliques_of, seeded_gnp
+
+
+@pytest.fixture
+def star():
+    return extract_hstar_graph(seeded_gnp(40, 0.2, seed=17))
+
+
+@pytest.fixture
+def events():
+    log = []
+
+    def on_event(event, **fields):
+        log.append((event, fields))
+
+    on_event.log = log
+    return on_event
+
+
+def run_tree(executor, star):
+    tasks = tree_tasks(star)
+    chunks = chunk_tree_tasks(tasks, workers=2)
+    return merge_tree_results(tasks, executor.map_tree(chunks), star)
+
+
+def expected_cliques(star):
+    return cliques_of(enumerate_star_cliques(star))
+
+
+class TestWorkerError:
+    def test_transient_error_is_retried_on_the_pool(self, star, events):
+        plan = FaultPlan([FaultRule("chunk", "worker_error")])
+        with StepExecutor(
+            2, serialize_star(star), fault_plan=plan, on_event=events
+        ) as executor:
+            star_cliques, _ = run_tree(executor, star)
+            assert executor.stats.chunk_errors == 1
+            assert executor.stats.chunk_retries == 1
+            assert executor.stats.inline_chunks == 0
+            assert executor.stats.pool_rebuilds == 0
+            assert not executor.fell_back
+        assert cliques_of(star_cliques) == expected_cliques(star)
+        names = [name for name, _ in events.log]
+        assert "chunk_error" in names and "chunk_retry" in names
+
+    def test_persistent_error_degrades_only_that_chunk(self, star, events):
+        # Every pool submission fails; every chunk exhausts its retries
+        # and is recomputed inline.  The executor itself never fell back
+        # wholesale — the pool stayed healthy throughout.
+        plan = FaultPlan([FaultRule("chunk", "worker_error", max_firings=None)])
+        with StepExecutor(
+            2, serialize_star(star), fault_plan=plan, on_event=events,
+            max_retries=1,
+        ) as executor:
+            star_cliques, _ = run_tree(executor, star)
+            num_chunks = len(chunk_tree_tasks(tree_tasks(star), workers=2))
+            assert executor.stats.inline_chunks == num_chunks
+            assert executor.stats.chunk_retries == num_chunks  # one retry each
+            assert not executor.fell_back
+        assert cliques_of(star_cliques) == expected_cliques(star)
+        assert any(name == "chunk_inline_fallback" for name, _ in events.log)
+
+
+class TestWorkerDeath:
+    def test_killed_worker_rebuilds_pool_not_whole_step(self, star, events):
+        plan = FaultPlan([FaultRule("chunk", "worker_kill")])
+        with StepExecutor(
+            2, serialize_star(star), task_timeout=3.0,
+            fault_plan=plan, on_event=events,
+        ) as executor:
+            star_cliques, _ = run_tree(executor, star)
+            assert executor.stats.chunk_timeouts >= 1
+            assert executor.stats.pool_rebuilds >= 1
+            # Per-chunk recovery: nothing was recomputed inline — the
+            # lost chunk went back to a (rebuilt) pool.
+            assert executor.stats.inline_chunks == 0
+            assert not executor.fell_back
+        assert cliques_of(star_cliques) == expected_cliques(star)
+        names = [name for name, _ in events.log]
+        assert "chunk_timeout" in names and "pool_rebuild" in names
+
+
+class TestChunkTimeout:
+    def test_stalled_chunk_times_out_and_retry_succeeds(self, star, events):
+        plan = FaultPlan(
+            [FaultRule("chunk", "timeout", latency_seconds=30.0)]
+        )
+        with StepExecutor(
+            2, serialize_star(star), task_timeout=1.0,
+            fault_plan=plan, on_event=events,
+        ) as executor:
+            star_cliques, _ = run_tree(executor, star)
+            assert executor.stats.chunk_timeouts == 1
+            assert executor.stats.chunk_retries == 1
+            assert executor.stats.pool_rebuilds >= 1
+            assert executor.stats.inline_chunks == 0
+        assert cliques_of(star_cliques) == expected_cliques(star)
+
+
+class TestPoisonPayload:
+    def test_unpicklable_chunk_degrades_inline(self, star, events):
+        plan = FaultPlan([FaultRule("chunk", "poison", max_firings=None)])
+        with StepExecutor(
+            2, serialize_star(star), fault_plan=plan, on_event=events,
+            max_retries=1,
+        ) as executor:
+            star_cliques, _ = run_tree(executor, star)
+            assert executor.stats.chunk_errors >= 1
+            assert executor.stats.inline_chunks >= 1
+            assert not executor.fell_back
+        assert cliques_of(star_cliques) == expected_cliques(star)
+        errors = [f for name, f in events.log if name == "chunk_error"]
+        assert errors and all("chunk_index" in f for f in errors)
+
+
+class TestTelemetryShape:
+    def test_no_faults_no_events(self, star, events):
+        with StepExecutor(
+            2, serialize_star(star), on_event=events
+        ) as executor:
+            run_tree(executor, star)
+            assert not executor.stats.any_recovery
+        assert events.log == []
+
+    def test_stats_merge(self):
+        from repro.parallel.executor import ExecutorStats
+
+        a = ExecutorStats(chunk_retries=1, pool_rebuilds=2)
+        b = ExecutorStats(chunk_retries=3, inline_chunks=4)
+        a.merge(b)
+        assert a.chunk_retries == 4
+        assert a.pool_rebuilds == 2
+        assert a.inline_chunks == 4
+        assert a.any_recovery

@@ -1,0 +1,153 @@
+"""End-to-end fault contract for (Parallel)ExtMCE.
+
+The guarantee under every injected schedule: the run either completes
+with a clique stream identical to the fault-free run, or raises a typed
+:class:`~repro.errors.ReproError` leaving a resumable checkpoint whose
+resume produces the exact remaining stream — never silent wrong output.
+"""
+
+import pytest
+
+from repro.core.checkpoint import CHECKPOINT_FILENAME, read_checkpoint
+from repro.core.extmce import ExtMCE, ExtMCEConfig
+from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultRule
+from repro.parallel import ParallelExtMCE
+from repro.storage.diskgraph import DiskGraph
+
+from tests.helpers import seeded_gnp
+
+SEED = 3
+
+
+@pytest.fixture
+def graph():
+    # Big enough for several recursion steps (same shape the checkpoint
+    # suite uses), so mid-run faults land after a checkpoint exists.
+    return seeded_gnp(80, 0.2, seed=5)
+
+
+def baseline_stream(graph, tmp_path, workers=1):
+    disk = DiskGraph.create(tmp_path / "baseline.bin", graph)
+    work = tmp_path / "baseline_work"
+    config = ExtMCEConfig(workdir=work, seed=SEED, workers=workers)
+    driver = ParallelExtMCE if workers > 1 else ExtMCE
+    return list(driver(disk, config, memory=None).enumerate_cliques())
+
+
+def faulted_run(graph, tmp_path, *, storage_plan=None, executor_plan=None,
+                workers=1, task_timeout=None, max_retries=2):
+    """Run with faults armed; return (emitted, error, workdir)."""
+    disk = DiskGraph.create(tmp_path / "input.bin", graph, fault_plan=storage_plan)
+    work = tmp_path / "work"
+    config = ExtMCEConfig(
+        workdir=work, seed=SEED, checkpoint=True, workers=workers,
+        max_retries=max_retries, fault_plan=executor_plan,
+    )
+    driver = ParallelExtMCE if workers > 1 else ExtMCE
+    algo = driver(disk, config, memory=None)
+    if task_timeout is not None:
+        algo.task_timeout_seconds = task_timeout
+    emitted = []
+    error = None
+    try:
+        for clique in algo.enumerate_cliques():
+            emitted.append(clique)
+    except ReproError as exc:
+        error = exc
+    return emitted, error, work, algo
+
+
+def resume_and_splice(emitted, work):
+    """The documented consumer protocol: truncate, resume, concatenate."""
+    state = read_checkpoint(work)
+    kept = emitted[: state.cliques_emitted]
+    resumed = ExtMCE.resume(work)
+    return kept + list(resumed.enumerate_cliques())
+
+
+class TestExecutorFaultsEndToEnd:
+    def test_transient_worker_error_stream_identical(self, graph, tmp_path):
+        expected = baseline_stream(graph, tmp_path, workers=2)
+        plan = FaultPlan([FaultRule("chunk", "worker_error")])
+        emitted, error, _, algo = faulted_run(
+            graph, tmp_path, executor_plan=plan, workers=2
+        )
+        assert error is None
+        assert emitted == expected  # order included
+        assert algo.executor_stats.chunk_retries >= 1
+        assert algo.fallback_steps == 0
+
+    def test_chunk_timeout_stream_identical(self, graph, tmp_path):
+        expected = baseline_stream(graph, tmp_path, workers=2)
+        plan = FaultPlan([FaultRule("chunk", "timeout", latency_seconds=30.0)])
+        emitted, error, _, algo = faulted_run(
+            graph, tmp_path, executor_plan=plan, workers=2, task_timeout=2.0
+        )
+        assert error is None
+        assert emitted == expected
+        assert algo.executor_stats.chunk_timeouts >= 1
+        assert algo.executor_stats.pool_rebuilds >= 1
+
+    def test_poisoned_chunks_stream_identical(self, graph, tmp_path):
+        expected = baseline_stream(graph, tmp_path, workers=2)
+        plan = FaultPlan([FaultRule("chunk", "poison", max_firings=3)])
+        emitted, error, _, algo = faulted_run(
+            graph, tmp_path, executor_plan=plan, workers=2, max_retries=0
+        )
+        assert error is None
+        assert emitted == expected
+        assert algo.executor_stats.inline_chunks >= 1
+
+
+class TestStorageFaultsEndToEnd:
+    def test_corrupt_residual_scan_fails_typed_then_resumes(self, graph, tmp_path):
+        expected = baseline_stream(graph, tmp_path)
+        # Damage a scan of the step-1 residual: fires mid-step-2, after
+        # the step-1 checkpoint is durable.
+        plan = FaultPlan(
+            [FaultRule("scan", "corrupt", path_contains="residual_0001")], seed=9
+        )
+        emitted, error, work, _ = faulted_run(graph, tmp_path, storage_plan=plan)
+        if error is None:
+            # The flipped byte landed in the header region the scan skips;
+            # the contract still holds: the stream must be exact.
+            assert emitted == expected
+            return
+        assert isinstance(error, ReproError)
+        assert (work / CHECKPOINT_FILENAME).exists()
+        assert resume_and_splice(emitted, work) == expected
+
+    def test_partition_write_error_resumes_to_identical_stream(self, graph, tmp_path):
+        expected = baseline_stream(graph, tmp_path)
+        plan = FaultPlan(
+            [FaultRule("write", "io_error", path_contains="partitions_0002")]
+        )
+        emitted, error, work, _ = faulted_run(graph, tmp_path, storage_plan=plan)
+        assert error is not None
+        assert (work / CHECKPOINT_FILENAME).exists()
+        assert resume_and_splice(emitted, work) == expected
+
+    def test_torn_residual_write_resumes_to_identical_stream(self, graph, tmp_path):
+        expected = baseline_stream(graph, tmp_path)
+        plan = FaultPlan(
+            [FaultRule("write", "torn_write", path_contains="residual_0002")],
+            seed=2,
+        )
+        emitted, error, work, _ = faulted_run(graph, tmp_path, storage_plan=plan)
+        assert error is not None
+        assert (work / CHECKPOINT_FILENAME).exists()
+        # The interrupted step re-runs in full (including the torn
+        # residual write, which now succeeds: the rule disarmed).
+        assert resume_and_splice(emitted, work) == expected
+
+    def test_latency_only_schedule_is_harmless(self, graph, tmp_path):
+        expected = baseline_stream(graph, tmp_path)
+        plan = FaultPlan(
+            [FaultRule("scan", "latency", latency_seconds=0.001,
+                       max_firings=5)]
+        )
+        emitted, error, _, _ = faulted_run(graph, tmp_path, storage_plan=plan)
+        assert error is None
+        assert emitted == expected
+        assert len(plan.firings) == 5

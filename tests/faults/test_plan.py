@@ -1,0 +1,152 @@
+"""FaultPlan semantics: determinism, matching, arming, serialization."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import FaultPlan, FaultRule, corrupt_bytes
+
+
+def drain(plan, operations):
+    """Drive the plan through a call sequence; return fired kinds (or None)."""
+    out = []
+    for operation, path in operations:
+        fault = plan.draw(operation, path=path)
+        out.append(fault.kind if fault is not None else None)
+    return out
+
+
+class TestDeterminism:
+    def test_same_seed_same_firings(self):
+        rules = [FaultRule("read", "corrupt", probability=0.5, max_firings=None)]
+        calls = [("read", "/a.bin")] * 40
+        first = drain(FaultPlan(rules, seed=7), calls)
+        second = drain(FaultPlan(rules, seed=7), calls)
+        assert first == second
+        assert any(kind == "corrupt" for kind in first)
+        assert any(kind is None for kind in first)
+
+    def test_different_seed_differs(self):
+        rules = [FaultRule("read", "corrupt", probability=0.5, max_firings=None)]
+        calls = [("read", "/a.bin")] * 64
+        assert drain(FaultPlan(rules, seed=1), calls) != drain(
+            FaultPlan(rules, seed=2), calls
+        )
+
+    def test_fraction_is_deterministic(self):
+        rules = [FaultRule("read", "corrupt")]
+        a = FaultPlan(rules, seed=11)
+        b = FaultPlan(rules, seed=11)
+        assert a.draw("read").fraction == b.draw("read").fraction
+
+    def test_reset_replays_identically(self):
+        plan = FaultPlan(
+            [FaultRule("read", "io_error", probability=0.3, max_firings=None)],
+            seed=5,
+        )
+        calls = [("read", None)] * 30
+        first = drain(plan, calls)
+        plan.reset()
+        assert drain(plan, calls) == first
+
+
+class TestMatching:
+    def test_after_skips_early_matches(self):
+        plan = FaultPlan([FaultRule("write", "io_error", after=2)])
+        assert drain(plan, [("write", None)] * 4) == [None, None, "io_error", None]
+
+    def test_max_firings_disarms(self):
+        plan = FaultPlan([FaultRule("read", "io_error", max_firings=2)])
+        kinds = drain(plan, [("read", None)] * 5)
+        assert kinds == ["io_error", "io_error", None, None, None]
+
+    def test_unlimited_firings(self):
+        plan = FaultPlan([FaultRule("read", "io_error", max_firings=None)])
+        assert drain(plan, [("read", None)] * 3) == ["io_error"] * 3
+
+    def test_path_filter(self):
+        plan = FaultPlan(
+            [FaultRule("write", "io_error", path_contains="residual")]
+        )
+        assert plan.draw("write", path="/tmp/partitions/p0.bin") is None
+        fault = plan.draw("write", path="/tmp/residual_0002.bin")
+        assert fault is not None and fault.kind == "io_error"
+
+    def test_operation_filter(self):
+        plan = FaultPlan([FaultRule("read", "io_error")])
+        assert plan.draw("write", path="/x") is None
+        assert plan.draw("read", path="/x").kind == "io_error"
+
+    def test_first_match_wins(self):
+        plan = FaultPlan(
+            [
+                FaultRule("read", "latency", max_firings=None),
+                FaultRule("read", "io_error", max_firings=None),
+            ]
+        )
+        assert plan.draw("read").kind == "latency"
+
+    def test_firings_log(self):
+        plan = FaultPlan([FaultRule("read", "corrupt")])
+        plan.draw("scan")
+        plan.draw("read", path="/g.bin")
+        assert [f.kind for f in plan.firings] == ["corrupt"]
+        assert plan.firings[0].path == "/g.bin"
+        assert plan.firings[0].sequence == 2
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            FaultRule("read", "meteor_strike")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ReproError):
+            FaultRule("read", "io_error", probability=1.5)
+
+    def test_negative_after_rejected(self):
+        with pytest.raises(ReproError):
+            FaultRule("read", "io_error", after=-1)
+
+
+class TestSpecRoundTrip:
+    def test_round_trip_preserves_behavior(self):
+        original = FaultPlan(
+            [
+                FaultRule("read", "corrupt", probability=0.4, after=1,
+                          max_firings=3, path_contains="res",
+                          latency_seconds=0.2),
+                FaultRule("chunk", "worker_kill"),
+            ],
+            seed=13,
+        )
+        rebuilt = FaultPlan.from_spec(original.to_spec())
+        calls = [("read", "/res.bin")] * 20 + [("chunk", None)] * 3
+        assert drain(rebuilt, calls) == drain(original, calls)
+
+    def test_spec_is_json_compatible(self):
+        import json
+
+        plan = FaultPlan([FaultRule("write", "torn_write")], seed=2)
+        assert FaultPlan.from_spec(json.loads(json.dumps(plan.to_spec()))).seed == 2
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ReproError):
+            FaultPlan.from_spec({"rules": [{"kind": "io_error"}]})
+        with pytest.raises(ReproError):
+            FaultPlan.from_spec({"rules": [{"operation": "read", "kind": "x"}]})
+
+
+class TestCorruptBytes:
+    def test_flips_exactly_one_byte(self):
+        data = bytes(range(32))
+        damaged = corrupt_bytes(data, 0.5)
+        assert len(damaged) == len(data)
+        diffs = [i for i in range(len(data)) if damaged[i] != data[i]]
+        assert len(diffs) == 1
+        assert damaged[diffs[0]] == data[diffs[0]] ^ 0xFF
+
+    def test_fraction_one_stays_in_bounds(self):
+        assert corrupt_bytes(b"ab", 0.999) != b"ab"
+
+    def test_empty_input_unchanged(self):
+        assert corrupt_bytes(b"", 0.5) == b""

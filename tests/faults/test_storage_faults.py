@@ -1,0 +1,184 @@
+"""Storage-layer fault injection: PageStore, DiskGraph, BufferPool."""
+
+import pytest
+
+from repro.errors import CorruptDataError, StorageError, StorageIOError
+from repro.faults import FaultPlan, FaultRule
+from repro.storage.diskgraph import DiskGraph
+from repro.storage.pagestore import PageStore
+from repro.storage.random_access import RandomAccessDiskGraph
+
+from tests.helpers import seeded_gnp
+
+
+@pytest.fixture
+def graph():
+    return seeded_gnp(40, 0.2, seed=3)
+
+
+def make_disk(tmp_path, graph, plan):
+    return DiskGraph.create(tmp_path / "g.bin", graph, fault_plan=plan)
+
+
+class TestPageStoreReadFaults:
+    def test_io_error_on_read(self, tmp_path):
+        plan = FaultPlan([FaultRule("read", "io_error")])
+        store = PageStore(tmp_path / "f.bin", fault_plan=plan)
+        store.write_all(b"payload")
+        with pytest.raises(StorageIOError) as info:
+            store.read_at(0, 4)
+        assert info.value.operation == "read"
+        # The rule is transient (max_firings=1): the retry goes through.
+        assert store.read_at(0, 4) == b"payl"
+
+    def test_short_read_detected(self, tmp_path):
+        plan = FaultPlan([FaultRule("read", "short_read")])
+        store = PageStore(tmp_path / "f.bin", fault_plan=plan)
+        store.write_all(b"x" * 100)
+        with pytest.raises(StorageError, match="short read"):
+            store.read_at(0, 100)
+
+    def test_latency_returns_correct_data(self, tmp_path):
+        plan = FaultPlan([FaultRule("read", "latency", latency_seconds=0.001)])
+        store = PageStore(tmp_path / "f.bin", fault_plan=plan)
+        store.write_all(b"payload")
+        assert store.read_at(0, 7) == b"payload"
+        assert [f.kind for f in plan.firings] == ["latency"]
+
+    def test_io_error_on_scan(self, tmp_path):
+        plan = FaultPlan([FaultRule("scan", "io_error")])
+        store = PageStore(tmp_path / "f.bin", fault_plan=plan)
+        store.write_all(b"x" * 10)
+        with pytest.raises(StorageIOError):
+            list(store.scan_chunks())
+
+
+class TestPageStoreWriteFaults:
+    def test_io_error_on_write(self, tmp_path):
+        plan = FaultPlan([FaultRule("write", "io_error")])
+        store = PageStore(tmp_path / "f.bin", fault_plan=plan)
+        with pytest.raises(StorageIOError):
+            store.write_all(b"data")
+        assert not store.exists()
+
+    def test_torn_write_persists_prefix_and_raises(self, tmp_path):
+        plan = FaultPlan([FaultRule("write", "torn_write")], seed=1)
+        store = PageStore(tmp_path / "f.bin", fault_plan=plan)
+        with pytest.raises(StorageIOError, match="torn write"):
+            store.write_all(b"A" * 1000)
+        # A deterministic prefix of the block hit the disk.
+        assert 0 <= store.size_bytes() < 1000
+        assert store.size_bytes() == int(plan.firings[0].fraction * 1000)
+
+    def test_torn_patch_persists_nothing(self, tmp_path):
+        plan = FaultPlan([FaultRule("write", "torn_write", after=1)])
+        store = PageStore(tmp_path / "f.bin", fault_plan=plan)
+        store.write_all(b"B" * 64)  # first write passes (after=1)
+        with pytest.raises(StorageIOError, match="torn write"):
+            store.patch(0, b"C" * 8)
+        assert store.read_all() == b"B" * 64
+
+
+class TestDiskGraphFaults:
+    def test_corrupt_scan_detected_by_record_crc(self, tmp_path, graph):
+        plan = FaultPlan([FaultRule("scan", "corrupt")], seed=4)
+        disk = make_disk(tmp_path, graph, plan)
+        with pytest.raises(CorruptDataError):
+            list(disk.scan())
+
+    def test_contract_any_corrupt_seed(self, tmp_path, graph):
+        # Whatever byte the seed picks (record body, header, counts), the
+        # outcome is a typed error or the exact fault-free stream — never
+        # silently different records.
+        baseline = list(DiskGraph.create(tmp_path / "base.bin", graph).scan())
+        for seed in range(8):
+            plan = FaultPlan([FaultRule("scan", "corrupt")], seed=seed)
+            disk = DiskGraph.create(tmp_path / f"g{seed}.bin", graph, fault_plan=plan)
+            try:
+                records = list(disk.scan())
+            except (CorruptDataError, StorageError):
+                continue
+            assert records == baseline
+
+    def test_short_read_scan_raises(self, tmp_path, graph):
+        plan = FaultPlan([FaultRule("scan", "short_read")], seed=2)
+        disk = make_disk(tmp_path, graph, plan)
+        with pytest.raises(StorageError):
+            list(disk.scan())
+
+    def test_torn_residual_write_raises_and_source_survives(self, tmp_path, graph):
+        disk = DiskGraph.create(tmp_path / "g.bin", graph)
+        plan = FaultPlan(
+            [FaultRule("write", "torn_write", path_contains="residual")], seed=6
+        )
+        faulty = DiskGraph.open(disk.path, fault_plan=plan)
+        removed = list(graph.vertices())[:5]
+        with pytest.raises(StorageIOError):
+            faulty.rewrite_without(removed, tmp_path / "residual.bin")
+        # The source graph is untouched and still scans clean.
+        assert DiskGraph.open(disk.path).num_vertices == disk.num_vertices
+        list(DiskGraph.open(disk.path).scan())
+
+    def test_rewrite_propagates_fault_plan(self, tmp_path, graph):
+        plan = FaultPlan([], seed=0)
+        disk = make_disk(tmp_path, graph, plan)
+        residual = disk.rewrite_without([0, 1], tmp_path / "r.bin")
+        assert residual.fault_plan is plan
+
+
+class TestBufferPoolFaults:
+    def test_pool_read_corruption_caught_by_record_crc(self, tmp_path, graph):
+        # The pool caches a damaged page; every record decoded from it is
+        # either clean (byte landed elsewhere) or raises typed — a CRC
+        # mismatch, or a format error when the byte hit a length field.
+        # The sweep must demonstrate the CRC path specifically at least
+        # once: that detection simply does not exist in format v1.
+        crc_detections = 0
+        for seed in range(6):
+            plan = FaultPlan(
+                [FaultRule("pool_read", "corrupt", max_firings=None)], seed=seed
+            )
+            disk = DiskGraph.create(tmp_path / f"g{seed}.bin", graph)
+            ram = RandomAccessDiskGraph(
+                DiskGraph.open(disk.path, fault_plan=plan), capacity_pages=4
+            )
+            try:
+                for vertex in sorted(graph.vertices()):
+                    ram.neighbors(vertex)
+            except CorruptDataError:
+                crc_detections += 1
+            except StorageError:
+                pass
+        assert crc_detections > 0
+
+    def test_pool_read_io_error(self, tmp_path, graph):
+        plan = FaultPlan([FaultRule("pool_read", "io_error")])
+        disk = DiskGraph.create(tmp_path / "g.bin", graph)
+        ram = RandomAccessDiskGraph(
+            DiskGraph.open(disk.path, fault_plan=plan), capacity_pages=4
+        )
+        with pytest.raises(StorageIOError):
+            ram.neighbors(0)
+        # Transient: the next fetch succeeds and matches the graph.
+        assert ram.neighbors(0) == graph.neighbors(0)
+
+
+class TestVerifyToggle:
+    def test_verify_off_skips_detection(self, tmp_path, graph):
+        disk = DiskGraph.create(tmp_path / "g.bin", graph)
+        # Flip a byte deep inside a neighbor list, past the header.
+        raw = bytearray((tmp_path / "g.bin").read_bytes())
+        position = disk.header_bytes + 20
+        raw[position] ^= 0xFF
+        (tmp_path / "g.bin").write_bytes(bytes(raw))
+        with pytest.raises((CorruptDataError, StorageError)):
+            list(DiskGraph.open(disk.path).scan())
+        relaxed = DiskGraph.open(disk.path, verify_checksums=False)
+        try:
+            list(relaxed.scan())  # damage flows through, undetected
+        except CorruptDataError:  # pragma: no cover - must not happen
+            pytest.fail("verify_checksums=False must not verify record CRCs")
+        except StorageError:
+            # The flipped byte may still break framing; that is a format
+            # error, not a checksum verification.
+            pass

@@ -45,16 +45,18 @@ class TestPoolVersusInline:
 
 
 class TestFallback:
-    def test_dead_pool_falls_back_inline(self, star):
+    def test_dead_pool_is_rebuilt_not_abandoned(self, star):
         expected = cliques_of(enumerate_star_cliques(star))
         with StepExecutor(2, serialize_star(star)) as executor:
             # Simulate the pool dying under the driver: terminate it
-            # out-of-band, then ask for work.
+            # out-of-band, then ask for work.  Submission fails, the
+            # executor rebuilds the pool and completes on it.
             executor._pool.terminate()
             executor._pool.join()
             star_cliques, _ = _run_tree(executor, star)
-            assert executor.fell_back
-            assert executor._pool is None
+            assert executor.stats.pool_rebuilds >= 1
+            assert not executor.fell_back
+            assert executor._pool is not None
         assert cliques_of(star_cliques) == expected
 
     def test_pool_creation_failure_falls_back(self, star, monkeypatch):

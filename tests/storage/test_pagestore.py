@@ -95,3 +95,28 @@ class TestPatchAndDelete:
         store.write_all(b"x" * 100)
         store.read_all()
         assert store.io_stats.sequential_scans == 0
+
+
+class TestZeroLengthAccounting:
+    """A 0-byte transfer touches no device and must record nothing."""
+
+    def test_zero_length_read_records_nothing(self, store):
+        store.write_all(b"payload")
+        before_reads = store.io_stats.pages_read
+        before_seeks = store.io_stats.random_reads
+        assert store.read_at(3, 0) == b""
+        assert store.io_stats.pages_read == before_reads
+        assert store.io_stats.random_reads == before_seeks
+
+    def test_empty_patch_records_nothing(self, store):
+        store.write_all(b"payload")
+        before = store.io_stats.pages_written
+        store.patch(3, b"")
+        assert store.io_stats.pages_written == before
+        assert store.read_all() == b"payload"
+
+    def test_single_byte_read_still_counts_one_page(self, store):
+        store.write_all(b"payload")
+        before = store.io_stats.pages_read
+        store.read_at(0, 1)
+        assert store.io_stats.pages_read == before + 1
