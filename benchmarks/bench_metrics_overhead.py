@@ -1,0 +1,176 @@
+"""Smoke benchmark: disabled metrics must be near-free.
+
+The instrumentation threaded through the storage layer, the kernels and
+the driver calls into ``repro.metrics`` on every page read, subproblem
+and emitted clique.  When no registry is installed those calls hit the
+shared null instruments, and the budget for that is strict: the
+acceptance bar is **under 5 % of enumeration wall time**.
+
+Measuring "disabled minus uninstrumented" directly would need a second,
+stripped build of the package, so the bound is assembled from two
+measurements that together overestimate the true cost:
+
+1. the per-call price of a null-instrument method, timed in a tight
+   loop (the real call sites also pay one cached ``is`` check in
+   :func:`repro.metrics.bound`, so the loop times that path too);
+2. the number of instrument calls one enumeration makes, counted
+   exactly by running once with a registry whose instruments do nothing
+   but bump a shared call counter.
+
+``bound = calls * per_call_cost`` must stay under ``BUDGET_FRACTION``
+of the best-of-N disabled-path wall time.  The enabled/disabled wall
+times are reported alongside for context but are deliberately not
+asserted on: two full-enumeration timings differ by more than the
+instrumentation costs on a noisy CI box, which is exactly why the
+bound is built analytically.
+
+Run directly (as CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_metrics_overhead.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+import timeit
+from pathlib import Path
+
+from repro import DiskGraph, ExtMCE, ExtMCEConfig, metrics
+from repro.generators.scale_free import powerlaw_cluster_graph
+
+BUDGET_FRACTION = 0.05
+REPEATS = 3
+NULL_LOOP_CALLS = 200_000
+
+
+def _enumerate_once(disk: DiskGraph, workdir: Path) -> tuple[float, int]:
+    """One full enumeration; returns (wall seconds, cliques emitted)."""
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    algo = ExtMCE(disk, ExtMCEConfig(workdir=workdir))
+    started = time.perf_counter()
+    emitted = sum(1 for _ in algo.enumerate_cliques())
+    return time.perf_counter() - started, emitted
+
+
+def _best_of(n: int, disk: DiskGraph, workdir: Path) -> float:
+    return min(_enumerate_once(disk, workdir)[0] for _ in range(n))
+
+
+def _null_call_cost() -> float:
+    """Seconds per instrument call on the disabled path.
+
+    Times the same shape the call sites use: fetch the cached bundle
+    through ``bound()`` (one identity check), then a no-op ``inc``.
+    """
+    bundle = metrics.bound(
+        lambda registry: registry.counter("bench_null_total", "bench")
+    )
+
+    def loop() -> None:
+        for _ in range(NULL_LOOP_CALLS):
+            bundle().inc()
+
+    assert not metrics.enabled()
+    return min(timeit.repeat(loop, number=1, repeat=5)) / NULL_LOOP_CALLS
+
+
+class _CountingInstrument:
+    """Counts invocations; stands in for counter, gauge, histogram, timer."""
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: "_CountingRegistry") -> None:
+        self._registry = registry
+
+    def _hit(self) -> None:
+        self._registry.calls += 1
+
+    def inc(self, amount: int | float = 1) -> None:  # noqa: ARG002
+        self._hit()
+
+    def dec(self, amount: int | float = 1) -> None:  # noqa: ARG002
+        self._hit()
+
+    def set(self, value: int | float) -> None:  # noqa: ARG002
+        self._hit()
+
+    def observe(self, value: int | float) -> None:  # noqa: ARG002
+        self._hit()
+
+    def __enter__(self) -> "_CountingInstrument":
+        self._hit()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._hit()
+
+
+class _CountingRegistry(metrics.NullRegistry):
+    """Looks disabled to ``metrics.enabled()`` yet tallies every call."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.calls = 0
+        self._instrument = _CountingInstrument(self)
+
+    def counter(self, name, help="", labels=None, buckets=None):  # noqa: ARG002
+        return self._instrument
+
+    gauge = counter
+    histogram = counter  # type: ignore[assignment]
+    timer = counter  # type: ignore[assignment]
+
+
+def _count_instrument_calls(disk: DiskGraph, workdir: Path) -> int:
+    """Exact number of instrument calls one enumeration makes."""
+    counting = _CountingRegistry()
+    metrics.set_registry(counting)
+    try:
+        _enumerate_once(disk, workdir)
+    finally:
+        metrics.disable()
+    return counting.calls
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="bench_metrics_"))
+    try:
+        graph = powerlaw_cluster_graph(400, 6, 0.5, seed=9)
+        disk = DiskGraph.create(tmp / "g.bin", graph)
+        workdir = tmp / "w"
+
+        metrics.disable()
+        disabled = _best_of(REPEATS, disk, workdir)
+        calls = _count_instrument_calls(disk, workdir)
+        metrics.enable(metrics.MetricsRegistry())
+        enabled = _best_of(REPEATS, disk, workdir)
+        metrics.disable()
+        per_call = _null_call_cost()
+
+        bound = calls * per_call
+        fraction = bound / disabled
+        print("metrics overhead smoke benchmark")
+        print(f"  graph                  : {graph.num_vertices} vertices, "
+              f"{graph.num_edges} edges")
+        print(f"  disabled wall (best/{REPEATS}): {disabled * 1e3:9.1f} ms")
+        print(f"  enabled wall  (best/{REPEATS}): {enabled * 1e3:9.1f} ms")
+        print(f"  instrument calls       : {calls:9d}")
+        print(f"  null call cost         : {per_call * 1e9:9.1f} ns")
+        print(f"  disabled-path bound    : {bound * 1e3:9.3f} ms "
+              f"({fraction * 100:.2f}% of wall)")
+        print(f"  budget                 : {BUDGET_FRACTION * 100:.0f}%")
+        if fraction >= BUDGET_FRACTION:
+            print("FAIL: disabled-path bound exceeds budget", file=sys.stderr)
+            return 1
+        print("PASS")
+        return 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -78,6 +78,7 @@ from repro.errors import (
 from repro.dynamic import HStarMaintainer
 from repro.faults import FaultPlan, FaultRule
 from repro.graph import AdjacencyGraph
+from repro.metrics import MetricsRegistry
 from repro.kernel import (
     CompactGraph,
     maximal_cliques_bitset,
@@ -121,6 +122,7 @@ __all__ = [
     "InjectedFaultError",
     "MemoryBudgetExceeded",
     "MemoryModel",
+    "MetricsRegistry",
     "ParallelExtMCE",
     "RandomAccessDiskGraph",
     "ReproError",

@@ -20,14 +20,48 @@ memory budget, the way the paper's in-memory baseline occupies RAM.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from types import SimpleNamespace
 from typing import TYPE_CHECKING
 
+from repro import metrics
 from repro.graph.adjacency import AdjacencyGraph, Vertex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.storage.memory import MemoryModel
 
 Clique = frozenset
+
+#: Per-subproblem aggregates for the set-algebra path; the bitset path
+#: reports the same families labeled ``kernel="bitset"`` from
+#: :mod:`repro.kernel.bitmce`.
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        subproblems=registry.counter(
+            "repro_kernel_subproblems_total",
+            "root subproblems expanded by the enumeration kernels",
+            labels={"kernel": "set"},
+        ),
+        cliques=registry.counter(
+            "repro_kernel_cliques_total",
+            "maximal cliques produced by kernel subproblems",
+            labels={"kernel": "set"},
+        ),
+        sizes=registry.histogram(
+            "repro_kernel_subproblem_size",
+            "candidate-set size at each subproblem root",
+            labels={"kernel": "set"},
+            buckets=metrics.SIZE_BUCKETS,
+        ),
+    )
+)
+
+
+def _counted(source: Iterator[Clique]) -> Iterator[Clique]:
+    """Pass cliques through, counting them into the kernel metrics."""
+    cliques = _METRICS().cliques
+    for clique in source:
+        cliques.inc()
+        yield clique
 
 
 def bron_kerbosch_maximal_cliques(graph: AdjacencyGraph) -> Iterator[Clique]:
@@ -92,7 +126,10 @@ def tomita_subproblem(
     neighbors = graph.neighbors(start)
     candidates = {u for u in neighbors if u > start}
     excluded = {u for u in neighbors if u < start}
-    yield from _expand_pivot(graph, [start], candidates, excluded, None)
+    bundle = _METRICS()
+    bundle.subproblems.inc()
+    bundle.sizes.observe(len(candidates))
+    yield from _counted(_expand_pivot(graph, [start], candidates, excluded, None))
 
 
 def tomita_maximal_cliques(
@@ -125,12 +162,17 @@ def tomita_maximal_cliques(
 
         yield from maximal_cliques_bitset(CompactGraph.from_adjacency(graph))
         return
+    bundle = _METRICS()
+    bundle.subproblems.inc()
+    bundle.sizes.observe(graph.num_vertices)
     if memory is None:
-        yield from _expand_pivot(graph, [], set(graph.vertices()), set(), None)
+        yield from _counted(_expand_pivot(graph, [], set(graph.vertices()), set(), None))
         return
     footprint = 2 * graph.num_edges + graph.num_vertices
     with memory.allocation(footprint, label="in-mem adjacency"):
-        yield from _expand_pivot(graph, [], set(graph.vertices()), set(), memory)
+        yield from _counted(
+            _expand_pivot(graph, [], set(graph.vertices()), set(), memory)
+        )
 
 
 def _expand_pivot(

@@ -55,8 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
     convert.add_argument("--run-pairs", type=int, default=1 << 18,
                          help="external-sort buffer size in directed pairs")
 
-    stats = sub.add_parser("stats", help="summarise a graph and its H*-graph")
-    stats.add_argument("graph", type=Path)
+    stats = sub.add_parser(
+        "stats",
+        help="summarise a graph and its H*-graph, or render a metrics snapshot",
+    )
+    stats.add_argument("graph", type=Path,
+                       help="DiskGraph (.bin), text edge list, or a metrics "
+                            "snapshot JSON written by enumerate --metrics-out")
 
     enumerate_ = sub.add_parser("enumerate", help="run ExtMCE over a graph")
     enumerate_.add_argument("graph", type=Path,
@@ -101,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
     enumerate_.add_argument("--fault-plan", type=Path,
                             help="JSON fault-injection spec (testing only; "
                                  "see repro.faults.FaultPlan.to_spec)")
+    enumerate_.add_argument("--metrics-out", type=Path,
+                            help="enable the metrics registry and write its "
+                                 "final snapshot here (JSON), plus the "
+                                 "Prometheus text exposition at PATH.prom")
 
     generate = sub.add_parser("generate", help="synthesize a dataset stand-in")
     generate.add_argument("dataset", choices=sorted(DATASETS))
@@ -172,6 +181,12 @@ def _open_graph(path: Path, fault_plan=None, verify_checksums: bool = True) -> D
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    snapshot = _try_load_metrics_snapshot(args.graph)
+    if snapshot is not None:
+        from repro.metrics import render_metrics_table
+
+        print(render_metrics_table(snapshot))
+        return 0
     disk = _open_graph(args.graph)
     star = extract_hstar_graph(disk)
     graph = disk.to_adjacency_graph()
@@ -192,6 +207,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _try_load_metrics_snapshot(path: Path):
+    """The parsed snapshot if ``path`` holds one, else ``None``.
+
+    Sniffing by content (the ``schema`` key), not extension, keeps
+    ``stats`` backward compatible: anything that is not a metrics
+    snapshot falls through to the graph-statistics path untouched.
+    """
+    import json
+
+    from repro.metrics import is_snapshot
+
+    try:
+        payload = json.loads(path.read_text(encoding="ascii"))
+    except (OSError, UnicodeError, ValueError):
+        return None
+    return payload if is_snapshot(payload) else None
+
+
 def _cmd_enumerate(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
@@ -208,6 +241,11 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
             print(f"error: cannot read fault plan {args.fault_plan}: {exc}",
                   file=sys.stderr)
             return 2
+    if args.metrics_out is not None:
+        # Enable before the graph is opened so conversion/open I/O counts.
+        from repro import metrics
+
+        metrics.enable()
     memory = MemoryModel(budget=args.budget)
     counter = CliqueCounter()
     sink = CliqueFileSink(args.output, canonical=args.canonical) if args.output else None
@@ -222,6 +260,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                     workers=args.workers, kernel=args.kernel,
                     verify_checksums=args.verify_checksums,
                     max_retries=args.max_retries, fault_plan=fault_plan,
+                    metrics_path=args.metrics_out,
                 ),
                 memory=memory,
             )
@@ -243,6 +282,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 verify_checksums=args.verify_checksums,
                 max_retries=args.max_retries,
                 fault_plan=fault_plan,
+                metrics_path=args.metrics_out,
             )
             algo = driver_cls(disk, config, memory=memory)
         try:
@@ -267,6 +307,9 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         print(f"workers         : {args.workers}")
     if args.output:
         print(f"cliques written : {args.output}")
+    if args.metrics_out:
+        print(f"metrics written : {args.metrics_out} "
+              f"(+ {args.metrics_out.name}.prom)")
     if args.trace:
         from repro.telemetry import load_trace, summarize_trace
 

@@ -24,11 +24,28 @@ algorithm on ``G_H*`` (the ablation bench compares the two).
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from types import SimpleNamespace
 from typing import TYPE_CHECKING
 
+from repro import metrics
 from repro.baselines.bron_kerbosch import tomita_maximal_cliques
 from repro.errors import GraphError
 from repro.core.hstar import StarGraph
+
+#: Per-step ``T_H*`` construction totals (Table 3's tree-size column).
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        trees=registry.counter(
+            "repro_tree_builds_total", "clique trees assembled (one per step)"
+        ),
+        nodes=registry.counter(
+            "repro_tree_nodes_total", "prefix-tree nodes across all assembled trees"
+        ),
+        cliques=registry.counter(
+            "repro_tree_cliques_total", "H*-max-cliques stored across all trees"
+        ),
+    )
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.memory import MemoryModel
@@ -302,6 +319,10 @@ def assemble_clique_tree(
         node = tree._find(kernel)
         if node is not None:
             node.core_maximal = True
+    bundle = _METRICS()
+    bundle.trees.inc()
+    bundle.nodes.inc(tree.num_nodes)
+    bundle.cliques.inc(tree.num_cliques)
     return tree
 
 

@@ -29,7 +29,9 @@ import time
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from pathlib import Path
+from types import SimpleNamespace
 
+from repro import metrics
 from repro.core.categories import compute_core_plus_max_cliques
 from repro.core.checkpoint import (
     CheckpointState,
@@ -48,6 +50,41 @@ from repro.storage.memory import MemoryModel
 from repro.storage.partitions import HnbPartitionStore
 
 Clique = frozenset
+
+#: Driver-level totals.  ``emitted + suppressed - singletons`` always
+#: equals ``m1 + m2 + m3`` (every category clique is either emitted or
+#: suppressed; degenerate-step singletons bypass the categories), and
+#: ``emitted`` equals the length of the clique stream — both invariants
+#: are asserted by the differential test harness at every worker count.
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        steps=registry.counter(
+            "repro_mce_steps_total", "completed recursion steps"
+        ),
+        emitted=registry.counter(
+            "repro_mce_cliques_emitted_total", "globally maximal cliques emitted"
+        ),
+        suppressed=registry.counter(
+            "repro_mce_cliques_suppressed_total",
+            "locally maximal cliques suppressed by the hashtable filter",
+        ),
+        singletons=registry.counter(
+            "repro_mce_singleton_cliques_total",
+            "isolated-vertex cliques emitted by the degenerate step",
+        ),
+        categories={
+            name: registry.counter(
+                "repro_mce_category_cliques_total",
+                "H+-max-cliques per Algorithm 2 category",
+                labels={"category": name},
+            )
+            for name in ("m1", "m2", "m3")
+        },
+        hashtable=registry.gauge(
+            "repro_mce_hashtable_entries", "live maximality-hashtable entries"
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -112,6 +149,12 @@ class ExtMCEConfig:
         executor's ``"chunk"`` site (see :mod:`repro.faults`); storage
         faults are configured on the :class:`DiskGraph` itself.  ``None``
         (production) injects nothing.
+    metrics_path:
+        Write a :mod:`repro.metrics` snapshot (JSON at this path, plus
+        the Prometheus text exposition at ``<path>.prom``) when the run
+        ends.  Setting this enables the process-wide metrics registry if
+        it is not already enabled; worker-process metrics are merged in
+        before the snapshot is written.
     """
 
     memory_budget_units: int | None = None
@@ -128,6 +171,7 @@ class ExtMCEConfig:
     verify_checksums: bool = True
     max_retries: int = 2
     fault_plan: "FaultPlan | None" = None
+    metrics_path: str | Path | None = None
 
 
 @dataclass
@@ -269,10 +313,17 @@ class ExtMCE:
             else self._config.workdir
         )
         workdir.mkdir(parents=True, exist_ok=True)
+        if self._config.metrics_path is not None:
+            metrics.enable()
         if self._config.trace_path is not None:
             from repro.telemetry import TraceWriter
 
-            self._trace = TraceWriter(self._config.trace_path)
+            # A resumed run continues the interrupted run's trace file;
+            # a fresh run must not inherit a stale one (mode="truncate").
+            self._trace = TraceWriter(
+                self._config.trace_path,
+                mode="append" if self._resume_state is not None else "truncate",
+            )
             self._trace.emit(
                 "run_started",
                 vertices=self._input.num_vertices,
@@ -301,6 +352,10 @@ class ExtMCE:
             self.report.sequential_scans = io.sequential_scans
             if self._trace is not None:
                 self._trace.close()
+            if self._config.metrics_path is not None and metrics.enabled():
+                metrics.write_exposition_files(
+                    metrics.get_registry().snapshot(), self._config.metrics_path
+                )
             if owns_workdir:
                 shutil.rmtree(workdir, ignore_errors=True)
 
@@ -336,6 +391,9 @@ class ExtMCE:
                         if record.original_degree == 0:
                             emitted += 1
                             yield frozenset((record.vertex,))
+                    bundle = _METRICS()
+                    bundle.singletons.inc(emitted)
+                    bundle.emitted.inc(emitted)
                     self._finish_step(
                         step, star, 0, 0.0, emitted, 0, hashtable,
                         step_start, 0, 0,
@@ -369,9 +427,13 @@ class ExtMCE:
                     current, step_target, seed=self._config.seed + step
                 )
             yield from self._process_step(step, star, current, workdir, hashtable, step_start)
-            residual = current.rewrite_without(
-                star.core, workdir / f"residual_{step:04d}.bin"
-            )
+            with metrics.get_registry().timer(
+                "repro_mce_phase_seconds", "per-step phase wall time",
+                labels={"phase": "residual_rewrite"},
+            ):
+                residual = current.rewrite_without(
+                    star.core, workdir / f"residual_{step:04d}.bin"
+                )
             if self._config.checkpoint:
                 write_checkpoint(
                     workdir,
@@ -408,11 +470,16 @@ class ExtMCE:
         hashtable: set[Clique],
         step_start: float,
     ) -> Iterator[Clique]:
+        registry = metrics.get_registry()
         tree_estimate = estimate_tree_size(
             star, num_probes=self._config.estimator_probes, seed=self._config.seed
         )
         with self._memory.allocation(star.memory_units, label="star graph"):
-            tree, core_maximal = self._build_step_tree(step, star)
+            with registry.timer(
+                "repro_mce_phase_seconds", "per-step phase wall time",
+                labels={"phase": "tree_build"},
+            ):
+                tree, core_maximal = self._build_step_tree(step, star)
             partition_budget = max(
                 int(star.size_edges * self._config.partition_fraction), 64
             )
@@ -426,16 +493,28 @@ class ExtMCE:
                     partition_budget, max(headroom // (max_resident + 1), 16)
                 )
             periphery_order = self._periphery_leaf_order(tree, star)
-            store = HnbPartitionStore.build(
-                current,
-                periphery_order,
-                workdir / f"partitions_{step:04d}",
-                partition_budget,
-                memory=self._memory,
-                max_resident=max_resident,
-            )
+            with registry.timer(
+                "repro_mce_phase_seconds", "per-step phase wall time",
+                labels={"phase": "partition_build"},
+            ):
+                store = HnbPartitionStore.build(
+                    current,
+                    periphery_order,
+                    workdir / f"partitions_{step:04d}",
+                    partition_budget,
+                    memory=self._memory,
+                    max_resident=max_resident,
+                )
             try:
-                categories = self._compute_categories(star, core_maximal, store)
+                with registry.timer(
+                    "repro_mce_phase_seconds", "per-step phase wall time",
+                    labels={"phase": "lift"},
+                ):
+                    categories = self._compute_categories(star, core_maximal, store)
+                bundle = _METRICS()
+                bundle.categories["m1"].inc(len(categories.m1))
+                bundle.categories["m2"].inc(len(categories.m2))
+                bundle.categories["m3"].inc(len(categories.m3))
                 emitted = 0
                 suppressed = 0
                 for clique in categories.all_cliques():
@@ -445,6 +524,8 @@ class ExtMCE:
                         yield clique
                     else:
                         suppressed += 1
+                bundle.emitted.inc(emitted)
+                bundle.suppressed.inc(suppressed)
                 if self._config.hashtable_cleanup:
                     self._purge_hashtable(hashtable, star.core)
             finally:
@@ -564,6 +645,9 @@ class ExtMCE:
         residual_edges: int,
     ) -> None:
         elapsed = time.perf_counter() - step_start
+        bundle = _METRICS()
+        bundle.steps.inc()
+        bundle.hashtable.set(len(hashtable))
         self.report.steps.append(
             RecursionStats(
                 step=step,

@@ -45,11 +45,37 @@ budget keep using the set-based path — see ``docs/ALGORITHMS.md``.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from types import SimpleNamespace
 
+from repro import metrics
 from repro.errors import VertexNotFoundError
 from repro.kernel.compact import CompactGraph
 
 Clique = frozenset
+
+#: Per-subproblem aggregates (never per recursion frame — the hot loop
+#: stays untouched).  Labeled ``kernel="bitset"``; the set path in
+#: :mod:`repro.baselines.bron_kerbosch` reports the same families.
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        subproblems=registry.counter(
+            "repro_kernel_subproblems_total",
+            "root subproblems expanded by the enumeration kernels",
+            labels={"kernel": "bitset"},
+        ),
+        cliques=registry.counter(
+            "repro_kernel_cliques_total",
+            "maximal cliques produced by kernel subproblems",
+            labels={"kernel": "bitset"},
+        ),
+        sizes=registry.histogram(
+            "repro_kernel_subproblem_size",
+            "candidate-set size at each subproblem root",
+            labels={"kernel": "bitset"},
+            buckets=metrics.SIZE_BUCKETS,
+        ),
+    )
+)
 
 
 def iter_bits(mask: int) -> Iterator[int]:
@@ -74,8 +100,12 @@ def maximal_cliques_bitset(
     ``induced_subgraph(subset)`` — same cliques, same order.
     """
     candidates = graph.full_mask if subset_mask is None else subset_mask
+    bundle = _METRICS()
+    bundle.subproblems.inc()
+    bundle.sizes.observe(candidates.bit_count())
     out: list[Clique] = []
     _run(graph.masks, graph.labels, [], candidates, 0, out)
+    bundle.cliques.inc(len(out))
     yield from out
 
 
@@ -91,6 +121,9 @@ def subproblem_bitset(graph: CompactGraph, start) -> Iterator[Clique]:
         raise VertexNotFoundError(start)
     neighbors = graph.masks[index]
     low_bits = (1 << index) - 1
+    bundle = _METRICS()
+    bundle.subproblems.inc()
+    bundle.sizes.observe((neighbors & ~low_bits).bit_count())
     out: list[Clique] = []
     _run(
         graph.masks,
@@ -100,6 +133,7 @@ def subproblem_bitset(graph: CompactGraph, start) -> Iterator[Clique]:
         neighbors & low_bits,
         out,
     )
+    bundle.cliques.inc(len(out))
     yield from out
 
 

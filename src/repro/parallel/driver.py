@@ -35,11 +35,13 @@ import time
 from collections.abc import Iterator
 from pathlib import Path
 
+from repro import metrics
 from repro.core.categories import compute_core_plus_max_cliques
 from repro.core.clique_tree import assemble_clique_tree
 from repro.core.extmce import ExtMCE, ExtMCEConfig
 from repro.core.hstar import StarGraph
 from repro.parallel.executor import ExecutorStats, StepExecutor
+from repro.parallel.executor import _METRICS as executor_metrics
 from repro.parallel.merge import merge_lift_results, merge_tree_results
 from repro.parallel.partition import (
     chunk_lift_tasks,
@@ -85,6 +87,7 @@ class ParallelExtMCE(ExtMCE):
         super().__init__(*args, **kwargs)
         self._executor: StepExecutor | None = None
         self._worker_trace_dir: Path | None = None
+        self._worker_metrics_dir: Path | None = None
         self.fallback_steps = 0
         #: Run-level accumulation of every step executor's recovery
         #: counters (retries, timeouts, rebuilds, inline fallbacks).
@@ -109,6 +112,8 @@ class ParallelExtMCE(ExtMCE):
             return
         if self._worker_trace_dir is None and self._trace is not None:
             self._worker_trace_dir = workdir / "worker_traces"
+        if self._worker_metrics_dir is None and metrics.enabled():
+            self._worker_metrics_dir = workdir / "worker_metrics"
         pool_started = time.perf_counter()
         with StepExecutor(
             self.workers,
@@ -118,9 +123,11 @@ class ParallelExtMCE(ExtMCE):
             max_retries=self._config.max_retries,
             fault_plan=self._config.fault_plan,
             on_event=self._trace.emit if self._trace is not None else None,
+            metrics_dir=self._worker_metrics_dir,
         ) as executor:
             self._executor = executor
             self.last_payload_bytes = executor.payload_bytes
+            executor_metrics().payload_bytes.inc(self.last_payload_bytes)
             try:
                 yield from super()._process_step(
                     step, star, current, workdir, hashtable, step_start
@@ -143,13 +150,15 @@ class ParallelExtMCE(ExtMCE):
                     )
 
     def _drive(self, workdir: Path) -> Iterator[Clique]:
-        # Merge worker traces inside _drive's lifetime: the base class
-        # closes the main trace (and may delete the workdir) right after
-        # this generator finishes, so the fold-in must happen first.
+        # Merge worker traces and metrics inside _drive's lifetime: the
+        # base class closes the main trace, writes the metrics snapshot,
+        # and may delete the workdir right after this generator finishes,
+        # so both fold-ins must happen first.
         try:
             yield from super()._drive(workdir)
         finally:
             self._merge_worker_traces()
+            self._merge_worker_metrics()
 
     # ------------------------------------------------------------------
     # Hook overrides
@@ -201,6 +210,29 @@ class ParallelExtMCE(ExtMCE):
             from repro.telemetry import merge_traces
 
             self._trace.absorb(merge_traces(sorted(directory.glob("*.jsonl"))))
+        shutil.rmtree(directory, ignore_errors=True)
+
+    def _merge_worker_metrics(self) -> None:
+        """Fold every worker's last snapshot into the driver's registry.
+
+        The metrics analogue of :meth:`_merge_worker_traces`: snapshot
+        files are absorbed in sorted-path order (absorption is commutative
+        — counters and histograms sum, gauges max — so the order only
+        matters for error attribution).  Unreadable files are skipped the
+        way the trace merger skips missing ones: a worker that died before
+        its first flush must not take the run's metrics down with it.
+        """
+        directory = self._worker_metrics_dir
+        self._worker_metrics_dir = None
+        if directory is None or not directory.exists():
+            return
+        if metrics.enabled():
+            registry = metrics.get_registry()
+            for path in sorted(directory.glob("worker_*.json")):
+                try:
+                    registry.absorb(metrics.load_snapshot(path))
+                except (OSError, ValueError):
+                    continue
         shutil.rmtree(directory, ignore_errors=True)
 
 

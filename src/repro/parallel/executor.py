@@ -41,8 +41,10 @@ import signal
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from types import SimpleNamespace
 from typing import TYPE_CHECKING, Callable
 
+from repro import metrics
 from repro.baselines.bron_kerbosch import tomita_maximal_cliques, tomita_subproblem
 from repro.errors import InjectedFaultError
 from repro.graph.adjacency import AdjacencyGraph
@@ -58,6 +60,52 @@ Clique = frozenset
 #: Grace period for salvaging completed chunks off a pool already declared
 #: broken (their workers may have finished before the breakage).
 _SALVAGE_TIMEOUT_SECONDS = 0.05
+
+#: Executor metrics.  Chunk counts and latencies are observed in whatever
+#: process runs the chunk (worker registries are merged back into the
+#: driver's); the recovery counters mirror :class:`ExecutorStats` and are
+#: always driver-side.
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        chunks={
+            phase: registry.counter(
+                "repro_parallel_chunks_total",
+                "task chunks executed (including retries and inline reruns)",
+                labels={"phase": phase},
+            )
+            for phase in ("tree", "lift")
+        },
+        latency={
+            phase: registry.histogram(
+                "repro_parallel_chunk_seconds",
+                "per-chunk wall time",
+                labels={"phase": phase},
+                buckets=metrics.TIME_BUCKETS,
+            )
+            for phase in ("tree", "lift")
+        },
+        retries=registry.counter(
+            "repro_parallel_chunk_retries_total", "chunk resubmissions"
+        ),
+        timeouts=registry.counter(
+            "repro_parallel_chunk_timeouts_total", "chunk deadline expiries"
+        ),
+        errors=registry.counter(
+            "repro_parallel_chunk_errors_total", "chunk attempts that raised"
+        ),
+        rebuilds=registry.counter(
+            "repro_parallel_pool_rebuilds_total", "worker-pool teardown/recreate cycles"
+        ),
+        inline=registry.counter(
+            "repro_parallel_inline_chunks_total",
+            "chunks recomputed in-process after exhausting retries",
+        ),
+        payload_bytes=registry.counter(
+            "repro_parallel_payload_bytes_total",
+            "pickled per-worker payload bytes shipped to pools",
+        ),
+    )
+)
 
 
 class WorkerContext:
@@ -76,7 +124,12 @@ class WorkerContext:
     rebuilds an :class:`AdjacencyGraph`.
     """
 
-    def __init__(self, payload: dict, trace_dir: str | None) -> None:
+    def __init__(
+        self,
+        payload: dict,
+        trace_dir: str | None,
+        metrics_dir: str | None = None,
+    ) -> None:
         self.kernel = payload.get("kernel", "set")
         if self.kernel == "bitset":
             from repro.kernel import CompactGraph
@@ -92,6 +145,7 @@ class WorkerContext:
             )
         self._trace_dir = trace_dir
         self._trace = None
+        self._metrics_dir = metrics_dir
 
     def emit(self, event: str, **fields: object) -> None:
         if self._trace_dir is None:
@@ -99,18 +153,54 @@ class WorkerContext:
         if self._trace is None:
             from repro.telemetry import TraceWriter
 
+            # Append, never truncate: trace files from earlier steps share
+            # this directory until the end-of-run merge, and a recycled PID
+            # must extend — not erase — its predecessor's file.
             self._trace = TraceWriter(
-                Path(self._trace_dir) / f"worker_{os.getpid():08d}.jsonl"
+                Path(self._trace_dir) / f"worker_{os.getpid():08d}.jsonl",
+                mode="append",
             )
         self._trace.emit(event, **fields)
+
+    def flush_metrics(self) -> None:
+        """Dump this process's registry snapshot for the driver to absorb.
+
+        Atomic (write-temp-then-rename) and keyed by PID, so a crash
+        mid-chunk leaves the previous complete snapshot behind and the
+        driver's merge never reads a torn file.  No-op when the executor
+        was built without a metrics directory (metrics disabled, or the
+        in-driver inline context, whose observations land directly in the
+        driver's registry).
+        """
+        if self._metrics_dir is None or not metrics.enabled():
+            return
+        metrics.dump_snapshot(
+            metrics.get_registry().snapshot(),
+            Path(self._metrics_dir) / f"worker_{os.getpid():08d}.json",
+        )
 
 
 _CONTEXT: WorkerContext | None = None
 
 
-def _init_worker(payload: dict, trace_dir: str | None) -> None:
+def _init_worker(
+    payload: dict, trace_dir: str | None, metrics_dir: str | None = None
+) -> None:
     global _CONTEXT
-    _CONTEXT = WorkerContext(payload, trace_dir)
+    if metrics_dir is not None:
+        # Fresh registry per worker process: a forked child inherits the
+        # driver's live registry, and dumping *that* would hand the
+        # driver its own counts back on merge.  A recycled PID continues
+        # its predecessor's totals (snapshot files are keyed by PID and
+        # overwritten per flush, so starting from zero would lose them).
+        registry = metrics.MetricsRegistry()
+        previous = Path(metrics_dir) / f"worker_{os.getpid():08d}.json"
+        if previous.exists():
+            registry.absorb(metrics.load_snapshot(previous))
+        metrics.set_registry(registry)
+    else:
+        metrics.disable()
+    _CONTEXT = WorkerContext(payload, trace_dir, metrics_dir)
 
 
 def _run_tree_chunk(
@@ -124,6 +214,8 @@ def _run_tree_chunk(
     """
     assert _CONTEXT is not None, "worker used before initialization"
     results: list[tuple[int, tuple[tuple[int, ...], ...]]] = []
+    bundle = _METRICS()
+    started = time.perf_counter()
     try:
         if _CONTEXT.kernel == "bitset":
             from repro.kernel import maximal_cliques_bitset, subproblem_bitset
@@ -157,11 +249,14 @@ def _run_tree_chunk(
                         for clique in tomita_maximal_cliques(induced)
                     )
                 results.append((task.index, found))
+        bundle.chunks["tree"].inc()
+        bundle.latency["tree"].observe(time.perf_counter() - started)
         _CONTEXT.emit(
             "tree_chunk_completed",
             tasks=len(chunk),
             cliques=sum(len(found) for _, found in results),
         )
+        _CONTEXT.flush_metrics()
     except Exception as error:
         _CONTEXT.emit("tree_chunk_failed", tasks=len(chunk), error=repr(error))
         raise
@@ -180,6 +275,8 @@ def _run_lift_chunk(
     loaded: dict[int, dict[int, frozenset[int]]] = {}
     pages_read = 0
     results: list[tuple[int, tuple[tuple[int, ...], ...]]] = []
+    bundle = _METRICS()
+    started = time.perf_counter()
     try:
         for task in chunk.tasks:
             adjacency: dict[int, frozenset[int]] = {}
@@ -208,12 +305,15 @@ def _run_lift_chunk(
                     ),
                 )
             )
+        bundle.chunks["lift"].inc()
+        bundle.latency["lift"].observe(time.perf_counter() - started)
         _CONTEXT.emit(
             "lift_chunk_completed",
             tasks=len(chunk.tasks),
             partitions_loaded=len(loaded),
             pages_read=pages_read,
         )
+        _CONTEXT.flush_metrics()
     except Exception as error:
         _CONTEXT.emit("lift_chunk_failed", tasks=len(chunk.tasks), error=repr(error))
         raise
@@ -310,10 +410,12 @@ class StepExecutor:
         max_retries: int = 2,
         fault_plan: "FaultPlan | None" = None,
         on_event: Callable[..., None] | None = None,
+        metrics_dir: str | Path | None = None,
     ) -> None:
         self._workers = max(1, int(workers))
         self._payload = payload
         self._trace_dir = str(trace_dir) if trace_dir is not None else None
+        self._metrics_dir = str(metrics_dir) if metrics_dir is not None else None
         self._task_timeout = task_timeout
         self._max_retries = max(0, int(max_retries))
         self._faults = fault_plan
@@ -332,7 +434,7 @@ class StepExecutor:
                 self._pool = multiprocessing.Pool(
                     processes=self._workers,
                     initializer=_init_worker,
-                    initargs=(self._payload, self._trace_dir),
+                    initargs=(self._payload, self._trace_dir, self._metrics_dir),
                 )
             except Exception:
                 self._pool = None
@@ -450,10 +552,12 @@ class StepExecutor:
                     continue
                 broken = True
                 self.stats.chunk_timeouts += 1
+                _METRICS().timeouts.inc()
                 self._emit("chunk_timeout", phase=phase, chunk_index=index)
                 self._fail(phase, index, chunks, results, done, attempts)
             except Exception as error:
                 self.stats.chunk_errors += 1
+                _METRICS().errors.inc()
                 self._emit(
                     "chunk_error", phase=phase, chunk_index=index, error=repr(error)
                 )
@@ -465,6 +569,7 @@ class StepExecutor:
         attempts[index] += 1
         if attempts[index] > self._max_retries:
             self.stats.inline_chunks += 1
+            _METRICS().inline.inc()
             self._emit(
                 "chunk_inline_fallback",
                 phase=phase,
@@ -475,6 +580,7 @@ class StepExecutor:
             done[index] = True
         else:
             self.stats.chunk_retries += 1
+            _METRICS().retries.inc()
             self._emit(
                 "chunk_retry", phase=phase, chunk_index=index, attempt=attempts[index]
             )
@@ -491,9 +597,10 @@ class StepExecutor:
             self._pool = multiprocessing.Pool(
                 processes=self._workers,
                 initializer=_init_worker,
-                initargs=(self._payload, self._trace_dir),
+                initargs=(self._payload, self._trace_dir, self._metrics_dir),
             )
             self.stats.pool_rebuilds += 1
+            _METRICS().rebuilds.inc()
             self._emit("pool_rebuild", rebuilds=self._rebuilds_used)
         except Exception:
             self._pool = None

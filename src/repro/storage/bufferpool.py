@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from types import SimpleNamespace
 from typing import TYPE_CHECKING
 
+from repro import metrics
 from repro.errors import StorageError, StorageIOError
 from repro.storage.memory import MemoryModel
 from repro.storage.pagestore import PAGE_SIZE_BYTES, PageStore
@@ -34,6 +36,25 @@ if TYPE_CHECKING:  # pragma: no cover
 UNITS_PER_PAGE = PAGE_SIZE_BYTES // 8
 
 _POLICIES = ("lru", "fifo", "clock")
+
+#: Cache behaviour across every pool in the process (hits cost nothing,
+#: misses cost a seek + page read on the underlying store).
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        hits=registry.counter(
+            "repro_bufferpool_hits_total", "page requests served from cache"
+        ),
+        misses=registry.counter(
+            "repro_bufferpool_misses_total", "page requests that went to disk"
+        ),
+        evictions=registry.counter(
+            "repro_bufferpool_evictions_total", "cached pages evicted"
+        ),
+        resident=registry.gauge(
+            "repro_bufferpool_resident_pages", "currently cached pages"
+        ),
+    )
+)
 
 
 class BufferPool:
@@ -105,12 +126,14 @@ class BufferPool:
         cached = self._pages.get(index)
         if cached is not None:
             self.hits += 1
+            _METRICS().hits.inc()
             if self._policy == "lru":
                 self._pages.move_to_end(index)
             elif self._policy == "clock":
                 self._ref_bits[index] = True
             return cached
         self.misses += 1
+        _METRICS().misses.inc()
         while len(self._pages) >= self._capacity:
             self._evict_one()
         offset = index * PAGE_SIZE_BYTES
@@ -122,6 +145,7 @@ class BufferPool:
         if self._memory is not None:
             self._memory.allocate(UNITS_PER_PAGE, label="buffer pool")
         self._pages[index] = data
+        _METRICS().resident.inc()
         if self._policy == "clock":
             self._ref_bits[index] = True
             self._clock_ring.append(index)
@@ -168,7 +192,10 @@ class BufferPool:
         self._evict_index(victim)
 
     def _evict_index(self, index: int) -> None:
-        self._pages.pop(index, None)
+        if self._pages.pop(index, None) is not None:
+            bundle = _METRICS()
+            bundle.evictions.inc()
+            bundle.resident.dec()
         self._ref_bits.pop(index, None)
         if self._memory is not None:
             self._memory.release(UNITS_PER_PAGE, label="buffer pool")

@@ -35,6 +35,7 @@ from repro.storage.format import (
     FILE_MAGIC,
     FILE_MAGIC_V2,
     VertexRecord,
+    count_checksum_failure,
     decode_record,
     encode_record,
     record_size,
@@ -175,6 +176,7 @@ class DiskGraph:
             (stored,) = _CRC.unpack(store.read_at(_HEADER_BYTES_V1, _CRC.size))
             computed = zlib.crc32(counts)
             if stored != computed:
+                count_checksum_failure()
                 raise CorruptDataError(
                     f"header checksum mismatch in {path}: "
                     f"stored {stored:#010x}, computed {computed:#010x}"

@@ -28,10 +28,25 @@ import zlib
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import metrics
 from repro.errors import CorruptDataError, StorageFormatError
 
 _HEADER = struct.Struct("<QII")
 _CRC = struct.Struct("<I")
+
+#: Integrity counters: verified records and detected CRC mismatches.
+_CHECKSUM_METRICS = metrics.bound(
+    lambda registry: {
+        "verified": registry.counter(
+            "repro_storage_records_verified_total",
+            "records whose CRC32 was checked on read",
+        ),
+        "failures": registry.counter(
+            "repro_storage_checksum_failures_total",
+            "record CRC32 mismatches detected on read",
+        ),
+    }
+)
 
 #: Magic bytes identifying a format-v1 DiskGraph file (no checksums).
 FILE_MAGIC = b"HSTARGR1"
@@ -110,7 +125,10 @@ def decode_record(
         if verify:
             (stored,) = _CRC.unpack_from(buffer, body_end)
             computed = zlib.crc32(buffer[offset:body_end])
+            bundle = _CHECKSUM_METRICS()
+            bundle["verified"].inc()
             if stored != computed:
+                bundle["failures"].inc()
                 raise CorruptDataError(
                     f"checksum mismatch for vertex {vertex}: "
                     f"stored {stored:#010x}, computed {computed:#010x}"
@@ -118,6 +136,16 @@ def decode_record(
         body_end = crc_end
     record = VertexRecord(vertex=vertex, original_degree=original_degree, neighbors=neighbors)
     return record, body_end
+
+
+def count_checksum_failure() -> None:
+    """Count a checksum failure detected outside the record codec.
+
+    Used by :meth:`repro.storage.diskgraph.DiskGraph.open` for header CRC
+    mismatches, so ``repro_storage_checksum_failures_total`` covers every
+    integrity check in the stack.
+    """
+    _CHECKSUM_METRICS()["failures"].inc()
 
 
 def record_size(degree: int, checksum: bool = False) -> int:

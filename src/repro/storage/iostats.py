@@ -10,6 +10,9 @@ experiments can report measured, not asserted, figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import SimpleNamespace
+
+from repro import metrics
 
 #: Simulated sequential throughput used to convert counted pages into the
 #: "disk-read time" column of Table 3.  100 MB/s of 4 KiB pages.
@@ -18,6 +21,26 @@ PAGES_PER_SECOND_SEQUENTIAL = 25_600
 #: Simulated random-access cost: a seek plus one page, ~5 ms each
 #: (commodity 7200 rpm disk, the class of hardware in the paper's testbed).
 SECONDS_PER_SEEK = 0.005
+
+#: Process-wide storage counters, aggregated across every IOStats
+#: instance (an ExtMCE run owns several stacks: input graph, residuals,
+#: spill partitions).  No-ops until ``repro.metrics.enable()``.
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        pages_read=registry.counter(
+            "repro_storage_pages_read_total", "4 KiB pages read across all stores"
+        ),
+        pages_written=registry.counter(
+            "repro_storage_pages_written_total", "4 KiB pages written across all stores"
+        ),
+        seeks=registry.counter(
+            "repro_storage_random_reads_total", "random reads (one seek each)"
+        ),
+        scans=registry.counter(
+            "repro_storage_sequential_scans_total", "full sequential store scans"
+        ),
+    )
+)
 
 
 @dataclass
@@ -32,18 +55,22 @@ class IOStats:
     def record_read(self, pages: int) -> None:
         """Count ``pages`` read as part of a sequential pass."""
         self.pages_read += pages
+        _METRICS().pages_read.inc(pages)
 
     def record_write(self, pages: int) -> None:
         """Count ``pages`` written."""
         self.pages_written += pages
+        _METRICS().pages_written.inc(pages)
 
     def record_seek(self) -> None:
         """Count one random access (a seek before a read)."""
         self.random_reads += 1
+        _METRICS().seeks.inc()
 
     def record_scan(self) -> None:
         """Count one full sequential scan of a store."""
         self.sequential_scans += 1
+        _METRICS().scans.inc()
 
     @property
     def simulated_read_seconds(self) -> float:

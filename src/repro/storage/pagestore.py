@@ -22,6 +22,9 @@ from collections.abc import Iterator
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from types import SimpleNamespace
+
+from repro import metrics
 from repro.errors import StorageError, StorageIOError
 from repro.storage.iostats import IOStats
 
@@ -33,6 +36,20 @@ PAGE_SIZE_BYTES = 4096
 
 #: Chunk size for sequential streaming (must be a multiple of the page size).
 _SCAN_CHUNK_BYTES = 64 * PAGE_SIZE_BYTES
+
+
+#: Byte-granular traffic counters (the page counters live in IOStats;
+#: bytes expose the slack between payload and page-rounded accounting).
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        bytes_read=registry.counter(
+            "repro_storage_bytes_read_total", "payload bytes fetched from disk"
+        ),
+        bytes_written=registry.counter(
+            "repro_storage_bytes_written_total", "payload bytes written to disk"
+        ),
+    )
+)
 
 
 def _pages(num_bytes: int) -> int:
@@ -99,6 +116,7 @@ class PageStore:
         except OSError as exc:
             raise StorageIOError("write_all", self._path, str(exc)) from exc
         self._io.record_write(_pages(len(data)))
+        _METRICS().bytes_written.inc(len(data))
 
     def append(self, data: bytes) -> None:
         """Append ``data`` (counted as page writes)."""
@@ -110,6 +128,7 @@ class PageStore:
         except OSError as exc:
             raise StorageIOError("append", self._path, str(exc)) from exc
         self._io.record_write(_pages(len(data)))
+        _METRICS().bytes_written.inc(len(data))
 
     def read_all(self) -> bytes:
         """Read the whole file sequentially (one scan)."""
@@ -141,6 +160,7 @@ class PageStore:
                         if not chunk:
                             break
                     self._io.record_read(_pages(len(chunk)))
+                    _METRICS().bytes_read.inc(len(chunk))
                     yield chunk
                     if fault is not None and fault.kind == "short_read" and not first:
                         break  # injected truncation: drop the file's tail
@@ -177,6 +197,7 @@ class PageStore:
             )
         self._io.record_seek()
         self._io.record_read(_span_pages(offset, length))
+        _METRICS().bytes_read.inc(length)
         return data
 
     def patch(self, offset: int, data: bytes) -> None:
@@ -201,6 +222,7 @@ class PageStore:
         except OSError as exc:
             raise StorageIOError("patch", self._path, str(exc)) from exc
         self._io.record_write(_span_pages(offset, len(data)))
+        _METRICS().bytes_written.inc(len(data))
 
     def delete(self) -> None:
         """Remove the backing file if present."""

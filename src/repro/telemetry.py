@@ -11,6 +11,7 @@ summarises traces for post-hoc analysis, and the CLI exposes it via
 from __future__ import annotations
 
 import json
+import os
 import time
 from collections.abc import Iterable
 from pathlib import Path
@@ -19,19 +20,54 @@ from repro.analysis.tables import render_table
 from repro.errors import StorageError
 
 
+#: Accepted :class:`TraceWriter` open policies.
+TRACE_MODES = ("truncate", "append", "rotate")
+
+
 class TraceWriter:
     """Appends timestamped events to a JSON-lines file.
 
     Events carry a monotonically increasing ``seq`` and an ``elapsed``
     stamp measured from writer construction, so traces are reproducible
     modulo timing (no wall-clock dependency in the payload ordering).
+
+    ``mode`` controls what happens to a pre-existing file at ``path``:
+
+    * ``"truncate"`` (default) — start a fresh trace.  Historically the
+      writer always opened in append mode, so a re-run with the same
+      ``--trace`` path silently concatenated two runs and broke the
+      monotone-``seq`` invariant every reader relies on.
+    * ``"append"`` — continue an existing trace; ``seq`` resumes after
+      the file's last event.  Used by resumed checkpoint runs and by
+      worker processes that may reopen their per-PID file after a pool
+      rebuild.
+    * ``"rotate"`` — rename the existing file to ``<path>.1`` (replacing
+      any previous rotation), then start fresh.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, mode: str = "truncate") -> None:
+        if mode not in TRACE_MODES:
+            raise ValueError(f"unknown trace mode {mode!r}; expected {TRACE_MODES}")
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = open(self._path, "a", encoding="ascii")
         self._seq = 0
+        if mode == "rotate" and self._path.exists():
+            os.replace(self._path, self._path.with_name(self._path.name + ".1"))
+        needs_newline = False
+        if mode == "append" and self._path.exists():
+            self._seq = _next_seq(self._path)
+            with open(self._path, "rb") as existing:
+                existing.seek(0, 2)
+                if existing.tell() > 0:
+                    existing.seek(-1, 2)
+                    needs_newline = existing.read(1) != b"\n"
+        self._handle = open(
+            self._path, "a" if mode == "append" else "w", encoding="ascii"
+        )
+        if needs_newline:
+            # Terminate a torn final line (crash mid-emit) so the first
+            # appended event starts on its own line.
+            self._handle.write("\n")
         self._started = time.perf_counter()
 
     @property
@@ -93,6 +129,29 @@ class TraceWriter:
         flush in :meth:`emit`) so a raising worker still leaves a
         readable, mergeable trace file behind."""
         self.close()
+
+
+def _next_seq(path: Path) -> int:
+    """The ``seq`` an appending writer should continue from.
+
+    Tolerates a torn final line (a crash mid-:meth:`TraceWriter.emit`):
+    malformed tail lines are ignored rather than fatal, since the resume
+    path must work on exactly the files a crash leaves behind.
+    """
+    last = -1
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                event = json.loads(stripped)
+            except json.JSONDecodeError:
+                continue
+            seq = event.get("seq")
+            if isinstance(seq, int) and seq > last:
+                last = seq
+    return last + 1
 
 
 def load_trace(path: str | Path) -> list[dict]:

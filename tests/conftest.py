@@ -25,3 +25,23 @@ def triangle_plus_tail():
 def medium_random():
     """A deterministic 60-vertex random graph with varied clique sizes."""
     return seeded_gnp(60, 0.15, seed=9)
+
+
+@pytest.fixture
+def live_metrics():
+    """A fresh live metrics registry, restored to disabled afterwards.
+
+    Tests that assert on metric totals need per-test isolation (the
+    registry is process-wide and cumulative); everything else runs with
+    metrics disabled, which doubles as a regression guard for the
+    near-free null path.
+    """
+    from repro import metrics
+
+    previous = metrics.get_registry()
+    registry = metrics.MetricsRegistry()
+    metrics.set_registry(registry)
+    try:
+        yield registry
+    finally:
+        metrics.set_registry(previous)

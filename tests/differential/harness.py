@@ -1,0 +1,88 @@
+"""Shared driver for the differential suite.
+
+One function, :func:`run_enumeration`, runs ExtMCE under any
+kernel/workers/verify_checksums combination with a fresh metrics registry
+and returns everything the differential assertions need: the raw clique
+stream (enumeration order), its canonical byte rendering, and the final
+metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import metrics
+from repro.core.extmce import ExtMCE, ExtMCEConfig
+from repro.core.result import render_clique_lines
+from repro.parallel import ParallelExtMCE
+from repro.storage.diskgraph import DiskGraph
+
+Clique = frozenset
+
+
+@dataclass
+class RunResult:
+    """Everything one enumeration run produced."""
+
+    stream: list[Clique]
+    canonical_bytes: bytes
+    snapshot: dict
+
+    def counter(self, name: str) -> int | float:
+        """Sum of ``name`` across label sets in this run's snapshot."""
+        return metrics.counter_value(self.snapshot, name)
+
+
+def run_enumeration(
+    graph,
+    workdir: str | Path,
+    *,
+    kernel: str = "bitset",
+    workers: int = 1,
+    verify_checksums: bool = True,
+    trace: bool = False,
+) -> RunResult:
+    """Enumerate ``graph`` once under the given configuration.
+
+    A fresh registry is installed for the run (and the previous one
+    restored afterwards), so snapshot totals are per-run, not
+    process-cumulative.
+    """
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    previous = metrics.get_registry()
+    metrics.set_registry(metrics.MetricsRegistry())
+    try:
+        disk = DiskGraph.create(
+            workdir / "graph.bin", graph, verify_checksums=verify_checksums
+        )
+        config = ExtMCEConfig(
+            workdir=workdir,
+            workers=workers,
+            kernel=kernel,
+            verify_checksums=verify_checksums,
+            metrics_path=workdir / "metrics.json",
+            trace_path=workdir / "trace.jsonl" if trace else None,
+        )
+        driver_cls = ParallelExtMCE if workers > 1 else ExtMCE
+        stream = list(driver_cls(disk, config).enumerate_cliques())
+        snapshot = metrics.load_snapshot(workdir / "metrics.json")
+    finally:
+        metrics.set_registry(previous)
+    return RunResult(
+        stream=stream,
+        canonical_bytes=render_clique_lines(stream).encode("ascii"),
+        snapshot=snapshot,
+    )
+
+
+def assert_stream_metrics_consistent(result: RunResult) -> None:
+    """The driver-counter invariants every configuration must satisfy."""
+    emitted = result.counter("repro_mce_cliques_emitted_total")
+    suppressed = result.counter("repro_mce_cliques_suppressed_total")
+    singletons = result.counter("repro_mce_singleton_cliques_total")
+    categories = result.counter("repro_mce_category_cliques_total")
+    assert emitted == len(result.stream)
+    assert categories == emitted + suppressed - singletons
+    assert result.counter("repro_mce_steps_total") >= 1

@@ -1,0 +1,74 @@
+"""Worker metrics fold back into the driver registry, like traces do."""
+
+from __future__ import annotations
+
+from repro import DiskGraph, ExtMCEConfig, ParallelExtMCE, metrics
+from repro.metrics import counter_value
+from tests.helpers import seeded_gnp
+
+
+def _run(tmp_path, live_metrics, workers=2, **config_kwargs):
+    graph = seeded_gnp(70, 0.15, seed=6)
+    disk = DiskGraph.create(tmp_path / "g.bin", graph)
+    config = ExtMCEConfig(
+        workdir=tmp_path / "w",
+        workers=workers,
+        metrics_path=tmp_path / "metrics.json",
+        **config_kwargs,
+    )
+    algo = ParallelExtMCE(disk, config)
+    stream = list(algo.enumerate_cliques())
+    return stream, metrics.load_snapshot(tmp_path / "metrics.json")
+
+
+class TestWorkerMetricsMerge:
+    def test_worker_side_counters_reach_the_driver_snapshot(
+        self, tmp_path, live_metrics
+    ):
+        stream, snapshot = _run(tmp_path, live_metrics)
+        # Chunk execution happens in worker processes; seeing nonzero
+        # chunk totals in the driver's snapshot proves the merge ran.
+        chunks = counter_value(snapshot, "repro_parallel_chunks_total")
+        assert chunks > 0
+        latency = [
+            e for e in snapshot["metrics"]
+            if e["name"] == "repro_parallel_chunk_seconds"
+        ]
+        assert sum(e["count"] for e in latency) == chunks
+        # Kernel subproblems also ran worker-side.
+        assert counter_value(snapshot, "repro_kernel_subproblems_total") > 0
+        assert counter_value(snapshot, "repro_parallel_payload_bytes_total") > 0
+
+    def test_driver_totals_match_stream(self, tmp_path, live_metrics):
+        stream, snapshot = _run(tmp_path, live_metrics)
+        assert counter_value(snapshot, "repro_mce_cliques_emitted_total") == len(stream)
+
+    def test_worker_metrics_dir_cleaned_up(self, tmp_path, live_metrics):
+        _run(tmp_path, live_metrics)
+        assert not (tmp_path / "w" / "worker_metrics").exists()
+
+    def test_disabled_metrics_leave_no_artifacts(self, tmp_path):
+        graph = seeded_gnp(50, 0.15, seed=6)
+        disk = DiskGraph.create(tmp_path / "g.bin", graph)
+        config = ExtMCEConfig(workdir=tmp_path / "w", workers=2)
+        algo = ParallelExtMCE(disk, config)
+        assert not metrics.enabled()
+        list(algo.enumerate_cliques())
+        assert not metrics.enabled()
+        assert not (tmp_path / "w" / "worker_metrics").exists()
+        assert not (tmp_path / "metrics.json").exists()
+
+    def test_metrics_survive_chunk_faults(self, tmp_path, live_metrics):
+        from repro.faults import FaultPlan, FaultRule
+
+        plan = FaultPlan(
+            [FaultRule(operation="chunk", kind="worker_error", probability=1.0,
+                       max_firings=2)],
+            seed=3,
+        )
+        stream, snapshot = _run(
+            tmp_path, live_metrics, fault_plan=plan, max_retries=2
+        )
+        assert counter_value(snapshot, "repro_mce_cliques_emitted_total") == len(stream)
+        assert counter_value(snapshot, "repro_parallel_chunk_errors_total") >= 1
+        assert counter_value(snapshot, "repro_parallel_chunk_retries_total") >= 1

@@ -29,6 +29,66 @@ class TestMergeTraces:
         merged = merge_traces([present, tmp_path / "worker_gone.jsonl"])
         assert [e["event"] for e in merged] == ["only"]
 
+    def test_duplicate_worker_labels_keep_both_streams(self, tmp_path):
+        """Events already carrying a ``worker`` field (e.g. re-merged
+        output) must not be relabeled by the file they sit in, and two
+        files claiming the same label must interleave by seq, losing
+        nothing."""
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text(
+            '{"seq": 0, "event": "x0", "worker": "shared"}\n'
+            '{"seq": 2, "event": "x2", "worker": "shared"}\n'
+        )
+        b.write_text('{"seq": 1, "event": "y1", "worker": "shared"}\n')
+        merged = merge_traces([a, b])
+        assert [e["event"] for e in merged] == ["x0", "y1", "x2"]
+        assert all(e["worker"] == "shared" for e in merged)
+        assert [e["seq"] for e in merged] == [0, 1, 2]
+
+    def test_events_without_seq_sort_first_and_are_renumbered(self, tmp_path):
+        path = tmp_path / "worker_w.jsonl"
+        path.write_text(
+            '{"seq": 5, "event": "late"}\n'
+            '{"event": "no_seq"}\n'
+        )
+        merged = merge_traces([path])
+        assert [e["event"] for e in merged] == ["no_seq", "late"]
+        assert [e["seq"] for e in merged] == [0, 1]
+
+    def test_empty_file_contributes_nothing(self, tmp_path):
+        empty = tmp_path / "worker_empty.jsonl"
+        empty.write_text("")
+        full = tmp_path / "worker_full.jsonl"
+        with TraceWriter(full) as w:
+            w.emit("real")
+        merged = merge_traces([empty, full])
+        assert [e["event"] for e in merged] == ["real"]
+
+    def test_no_files_at_all(self, tmp_path):
+        assert merge_traces([]) == []
+        assert merge_traces([tmp_path / "ghost.jsonl"]) == []
+
+    def test_merge_is_input_order_independent(self, tmp_path):
+        paths = []
+        for name in ("worker_c", "worker_a", "worker_b"):
+            path = tmp_path / f"{name}.jsonl"
+            with TraceWriter(path) as w:
+                w.emit(f"{name}_event")
+            paths.append(path)
+        forward = merge_traces(paths)
+        backward = merge_traces(reversed(paths))
+        assert forward == backward
+
+    def test_merged_seq_is_strictly_monotone(self, tmp_path):
+        for name in ("worker_a", "worker_b", "worker_c"):
+            with TraceWriter(tmp_path / f"{name}.jsonl") as w:
+                for i in range(4):
+                    w.emit("tick", i=i)
+        merged = merge_traces(sorted(tmp_path.glob("*.jsonl")))
+        seqs = [e["seq"] for e in merged]
+        assert seqs == list(range(12))
+
     def test_absorb_renumbers_and_keeps_payload(self, tmp_path):
         worker = tmp_path / "worker_w.jsonl"
         with TraceWriter(worker) as w:

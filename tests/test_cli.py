@@ -131,6 +131,57 @@ class TestTraceFlag:
         assert "requires --checkpoint-dir" in capsys.readouterr().err
 
 
+class TestMetricsFlag:
+    def test_metrics_out_writes_json_and_prom(self, small_disk, tmp_path, capsys):
+        from repro import metrics
+
+        out = tmp_path / "metrics.json"
+        try:
+            assert main(
+                ["enumerate", str(small_disk.path), "--metrics-out", str(out)]
+            ) == 0
+        finally:
+            metrics.disable()
+        stdout = capsys.readouterr().out
+        assert "metrics written" in stdout
+        snapshot = metrics.load_snapshot(out)
+        emitted = metrics.counter_value(snapshot, "repro_mce_cliques_emitted_total")
+        assert emitted > 0
+        assert f"maximal cliques : {int(emitted)}" in stdout
+        prom = out.with_name(out.name + ".prom").read_text()
+        assert "# TYPE repro_mce_cliques_emitted_total counter" in prom
+
+    def test_stats_renders_metrics_snapshot(self, small_disk, tmp_path, capsys):
+        from repro import metrics
+
+        out = tmp_path / "metrics.json"
+        try:
+            assert main(
+                ["enumerate", str(small_disk.path), "--metrics-out", str(out)]
+            ) == 0
+        finally:
+            metrics.disable()
+        capsys.readouterr()
+        assert main(["stats", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "Metrics snapshot" in table
+        assert "repro_mce_steps_total" in table
+
+    def test_stats_non_snapshot_json_falls_through(self, tmp_path, capsys):
+        bogus = tmp_path / "not_metrics.json"
+        bogus.write_text('{"schema": "something/else"}')
+        # Not a snapshot and not a graph either: the graph path reports
+        # a normal CLI error, proving the sniffing fell through.
+        assert main(["stats", str(bogus)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_no_metrics_flag_leaves_registry_disabled(self, small_disk):
+        from repro import metrics
+
+        assert main(["enumerate", str(small_disk.path)]) == 0
+        assert not metrics.enabled()
+
+
 class TestVerify:
     def test_good_output_passes(self, small_disk, tmp_path, capsys):
         out = tmp_path / "cliques.txt"

@@ -31,13 +31,18 @@ class TestWriterReader:
         elapsed = [e["elapsed"] for e in load_trace(path)]
         assert elapsed == sorted(elapsed)
 
-    def test_append_mode_across_writers(self, tmp_path):
+    def test_reopening_truncates_by_default(self, tmp_path):
+        """Regression: the writer used to always append, so re-running with
+        the same trace path silently concatenated two runs and broke the
+        monotone-seq invariant."""
         path = tmp_path / "t.jsonl"
         with TraceWriter(path) as trace:
             trace.emit("first")
         with TraceWriter(path) as trace:
             trace.emit("second")
-        assert [e["event"] for e in load_trace(path)] == ["first", "second"]
+        events = load_trace(path)
+        assert [e["event"] for e in events] == ["second"]
+        assert events[0]["seq"] == 0
 
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(StorageError):
@@ -53,6 +58,101 @@ class TestWriterReader:
         trace = TraceWriter(tmp_path / "t.jsonl")
         trace.close()
         trace.close()
+
+
+class TestTraceModes:
+    def test_append_continues_seq(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path) as trace:
+            trace.emit("first")
+            trace.emit("second")
+        with TraceWriter(path, mode="append") as trace:
+            trace.emit("third")
+        events = load_trace(path)
+        assert [e["event"] for e in events] == ["first", "second", "third"]
+        assert [e["seq"] for e in events] == [0, 1, 2]
+
+    def test_append_tolerates_torn_final_line(self, tmp_path):
+        """A crash mid-emit leaves a partial line; resume must still work."""
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path) as trace:
+            trace.emit("first")
+        with open(path, "a", encoding="ascii") as handle:
+            handle.write('{"event": "torn", "se')
+        with TraceWriter(path, mode="append") as trace:
+            trace.emit("second")
+        # The torn line is still unreadable for load_trace, but the new
+        # event landed with the right continuation seq.
+        tail = json.loads(path.read_text().splitlines()[-1])
+        assert tail["event"] == "second"
+        assert tail["seq"] == 1
+
+    def test_append_on_missing_file_starts_fresh(self, tmp_path):
+        with TraceWriter(tmp_path / "t.jsonl", mode="append") as trace:
+            trace.emit("only")
+        assert load_trace(tmp_path / "t.jsonl")[0]["seq"] == 0
+
+    def test_rotate_preserves_previous_run(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path) as trace:
+            trace.emit("old")
+        with TraceWriter(path, mode="rotate") as trace:
+            trace.emit("new")
+        assert [e["event"] for e in load_trace(path)] == ["new"]
+        rotated = load_trace(tmp_path / "t.jsonl.1")
+        assert [e["event"] for e in rotated] == ["old"]
+
+    def test_rotate_replaces_earlier_rotation(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        for name in ("a", "b", "c"):
+            with TraceWriter(path, mode="rotate") as trace:
+                trace.emit(name)
+        assert [e["event"] for e in load_trace(path)] == ["c"]
+        assert [e["event"] for e in load_trace(tmp_path / "t.jsonl.1")] == ["b"]
+
+    def test_rotate_without_existing_file(self, tmp_path):
+        with TraceWriter(tmp_path / "t.jsonl", mode="rotate") as trace:
+            trace.emit("only")
+        assert not (tmp_path / "t.jsonl.1").exists()
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace mode"):
+            TraceWriter(tmp_path / "t.jsonl", mode="overwrite")
+
+    def test_resumed_run_appends_to_trace(self, tmp_path):
+        """ExtMCE.resume must continue the interrupted run's trace file,
+        not truncate it."""
+        g = seeded_gnp(60, 0.2, seed=4)
+        disk = DiskGraph.create(tmp_path / "g.bin", g)
+        workdir = tmp_path / "w"
+        trace_path = tmp_path / "run.jsonl"
+        config = ExtMCEConfig(
+            workdir=workdir, trace_path=trace_path, checkpoint=True
+        )
+        algo = ExtMCE(disk, config)
+        stream = algo.enumerate_cliques()
+        # Interrupt once the first step's checkpoint has been written
+        # (cliques flow before the step's checkpoint, so run until the
+        # file appears).
+        from repro.core.checkpoint import CHECKPOINT_FILENAME
+
+        for _ in stream:
+            if (workdir / CHECKPOINT_FILENAME).exists():
+                break
+        stream.close()
+        first_events = load_trace(trace_path)
+        resumed = ExtMCE.resume(
+            workdir, config=ExtMCEConfig(trace_path=trace_path)
+        )
+        list(resumed.enumerate_cliques())
+        events = load_trace(trace_path)
+        assert len(events) > len(first_events)
+        assert events[: len(first_events)] == first_events
+        starts = [e for e in events if e["event"] == "run_started"]
+        assert len(starts) == 2
+        assert starts[1]["resumed_from_step"] >= 1
+        seqs = [e["seq"] for e in events]
+        assert seqs == list(range(len(events)))
 
 
 class TestExtMCETracing:
