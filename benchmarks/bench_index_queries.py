@@ -1,0 +1,169 @@
+"""Smoke benchmark: clique-index query latency.
+
+Builds a persisted clique index (``repro.index``) from an ExtMCE run
+over the defective-clique-community generator — the workload whose
+near-clique blocks give every vertex a non-trivial postings list — then
+drives a mixed query workload through :class:`CliqueQueryEngine` and
+records per-operation p50/p95 latency to ``BENCH_index.json`` at the
+repository root (alongside ``BENCH_kernel.json`` and
+``BENCH_parallel.json``).
+
+Two properties are asserted, making this a pass/fail smoke rather than
+a pure measurement:
+
+1. the double build is deterministic — building the same clique set
+   twice produces byte-identical index files;
+2. every benchmarked query answers on the fast path (no degradations,
+   no timeouts) and matches a brute-force scan of the clique stream.
+
+Latency numbers themselves are reported, not asserted: wall-clock
+budgets on shared CI boxes produce flaky failures, and the regression
+signal lives in the committed JSON's history instead.
+
+Run directly (as CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_index_queries.py
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import DiskGraph, ExtMCE, ExtMCEConfig
+from repro.generators.communities import defective_clique_communities
+from repro.index import CliqueIndex, build_index
+from repro.service import CliqueQueryEngine
+
+NUM_VERTICES = 400
+SEED = 7
+QUERIES_PER_OP = 200
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_index.json"
+
+
+def _quantiles(samples: list[float]) -> dict[str, float]:
+    ordered = sorted(samples)
+    return {
+        "p50_us": statistics.median(ordered) * 1e6,
+        "p95_us": ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))] * 1e6,
+        "mean_us": statistics.fmean(ordered) * 1e6,
+    }
+
+
+def _workload(engine: CliqueQueryEngine, stats: dict) -> dict[str, dict]:
+    """Run the mixed query workload; returns per-op latency summaries."""
+    num_cliques = stats["num_cliques"]
+    num_vertices = stats["num_vertices"]
+    plans = {
+        "cliques_containing": lambda i: {"v": i % num_vertices},
+        "cliques_containing_edge": lambda i: {
+            "u": i % num_vertices, "v": (i + 1) % num_vertices
+        },
+        "clique": lambda i: {"clique_id": i % num_cliques},
+        "membership": lambda i: {
+            "vertices": [i % num_vertices, (i + 2) % num_vertices]
+        },
+        "top_k_largest": lambda i: {"k": 1 + i % 10},
+    }
+    summaries: dict[str, dict] = {}
+    for op, make_args in plans.items():
+        samples: list[float] = []
+        for i in range(QUERIES_PER_OP):
+            started = time.perf_counter()
+            result = engine.query(op, **make_args(i))
+            samples.append(time.perf_counter() - started)
+            assert not result.degraded, f"{op} degraded during the benchmark"
+        summaries[op] = _quantiles(samples)
+    return summaries
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="bench_index_"))
+    try:
+        graph = defective_clique_communities(
+            NUM_VERTICES, seed=SEED, community_min=16, community_max=28,
+            defects=4, background_edges=2,
+        )
+        disk = DiskGraph.create(tmp / "g.bin", graph)
+        enumerate_started = time.perf_counter()
+        cliques = list(
+            ExtMCE(disk, ExtMCEConfig(workdir=tmp / "w")).enumerate_cliques()
+        )
+        enumerate_seconds = time.perf_counter() - enumerate_started
+
+        build_started = time.perf_counter()
+        report = build_index(cliques, tmp / "idx")
+        build_seconds = time.perf_counter() - build_started
+        build_index(cliques, tmp / "idx2")
+        for name in report.bytes_by_file:
+            first = (tmp / "idx" / name).read_bytes()
+            second = (tmp / "idx2" / name).read_bytes()
+            assert first == second, f"double build diverged in {name}"
+
+        with CliqueIndex(tmp / "idx") as index:
+            stats = index.stats()
+            engine = CliqueQueryEngine(index)
+            # Spot-check against brute force before timing anything.
+            probe = max(range(stats["num_vertices"]),
+                        key=lambda v: len(index.postings(v)))
+            expected = sorted(
+                i for i, c in enumerate(sorted(tuple(sorted(c)) for c in set(
+                    frozenset(c) for c in cliques
+                ))) if probe in c
+            )
+            assert list(index.cliques_containing(probe)) == expected
+            latencies = _workload(engine, stats)
+
+        payload = {
+            "bench": "index_queries",
+            "graph": {
+                "generator": "defective_clique_communities",
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "seed": SEED,
+            },
+            "num_cliques": stats["num_cliques"],
+            "max_clique_size": stats["max_clique_size"],
+            "index_bytes": report.total_bytes,
+            "enumerate_seconds": enumerate_seconds,
+            "build_seconds": build_seconds,
+            "queries_per_op": QUERIES_PER_OP,
+            "deterministic_double_build": True,
+            "latency": latencies,
+        }
+        existing = {}
+        if RESULT_PATH.exists():
+            try:
+                existing = json.loads(RESULT_PATH.read_text())
+            except ValueError:
+                existing = {}
+        if "service_contract" in existing:
+            # Preserve the contract test's measurements when re-running.
+            payload["service_contract"] = existing["service_contract"]
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+        print("index query smoke benchmark")
+        print(f"  graph            : {graph.num_vertices} vertices, "
+              f"{graph.num_edges} edges")
+        print(f"  maximal cliques  : {stats['num_cliques']} "
+              f"(largest {stats['max_clique_size']})")
+        print(f"  index size       : {report.total_bytes} bytes")
+        print(f"  enumerate        : {enumerate_seconds * 1e3:9.1f} ms")
+        print(f"  build            : {build_seconds * 1e3:9.1f} ms")
+        for op, summary in latencies.items():
+            print(f"  {op:<24s}: p50 {summary['p50_us']:8.1f} us   "
+                  f"p95 {summary['p95_us']:8.1f} us")
+        print(f"  results written  : {RESULT_PATH}")
+        print("PASS")
+        return 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,7 +69,10 @@ from repro.errors import (
     GraphError,
     InjectedFaultError,
     MemoryBudgetExceeded,
+    QueryTimeoutError,
     ReproError,
+    ServiceError,
+    ServiceProtocolError,
     StorageError,
     StorageFormatError,
     StorageIOError,
@@ -78,6 +81,7 @@ from repro.errors import (
 from repro.dynamic import HStarMaintainer
 from repro.faults import FaultPlan, FaultRule
 from repro.graph import AdjacencyGraph
+from repro.index import CliqueIndex, CliqueIndexSink, IndexBuildReport, build_index
 from repro.metrics import MetricsRegistry
 from repro.kernel import (
     CompactGraph,
@@ -94,6 +98,11 @@ from repro.storage import (
     edge_list_to_disk_graph,
 )
 from repro.parallel import ParallelExtMCE
+from repro.service import (
+    CliqueQueryClient,
+    CliqueQueryEngine,
+    CliqueQueryServer,
+)
 from repro.telemetry import TraceWriter, load_trace, merge_traces, summarize_trace
 from repro.verification import VerificationReport, verify_clique_set
 
@@ -105,6 +114,11 @@ __all__ = [
     "CliqueCollector",
     "CliqueCounter",
     "CliqueFileSink",
+    "CliqueIndex",
+    "CliqueIndexSink",
+    "CliqueQueryClient",
+    "CliqueQueryEngine",
+    "CliqueQueryServer",
     "CliqueTree",
     "CompactGraph",
     "CorruptDataError",
@@ -119,13 +133,17 @@ __all__ = [
     "GraphError",
     "HStarMaintainer",
     "IOStats",
+    "IndexBuildReport",
     "InjectedFaultError",
     "MemoryBudgetExceeded",
     "MemoryModel",
     "MetricsRegistry",
     "ParallelExtMCE",
+    "QueryTimeoutError",
     "RandomAccessDiskGraph",
     "ReproError",
+    "ServiceError",
+    "ServiceProtocolError",
     "StarGraph",
     "StixDynamicMCE",
     "StorageError",
@@ -137,6 +155,7 @@ __all__ = [
     "__version__",
     "bron_kerbosch_maximal_cliques",
     "build_clique_tree",
+    "build_index",
     "compute_h_index_reference",
     "degeneracy_maximal_cliques",
     "edge_list_file_to_disk_graph",

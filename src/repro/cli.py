@@ -5,6 +5,8 @@ Subcommands::
     repro-mce convert edges.txt graph.bin      # edge list -> disk graph
     repro-mce stats graph.bin                  # n, m, h, H*-graph sizes
     repro-mce enumerate graph.bin -o out.txt   # ExtMCE over a disk graph
+    repro-mce enumerate graph.bin --index-out idx/   # + build a query index
+    repro-mce serve idx/ --port 7777           # query service over an index
     repro-mce generate blogs edges.txt         # synthesize a dataset
     repro-mce maintain graph.bin stream.txt    # replay a dynamic stream
     repro-mce experiments table4 figure3       # paper tables
@@ -110,6 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
                             help="enable the metrics registry and write its "
                                  "final snapshot here (JSON), plus the "
                                  "Prometheus text exposition at PATH.prom")
+    enumerate_.add_argument("--index-out", type=Path,
+                            help="also build a persisted clique query index "
+                                 "(repro.index) in this directory")
+
+    serve = sub.add_parser(
+        "serve", help="answer clique queries over a persisted index (TCP/JSON lines)"
+    )
+    serve.add_argument("index", type=Path,
+                       help="index directory built by enumerate --index-out")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: any free port, printed at start)")
+    serve.add_argument("--cache-entries", type=int, default=1024,
+                       help="postings LRU cache capacity (entries)")
+    serve.add_argument("--cache-pages", type=int, default=64,
+                       help="buffer-pool page cache capacity per index file")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="default per-query timeout in seconds")
+    serve.add_argument("--metrics-out", type=Path,
+                       help="write a metrics snapshot here on shutdown")
 
     generate = sub.add_parser("generate", help="synthesize a dataset stand-in")
     generate.add_argument("dataset", choices=sorted(DATASETS))
@@ -141,6 +163,7 @@ def main(argv: list[str] | None = None) -> int:
         "enumerate": _cmd_enumerate,
         "generate": _cmd_generate,
         "maintain": _cmd_maintain,
+        "serve": _cmd_serve,
         "verify": _cmd_verify,
         "experiments": _cmd_experiments,
     }[args.command]
@@ -184,7 +207,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     snapshot = _try_load_metrics_snapshot(args.graph)
     if snapshot is not None:
         from repro.metrics import render_metrics_table
+        from repro.service.stats import summarize_query_metrics
 
+        summary = summarize_query_metrics(snapshot)
+        if summary is not None:
+            print(summary)
+            print()
         print(render_metrics_table(snapshot))
         return 0
     disk = _open_graph(args.graph)
@@ -249,6 +277,12 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     memory = MemoryModel(budget=args.budget)
     counter = CliqueCounter()
     sink = CliqueFileSink(args.output, canonical=args.canonical) if args.output else None
+    index_sink = None
+    if args.index_out is not None:
+        from repro.index import CliqueIndexSink
+
+        args.index_out.mkdir(parents=True, exist_ok=True)
+        index_sink = CliqueIndexSink(args.index_out)
     driver_cls = ParallelExtMCE if args.workers > 1 else ExtMCE
     started = time.perf_counter()
     with tempfile.TemporaryDirectory(prefix="repro_mce_") as tmp:
@@ -292,9 +326,27 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 counter.accept(clique)
                 if sink is not None:
                     sink.accept(clique)
-        finally:
+                if index_sink is not None:
+                    index_sink.accept(clique)
+        except BaseException:
+            # A failed run must not commit partial output as the result.
             if sink is not None:
-                sink.close()
+                sink.abort()
+            if index_sink is not None:
+                index_sink.abort()
+            raise
+        if sink is not None:
+            sink.close()
+        if index_sink is not None:
+            index_sink.close()
+            if args.metrics_out is not None:
+                # The engine wrote its snapshot before the index build ran;
+                # rewrite it so the repro_index_* build counters are included.
+                from repro import metrics
+
+                metrics.write_exposition_files(
+                    metrics.get_registry().snapshot(), args.metrics_out
+                )
     elapsed = time.perf_counter() - started
     print(f"maximal cliques : {counter.total}"
           + (f" (size >= {args.min_size})" if args.min_size > 1 else ""))
@@ -307,6 +359,10 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
         print(f"workers         : {args.workers}")
     if args.output:
         print(f"cliques written : {args.output}")
+    if index_sink is not None:
+        report = index_sink.report
+        print(f"index written   : {args.index_out} "
+              f"({report.num_cliques} cliques, {report.total_bytes} bytes)")
     if args.metrics_out:
         print(f"metrics written : {args.metrics_out} "
               f"(+ {args.metrics_out.name}.prom)")
@@ -343,6 +399,43 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
     print(f"avg cost per core-touching update: {stats.average_hit_milliseconds:.2f} ms")
     print(f"core rebuilds: {stats.core_rebuilds}")
     print(f"h is now {maintainer.h}; {len(maintainer.star_cliques())} core cliques maintained")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.index import CliqueIndex
+    from repro.service import CliqueQueryEngine, CliqueQueryServer
+
+    if args.metrics_out is not None:
+        from repro import metrics
+
+        metrics.enable()
+    with CliqueIndex(args.index, cache_pages=args.cache_pages) as index:
+        stats = index.stats()
+        engine = CliqueQueryEngine(
+            index,
+            cache_entries=args.cache_entries,
+            timeout_seconds=args.timeout,
+        )
+        server = CliqueQueryServer(engine, host=args.host, port=args.port)
+        host, port = server.address
+        print(f"index           : {args.index} "
+              f"({stats['num_cliques']} cliques, "
+              f"{stats['num_vertices']} vertices)")
+        print(f"listening on    : {host}:{port}")
+        print("protocol        : one JSON request per line; "
+              'e.g. {"id": 1, "op": "cliques_containing", "args": {"v": 0}}')
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            server.server_close()
+    if args.metrics_out is not None:
+        from repro import metrics
+
+        metrics.dump_snapshot(metrics.get_registry().snapshot(), args.metrics_out)
+        print(f"metrics written : {args.metrics_out}")
     return 0
 
 

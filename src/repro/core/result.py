@@ -8,6 +8,7 @@ These sinks are the supported consumers of that stream.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Iterable
 from pathlib import Path
 
@@ -99,23 +100,38 @@ class CliqueCounter:
 
 
 class CliqueFileSink:
-    """Writes each clique as a sorted, space-separated line.
+    """Writes each clique as a sorted, space-separated line, atomically.
 
     With ``canonical=False`` (the default) cliques are written in arrival
     order — O(1) state, suitable for massive streams.  With
     ``canonical=True`` the sink buffers every clique and writes the
     canonical report (see :func:`canonical_clique_order`) at close, so
     the output bytes are independent of enumeration order and worker
-    count.  The file handle stays open between accepts; use as a context
-    manager or call :meth:`close`.
+    count.
+
+    Crash safety follows the checkpoint conventions: all writing goes to
+    a scratch ``<name>.tmp`` next to the target; :meth:`close` flushes,
+    fsyncs, and atomically renames it into place, then fsyncs the
+    directory.  A crash mid-run leaves any previous complete output file
+    untouched and at worst a stale ``.tmp`` (which the next sink for the
+    same path overwrites) — never a torn, half-written clique file that
+    a downstream consumer could mistake for the full result.  Use as a
+    context manager or call :meth:`close`.
     """
 
     def __init__(self, path: str | Path, canonical: bool = False) -> None:
         self._path = Path(path)
-        self._handle = open(self._path, "w", encoding="ascii")
+        self._scratch = self._path.with_name(self._path.name + ".tmp")
+        self._handle = open(self._scratch, "w", encoding="ascii")
         self._canonical = canonical
         self._buffer: list[Clique] | None = [] if canonical else None
+        self._committed = False
         self.count = 0
+
+    @property
+    def path(self) -> Path:
+        """The target path (only present after a successful close)."""
+        return self._path
 
     def accept(self, clique: Clique) -> None:
         """Append one clique line to the file (buffered when canonical)."""
@@ -127,16 +143,37 @@ class CliqueFileSink:
         self.count += 1
 
     def close(self) -> None:
-        """Flush and close the output file (writes the canonical report)."""
-        if self._handle.closed:
+        """Commit the output: flush, fsync, rename scratch over target."""
+        if self._committed or self._handle.closed:
             return
         if self._buffer is not None:
             self._handle.write(render_clique_lines(self._buffer))
             self._buffer = None
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
         self._handle.close()
+        os.replace(self._scratch, self._path)
+        directory_fd = os.open(self._path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+        self._committed = True
+
+    def abort(self) -> None:
+        """Discard the scratch file without touching the target."""
+        if not self._handle.closed:
+            self._handle.close()
+        if not self._committed and self._scratch.exists():
+            self._scratch.unlink()
 
     def __enter__(self) -> "CliqueFileSink":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.close()
+        # A failed producer must not commit a partial file as if it were
+        # the complete result; the scratch file is discarded instead.
+        if exc_info and exc_info[0] is not None:
+            self.abort()
+        else:
+            self.close()

@@ -88,6 +88,7 @@ class HStarMaintainer:
         self._graph = graph.copy() if graph is not None else AdjacencyGraph()
         self._memory = memory if memory is not None else MemoryModel()
         self.stats = UpdateStats()
+        self._update_hooks: list = []
         self._core: set[int] = set()
         self._h = 0
         self._neighbor_lists: dict[int, set[int]] = {}
@@ -143,6 +144,25 @@ class HStarMaintainer:
         return star_units + tree_units
 
     # ------------------------------------------------------------------
+    # Update hooks
+    # ------------------------------------------------------------------
+    def register_update_hook(self, hook) -> None:
+        """Observe every applied edge update as ``hook(kind, u, v)``.
+
+        ``kind`` is ``"insert"`` or ``"delete"``; the hook fires after
+        the update is applied, once per edge that actually changed the
+        graph (duplicate insertions are silent).  The canonical consumer
+        is :meth:`repro.index.reader.CliqueIndex.invalidation_hook`,
+        which marks the endpoints' postings stale so a persisted clique
+        index built before the update stops claiming freshness.
+        """
+        self._update_hooks.append(hook)
+
+    def _notify_update(self, kind: str, u: int, v: int) -> None:
+        for hook in self._update_hooks:
+            hook(kind, u, v)
+
+    # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
     def insert_edge(self, u: int, v: int) -> None:
@@ -159,6 +179,7 @@ class HStarMaintainer:
         self._bump_degree(v, +1)
         self.stats.updates_total += 1
         self.stats.insertions += 1
+        self._notify_update("insert", u, v)
         if not self._core_still_valid(u, v):
             self._count_rebuild()
             return
@@ -178,6 +199,7 @@ class HStarMaintainer:
         self._bump_degree(v, -1)
         self.stats.updates_total += 1
         self.stats.deletions += 1
+        self._notify_update("delete", u, v)
         if not self._core_still_valid(u, v):
             self._count_rebuild()
             return
@@ -218,6 +240,7 @@ class HStarMaintainer:
             touched.update((u, v))
             self.stats.updates_total += 1
             self.stats.insertions += 1
+            self._notify_update("insert", u, v)
             if u in self._core or v in self._core:
                 started = time.perf_counter()
                 self._apply_insertion(u, v)

@@ -95,3 +95,20 @@ class InjectedFaultError(ReproError):
 
 class EstimationError(ReproError):
     """The clique-tree size estimator was invoked on an unusable input."""
+
+
+class ServiceError(ReproError):
+    """The clique query service failed (engine, server, or client side)."""
+
+
+class QueryTimeoutError(ServiceError):
+    """A query exceeded its per-query deadline.
+
+    Raised by :class:`~repro.service.engine.CliqueQueryEngine` instead of
+    letting one slow disk read stall a service thread indefinitely; the
+    server maps it to an error response, so the connection survives.
+    """
+
+
+class ServiceProtocolError(ServiceError):
+    """A request or response violated the JSON-lines wire protocol."""

@@ -1,0 +1,244 @@
+"""Deterministic construction of an on-disk clique index.
+
+:func:`build_index` consumes a maximal-clique stream (any iterable of
+vertex sets — :meth:`repro.core.extmce.ExtMCE.enumerate_cliques`, a
+collector, or a parsed clique file) and materialises the five-file index
+layout of :mod:`repro.index.format`.  Cliques are assigned ids by their
+rank in canonical order (sorted vertex tuples, lexicographic), so the
+output bytes depend only on the clique *set*: the same graph indexed
+from a ``workers=4`` bitset run and a serial set-kernel run produces
+byte-identical files.  ``tests/index/`` pins this determinism guarantee.
+
+The manifest is written last, with the checkpoint durability discipline
+(scratch file → fsync → atomic rename → directory fsync): a crash
+mid-build leaves a directory without a manifest, which
+:meth:`repro.index.reader.CliqueIndex.open` rejects — never a
+half-readable index.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import SimpleNamespace
+from typing import TYPE_CHECKING
+
+from repro import metrics
+from repro.core.result import CliqueFileSink
+from repro.errors import StorageError
+from repro.index.format import (
+    DIRECTORY_ENTRY,
+    DIRECTORY_FILENAME,
+    DIRECTORY_MAGIC,
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA,
+    OFFSET_ENTRY,
+    OFFSETS_FILENAME,
+    OFFSETS_MAGIC,
+    POSTINGS_FILENAME,
+    POSTINGS_MAGIC,
+    RECORDS_FILENAME,
+    RECORDS_MAGIC,
+    encode_clique_record,
+    encode_postings,
+)
+from repro.storage.iostats import IOStats
+from repro.storage.pagestore import PageStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
+
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        cliques=registry.counter(
+            "repro_index_build_cliques_total", "cliques folded into built indexes"
+        ),
+        postings=registry.counter(
+            "repro_index_build_postings_total", "postings entries written by builds"
+        ),
+        bytes=registry.counter(
+            "repro_index_build_bytes_total", "index bytes written by builds"
+        ),
+    )
+)
+
+
+@dataclass
+class IndexBuildReport:
+    """What one :func:`build_index` call produced."""
+
+    directory: Path
+    num_cliques: int
+    num_vertices: int
+    max_clique_size: int
+    bytes_by_file: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes across the index files (manifest included)."""
+        return sum(self.bytes_by_file.values())
+
+
+def build_index(
+    cliques: Iterable[frozenset | tuple],
+    directory: str | Path,
+    io_stats: IOStats | None = None,
+    fault_plan: "FaultPlan | None" = None,
+) -> IndexBuildReport:
+    """Build a clique index under ``directory`` from a clique stream.
+
+    The stream is buffered, deduplicated and canonically ordered before
+    serialisation — the id assignment must see the whole set.  Raises
+    :class:`~repro.errors.StorageError` on an empty stream (an index
+    with nothing to serve is almost certainly a wiring bug upstream).
+    """
+    ordered = sorted({tuple(sorted(clique)) for clique in cliques})
+    if not ordered:
+        raise StorageError("refusing to build an index from an empty clique stream")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    io_stats = io_stats if io_stats is not None else IOStats()
+
+    # Record file + offsets directory: one pass over the canonical order.
+    records = bytearray(RECORDS_MAGIC)
+    offsets = bytearray(OFFSETS_MAGIC)
+    postings_map: dict[int, list[int]] = {}
+    size_histogram: dict[int, int] = {}
+    for clique_id, vertices in enumerate(ordered):
+        encoded = encode_clique_record(vertices)
+        offsets += OFFSET_ENTRY.pack(len(records), len(encoded), len(vertices))
+        records += encoded
+        size_histogram[len(vertices)] = size_histogram.get(len(vertices), 0) + 1
+        for v in vertices:
+            postings_map.setdefault(v, []).append(clique_id)
+
+    # Postings file + vertex directory, ascending by vertex id.
+    postings = bytearray(POSTINGS_MAGIC)
+    vertex_directory = bytearray(DIRECTORY_MAGIC)
+    postings_entries = 0
+    for vertex in sorted(postings_map):
+        clique_ids = postings_map[vertex]
+        encoded = encode_postings(clique_ids)
+        vertex_directory += DIRECTORY_ENTRY.pack(
+            vertex, len(postings), len(encoded), len(clique_ids)
+        )
+        postings += encoded
+        postings_entries += len(clique_ids)
+
+    blobs = {
+        RECORDS_FILENAME: bytes(records),
+        OFFSETS_FILENAME: bytes(offsets),
+        POSTINGS_FILENAME: bytes(postings),
+        DIRECTORY_FILENAME: bytes(vertex_directory),
+    }
+    for name, blob in blobs.items():
+        PageStore(directory / name, io_stats, fault_plan).write_all(blob)
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "num_cliques": len(ordered),
+        "num_vertices": len(postings_map),
+        "num_postings": postings_entries,
+        "max_clique_size": max(size_histogram),
+        "size_histogram": {str(size): count for size, count in size_histogram.items()},
+        "files": {
+            name: {"bytes": len(blob), "crc32": zlib.crc32(blob)}
+            for name, blob in sorted(blobs.items())
+        },
+    }
+    _write_manifest(directory, manifest)
+
+    bundle = _METRICS()
+    bundle.cliques.inc(len(ordered))
+    bundle.postings.inc(postings_entries)
+    bytes_by_file = {name: len(blob) for name, blob in blobs.items()}
+    bytes_by_file[MANIFEST_FILENAME] = (directory / MANIFEST_FILENAME).stat().st_size
+    bundle.bytes.inc(sum(bytes_by_file.values()))
+    return IndexBuildReport(
+        directory=directory,
+        num_cliques=len(ordered),
+        num_vertices=len(postings_map),
+        max_clique_size=max(size_histogram),
+        bytes_by_file=bytes_by_file,
+    )
+
+
+def _write_manifest(directory: Path, manifest: dict) -> None:
+    """Durably commit the manifest (scratch → fsync → rename → dir fsync)."""
+    target = directory / MANIFEST_FILENAME
+    scratch = directory / (MANIFEST_FILENAME + ".tmp")
+    try:
+        with open(scratch, "w", encoding="ascii") as handle:
+            handle.write(json.dumps(manifest, sort_keys=True, indent=2))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, target)
+        directory_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+    except OSError as exc:
+        raise StorageError(f"failed to commit index manifest at {target}: {exc}") from exc
+
+
+class CliqueIndexSink:
+    """A clique-stream sink that builds an index on :meth:`close`.
+
+    Drop-in alongside :class:`~repro.core.result.CliqueFileSink` — the
+    ``enumerate --index-out`` path feeds both from one enumeration pass.
+    Optionally tees every clique into ``clique_file`` as well.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        clique_file: CliqueFileSink | None = None,
+    ) -> None:
+        self._directory = Path(directory)
+        self._buffer: list[tuple[int, ...]] = []
+        self._tee = clique_file
+        self._report: IndexBuildReport | None = None
+        self.count = 0
+
+    def accept(self, clique: frozenset | tuple) -> None:
+        """Buffer one maximal clique (and tee it, when configured)."""
+        self._buffer.append(tuple(sorted(clique)))
+        if self._tee is not None:
+            self._tee.accept(clique)
+        self.count += 1
+
+    @property
+    def report(self) -> IndexBuildReport | None:
+        """The build report (``None`` until :meth:`close`)."""
+        return self._report
+
+    def close(self) -> IndexBuildReport:
+        """Build the index from everything accepted; idempotent."""
+        if self._tee is not None:
+            self._tee.close()
+        if self._report is None:
+            self._report = build_index(self._buffer, self._directory)
+            self._buffer = []
+        return self._report
+
+    def abort(self) -> None:
+        """Discard everything buffered without building an index."""
+        if self._tee is not None:
+            self._tee.abort()
+        self._buffer = []
+
+    def __enter__(self) -> "CliqueIndexSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        # Only commit the index when the producing enumeration succeeded —
+        # a half-streamed index would be silently incomplete.
+        if exc_info and exc_info[0] is not None:
+            self.abort()
+            return
+        self.close()

@@ -1,0 +1,198 @@
+"""Binary layouts for the persisted clique index.
+
+An index directory holds four binary files plus a JSON manifest::
+
+    cliques.dat    clique records, one per maximal clique, in canonical
+                   (lexicographic) order; clique ids are implicit ranks
+    cliques.idx    fixed 16-byte directory entry per clique id
+    postings.dat   per-vertex postings lists (ascending clique ids)
+    postings.dir   fixed 24-byte directory entry per vertex, ascending
+    manifest.json  counts, per-file CRC32s, size histogram (commit point)
+
+All integers are little-endian; variable-width integers use unsigned
+LEB128 ("varint").  Sorted sequences (clique vertices, postings lists)
+are delta-encoded — the first element raw, then successive gaps — so
+records stay small on the locally-dense id ranges community graphs
+produce.  Every variable-length payload carries a trailing CRC32, the
+same discipline as DiskGraph format v2: a flipped bit surfaces as a
+typed :class:`~repro.errors.CorruptDataError`, never a silently wrong
+query answer.
+
+The layouts are fully deterministic: the same clique *set* always
+serialises to the same bytes, independent of enumeration order, worker
+count, or kernel.  ``tests/index/test_builder.py`` pins that guarantee.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Sequence
+
+from repro.errors import CorruptDataError, StorageFormatError
+
+#: Magic bytes opening each index file (8 bytes each, versioned).
+RECORDS_MAGIC = b"RPXCLQ1\n"
+OFFSETS_MAGIC = b"RPXIDX1\n"
+POSTINGS_MAGIC = b"RPXPST1\n"
+DIRECTORY_MAGIC = b"RPXDIR1\n"
+
+#: Manifest schema identifier; bump on incompatible layout changes.
+MANIFEST_SCHEMA = "repro.index/1"
+
+#: Filenames inside an index directory.
+RECORDS_FILENAME = "cliques.dat"
+OFFSETS_FILENAME = "cliques.idx"
+POSTINGS_FILENAME = "postings.dat"
+DIRECTORY_FILENAME = "postings.dir"
+MANIFEST_FILENAME = "manifest.json"
+
+#: ``cliques.idx`` entry: byte offset (u64), byte length (u32), clique
+#: size in vertices (u32).  The size rides in the directory so top-k
+#: queries never touch the record file.
+OFFSET_ENTRY = struct.Struct("<QII")
+
+#: ``postings.dir`` entry: vertex (u64), byte offset (u64), byte length
+#: (u32), postings count (u32), sorted ascending by vertex.
+DIRECTORY_ENTRY = struct.Struct("<QQII")
+
+_CRC = struct.Struct("<I")
+
+
+# ---------------------------------------------------------------------------
+# Varint + delta codecs
+# ---------------------------------------------------------------------------
+def encode_varint(value: int) -> bytes:
+    """Unsigned LEB128 encoding of a non-negative integer."""
+    if value < 0:
+        raise StorageFormatError(f"varints are unsigned, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(buffer: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode one varint at ``offset``; return ``(value, next_offset)``.
+
+    Raises :class:`~repro.errors.StorageFormatError` when the buffer ends
+    mid-varint (a truncated record).
+    """
+    value = 0
+    shift = 0
+    while True:
+        if offset >= len(buffer):
+            raise StorageFormatError("truncated varint")
+        byte = buffer[offset]
+        offset += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, offset
+        shift += 7
+
+
+def encode_delta_list(values: Sequence[int]) -> bytes:
+    """Delta-encode a strictly ascending sequence of non-negative ints."""
+    out = bytearray()
+    previous = None
+    for value in values:
+        if previous is None:
+            out += encode_varint(value)
+        else:
+            if value <= previous:
+                raise StorageFormatError(
+                    f"delta lists must be strictly ascending, got {value} after {previous}"
+                )
+            out += encode_varint(value - previous)
+        previous = value
+    return bytes(out)
+
+
+def decode_delta_list(buffer: bytes, count: int, offset: int = 0) -> tuple[tuple[int, ...], int]:
+    """Decode ``count`` delta-encoded values; return ``(values, next_offset)``."""
+    values = []
+    current = 0
+    for position in range(count):
+        delta, offset = decode_varint(buffer, offset)
+        current = delta if position == 0 else current + delta
+        values.append(current)
+    return tuple(values), offset
+
+
+# ---------------------------------------------------------------------------
+# Clique records (cliques.dat)
+# ---------------------------------------------------------------------------
+def encode_clique_record(vertices: Sequence[int]) -> bytes:
+    """Serialise one clique: varint size, delta-encoded vertices, CRC32."""
+    if not vertices:
+        raise StorageFormatError("cannot encode an empty clique")
+    payload = encode_varint(len(vertices)) + encode_delta_list(vertices)
+    return payload + _CRC.pack(zlib.crc32(payload))
+
+
+def decode_clique_record(
+    buffer: bytes, offset: int = 0, verify: bool = True
+) -> tuple[tuple[int, ...], int]:
+    """Decode one clique record at ``offset``; return ``(vertices, next_offset)``.
+
+    Self-delimiting, so a sequential scan can walk the record file
+    without the offsets directory.  Raises
+    :class:`~repro.errors.StorageFormatError` on truncation and
+    :class:`~repro.errors.CorruptDataError` on a CRC mismatch.
+    """
+    size, body = decode_varint(buffer, offset)
+    if size == 0:
+        raise StorageFormatError(f"empty clique record at offset {offset}")
+    vertices, end = decode_delta_list(buffer, size, body)
+    if end + _CRC.size > len(buffer):
+        raise StorageFormatError(f"truncated clique record checksum at offset {offset}")
+    if verify:
+        (stored,) = _CRC.unpack_from(buffer, end)
+        computed = zlib.crc32(buffer[offset:end])
+        if stored != computed:
+            raise CorruptDataError(
+                f"clique record checksum mismatch at offset {offset}: "
+                f"stored {stored:#010x}, computed {computed:#010x}"
+            )
+    return vertices, end + _CRC.size
+
+
+# ---------------------------------------------------------------------------
+# Postings lists (postings.dat)
+# ---------------------------------------------------------------------------
+def encode_postings(clique_ids: Sequence[int]) -> bytes:
+    """Serialise one vertex's postings: varint count, deltas, CRC32."""
+    payload = encode_varint(len(clique_ids)) + encode_delta_list(clique_ids)
+    return payload + _CRC.pack(zlib.crc32(payload))
+
+
+def decode_postings(
+    buffer: bytes, offset: int = 0, verify: bool = True
+) -> tuple[tuple[int, ...], int]:
+    """Decode one postings list at ``offset``; return ``(ids, next_offset)``."""
+    count, body = decode_varint(buffer, offset)
+    clique_ids, end = decode_delta_list(buffer, count, body)
+    if end + _CRC.size > len(buffer):
+        raise StorageFormatError(f"truncated postings checksum at offset {offset}")
+    if verify:
+        (stored,) = _CRC.unpack_from(buffer, end)
+        computed = zlib.crc32(buffer[offset:end])
+        if stored != computed:
+            raise CorruptDataError(
+                f"postings checksum mismatch at offset {offset}: "
+                f"stored {stored:#010x}, computed {computed:#010x}"
+            )
+    return clique_ids, end + _CRC.size
+
+
+def check_magic(data: bytes, magic: bytes, filename: str) -> None:
+    """Validate a file's opening magic bytes."""
+    if data[: len(magic)] != magic:
+        raise StorageFormatError(
+            f"{filename} does not start with {magic!r} (got {data[:len(magic)]!r})"
+        )

@@ -1,0 +1,427 @@
+"""Memory-bounded queries over a persisted clique index.
+
+:class:`CliqueIndex` opens the directory :func:`~repro.index.builder.build_index`
+wrote and answers queries through :class:`~repro.storage.bufferpool.BufferPool`
+page caches — the resident footprint is the manifest plus a fixed number
+of cached pages, never the clique set.  Lookups follow the classic
+inverted-index shape: a binary search over the fixed-width vertex
+directory finds the postings extent, the postings list yields clique
+ids, and the offsets directory turns ids into record-file extents.
+
+Every payload CRC32 is verified on read (disable with
+``verify_checksums=False``); a flipped bit raises
+:class:`~repro.errors.CorruptDataError`.  :meth:`CliqueIndex.verify`
+performs the full offline audit — every record, every postings list,
+the file CRCs in the manifest, and the record/postings cross-counts.
+
+Staleness: the index is a snapshot of one enumeration.  When the graph
+changes underneath it, :meth:`mark_stale` (wired to
+:class:`~repro.dynamic.maintainer.HStarMaintainer` via
+:meth:`invalidation_hook`) flags the affected vertices so queries can
+report possibly-outdated answers; full incremental maintenance is
+deliberately out of scope.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import zlib
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from types import SimpleNamespace
+from typing import TYPE_CHECKING
+
+from repro import metrics
+from repro.errors import CorruptDataError, GraphError, StorageError
+from repro.index.format import (
+    DIRECTORY_ENTRY,
+    DIRECTORY_FILENAME,
+    DIRECTORY_MAGIC,
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA,
+    OFFSET_ENTRY,
+    OFFSETS_FILENAME,
+    OFFSETS_MAGIC,
+    POSTINGS_FILENAME,
+    POSTINGS_MAGIC,
+    RECORDS_FILENAME,
+    RECORDS_MAGIC,
+    check_magic,
+    decode_clique_record,
+    decode_postings,
+)
+from repro.storage.bufferpool import BufferPool
+from repro.storage.iostats import IOStats
+from repro.storage.pagestore import PageStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults import FaultPlan
+
+#: Default page-cache capacity per index file.
+DEFAULT_CACHE_PAGES = 64
+
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        postings_reads=registry.counter(
+            "repro_index_postings_read_total", "postings lists fetched from disk"
+        ),
+        record_reads=registry.counter(
+            "repro_index_records_read_total", "clique records fetched from disk"
+        ),
+        stale_marks=registry.counter(
+            "repro_index_stale_marked_total", "vertices marked stale by invalidation"
+        ),
+    )
+)
+
+
+class CliqueIndex:
+    """Read-only query interface over one index directory."""
+
+    def __init__(
+        self,
+        directory: str | Path,
+        cache_pages: int = DEFAULT_CACHE_PAGES,
+        verify_checksums: bool = True,
+        io_stats: IOStats | None = None,
+        fault_plan: "FaultPlan | None" = None,
+    ) -> None:
+        self._directory = Path(directory)
+        self._verify = verify_checksums
+        self._io = io_stats if io_stats is not None else IOStats()
+        manifest_path = self._directory / MANIFEST_FILENAME
+        if not manifest_path.exists():
+            raise StorageError(
+                f"{self._directory} is not a clique index (missing {MANIFEST_FILENAME}); "
+                "an interrupted build leaves no manifest and must be rebuilt"
+            )
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="ascii"))
+        except (ValueError, UnicodeError) as exc:
+            raise StorageError(f"malformed index manifest at {manifest_path}: {exc}") from exc
+        if manifest.get("schema") != MANIFEST_SCHEMA:
+            raise StorageError(
+                f"unsupported index schema {manifest.get('schema')!r} "
+                f"(expected {MANIFEST_SCHEMA})"
+            )
+        self._manifest = manifest
+        self._stores: dict[str, PageStore] = {}
+        self._pools: dict[str, BufferPool] = {}
+        for name, magic in (
+            (RECORDS_FILENAME, RECORDS_MAGIC),
+            (OFFSETS_FILENAME, OFFSETS_MAGIC),
+            (POSTINGS_FILENAME, POSTINGS_MAGIC),
+            (DIRECTORY_FILENAME, DIRECTORY_MAGIC),
+        ):
+            store = PageStore(self._directory / name, self._io, fault_plan)
+            declared = manifest["files"].get(name, {}).get("bytes")
+            if not store.exists():
+                raise StorageError(f"index file {store.path} is missing")
+            if declared is not None and store.size_bytes() != declared:
+                raise StorageError(
+                    f"index file {store.path} is {store.size_bytes()} bytes, "
+                    f"manifest says {declared}"
+                )
+            # Validate the magic straight off the store, not through the
+            # pool: open-time checks must not pre-warm the page caches
+            # (and must not draw from the fault plan's page-read budget).
+            check_magic(Path(store.path).read_bytes()[: len(magic)], magic, name)
+            self._stores[name] = store
+            self._pools[name] = BufferPool(store, capacity_pages=cache_pages)
+        self._num_cliques = int(manifest["num_cliques"])
+        self._num_dir_entries = int(manifest["num_vertices"])
+        self._stale: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, directory: str | Path, **kwargs) -> "CliqueIndex":
+        """Open an index directory (alias for the constructor)."""
+        return cls(directory, **kwargs)
+
+    def close(self) -> None:
+        """Release every cached page."""
+        for pool in self._pools.values():
+            pool.drop()
+
+    def __enter__(self) -> "CliqueIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Core lookups
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """The index directory on disk."""
+        return self._directory
+
+    @property
+    def num_cliques(self) -> int:
+        """Number of indexed maximal cliques."""
+        return self._num_cliques
+
+    @property
+    def io_stats(self) -> IOStats:
+        """The I/O counters the index's page stores report to."""
+        return self._io
+
+    def _directory_entry(self, vertex: int) -> tuple[int, int, int] | None:
+        """Binary-search ``postings.dir`` for ``vertex``.
+
+        Returns ``(offset, length, count)`` into ``postings.dat`` or
+        ``None`` when the vertex has no postings (not in any clique).
+        """
+        pool = self._pools[DIRECTORY_FILENAME]
+        low, high = 0, self._num_dir_entries - 1
+        base = len(DIRECTORY_MAGIC)
+        while low <= high:
+            mid = (low + high) // 2
+            raw = pool.read(base + mid * DIRECTORY_ENTRY.size, DIRECTORY_ENTRY.size)
+            entry_vertex, offset, length, count = DIRECTORY_ENTRY.unpack(raw)
+            if entry_vertex == vertex:
+                return offset, length, count
+            if entry_vertex < vertex:
+                low = mid + 1
+            else:
+                high = mid - 1
+        return None
+
+    def postings(self, vertex: int) -> tuple[int, ...]:
+        """Clique ids containing ``vertex``, ascending (empty when absent)."""
+        entry = self._directory_entry(vertex)
+        if entry is None:
+            return ()
+        offset, length, count = entry
+        raw = self._pools[POSTINGS_FILENAME].read(offset, length)
+        clique_ids, _ = decode_postings(raw, verify=self._verify)
+        if len(clique_ids) != count:
+            raise CorruptDataError(
+                f"postings for vertex {vertex} decoded {len(clique_ids)} ids, "
+                f"directory says {count}"
+            )
+        _METRICS().postings_reads.inc()
+        return clique_ids
+
+    def clique(self, clique_id: int) -> tuple[int, ...]:
+        """The sorted vertex tuple of clique ``clique_id``."""
+        if not 0 <= clique_id < self._num_cliques:
+            raise GraphError(
+                f"clique id {clique_id} out of range [0, {self._num_cliques})"
+            )
+        offset, length, _size = self._offset_entry(clique_id)
+        raw = self._pools[RECORDS_FILENAME].read(offset, length)
+        vertices, _ = decode_clique_record(raw, verify=self._verify)
+        _METRICS().record_reads.inc()
+        return vertices
+
+    def _offset_entry(self, clique_id: int) -> tuple[int, int, int]:
+        base = len(OFFSETS_MAGIC)
+        raw = self._pools[OFFSETS_FILENAME].read(
+            base + clique_id * OFFSET_ENTRY.size, OFFSET_ENTRY.size
+        )
+        return OFFSET_ENTRY.unpack(raw)
+
+    def clique_size(self, clique_id: int) -> int:
+        """Cardinality of clique ``clique_id`` (offsets directory only)."""
+        if not 0 <= clique_id < self._num_cliques:
+            raise GraphError(
+                f"clique id {clique_id} out of range [0, {self._num_cliques})"
+            )
+        return self._offset_entry(clique_id)[2]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def cliques_containing(self, vertex: int) -> tuple[int, ...]:
+        """Ids of every maximal clique containing ``vertex``."""
+        return self.postings(vertex)
+
+    def cliques_containing_edge(self, u: int, v: int) -> tuple[int, ...]:
+        """Ids of every maximal clique containing both endpoints.
+
+        Postings intersection, smaller list probing the larger.
+        """
+        if u == v:
+            raise GraphError(f"edge endpoints must differ, got ({u}, {v})")
+        first, second = self.postings(u), self.postings(v)
+        if not first or not second:
+            return ()
+        if len(first) > len(second):
+            first, second = second, first
+        other = set(second)
+        return tuple(cid for cid in first if cid in other)
+
+    def membership(self, vertices: Iterable[int]) -> tuple[int, ...]:
+        """Ids of every maximal clique containing *all* of ``vertices``.
+
+        A non-empty result for the full vertex set of a candidate clique
+        means the candidate is a subset of some maximal clique.
+        """
+        wanted = sorted(set(vertices))
+        if not wanted:
+            raise GraphError("membership query needs at least one vertex")
+        result: set[int] | None = None
+        for vertex in wanted:
+            postings = self.postings(vertex)
+            if not postings:
+                return ()
+            result = set(postings) if result is None else result & set(postings)
+            if not result:
+                return ()
+        return tuple(sorted(result))
+
+    def top_k_largest(self, k: int) -> list[tuple[int, ...]]:
+        """The ``k`` largest cliques (ties broken by canonical order).
+
+        Scans only the fixed-width offsets directory for sizes, then
+        fetches the ``k`` winning records.
+        """
+        if k <= 0:
+            raise GraphError(f"k must be positive, got {k}")
+        keys = (
+            (-self._offset_entry(cid)[2], cid) for cid in range(self._num_cliques)
+        )
+        winners = heapq.nsmallest(k, keys)
+        return [self.clique(cid) for _neg_size, cid in winners]
+
+    def stats(self) -> dict:
+        """Index-wide statistics (manifest counts plus staleness)."""
+        manifest = self._manifest
+        return {
+            "num_cliques": int(manifest["num_cliques"]),
+            "num_vertices": int(manifest["num_vertices"]),
+            "num_postings": int(manifest["num_postings"]),
+            "max_clique_size": int(manifest["max_clique_size"]),
+            "size_histogram": {
+                int(size): count for size, count in manifest["size_histogram"].items()
+            },
+            "stale_vertices": len(self._stale),
+            "bytes_by_file": {
+                name: entry["bytes"] for name, entry in manifest["files"].items()
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Sequential access (cold path / verification)
+    # ------------------------------------------------------------------
+    def scan_cliques(self) -> Iterator[tuple[int, tuple[int, ...]]]:
+        """Stream ``(clique_id, vertices)`` pairs straight off the record file.
+
+        Bypasses the page caches — this is the degraded path the query
+        engine falls back to when a cached read fails, and the
+        brute-force oracle the test suite compares every query against.
+        """
+        store = self._stores[RECORDS_FILENAME]
+        buffer = b""
+        offset_base = 0
+        clique_id = 0
+        first = True
+        for chunk in store.scan_chunks():
+            buffer += chunk
+            if first:
+                check_magic(buffer, RECORDS_MAGIC, RECORDS_FILENAME)
+                buffer = buffer[len(RECORDS_MAGIC):]
+                offset_base = len(RECORDS_MAGIC)
+                first = False
+            position = 0
+            while position < len(buffer):
+                try:
+                    vertices, position = decode_clique_record(
+                        buffer, position, verify=self._verify
+                    )
+                except StorageError as exc:
+                    if isinstance(exc, CorruptDataError):
+                        raise
+                    break  # truncated mid-record: wait for the next chunk
+                yield clique_id, vertices
+                clique_id += 1
+            buffer = buffer[position:]
+            offset_base += position
+        if buffer:
+            raise CorruptDataError(
+                f"{RECORDS_FILENAME} ends with {len(buffer)} trailing bytes "
+                f"at offset {offset_base} that decode as no record"
+            )
+        if clique_id != self._num_cliques:
+            raise CorruptDataError(
+                f"{RECORDS_FILENAME} holds {clique_id} records, "
+                f"manifest says {self._num_cliques}"
+            )
+
+    def verify(self) -> dict:
+        """Full offline integrity audit; raises on the first defect.
+
+        Checks file CRC32s against the manifest, decodes every record and
+        postings list (payload CRCs), and cross-checks the postings
+        counts against the records.  Returns a summary dict on success.
+        """
+        for name, declared in sorted(self._manifest["files"].items()):
+            blob = PageStore(self._directory / name, self._io).read_all()
+            crc = zlib.crc32(blob)
+            if crc != declared["crc32"]:
+                raise CorruptDataError(
+                    f"index file {name} CRC32 {crc:#010x} does not match "
+                    f"manifest {declared['crc32']:#010x}"
+                )
+        counted_postings: dict[int, int] = {}
+        records = 0
+        for _clique_id, vertices in self.scan_cliques():
+            records += 1
+            for v in vertices:
+                counted_postings[v] = counted_postings.get(v, 0) + 1
+        directory_total = 0
+        for vertex in sorted(counted_postings):
+            clique_ids = self.postings(vertex)
+            directory_total += len(clique_ids)
+            if len(clique_ids) != counted_postings[vertex]:
+                raise CorruptDataError(
+                    f"vertex {vertex} has {len(clique_ids)} postings, "
+                    f"records imply {counted_postings[vertex]}"
+                )
+        return {
+            "records_verified": records,
+            "vertices_verified": len(counted_postings),
+            "postings_verified": directory_total,
+        }
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    @property
+    def stale_vertices(self) -> frozenset[int]:
+        """Vertices whose postings may be outdated by graph updates."""
+        return frozenset(self._stale)
+
+    def is_stale(self, *vertices: int) -> bool:
+        """Whether any of ``vertices`` has been marked stale."""
+        return any(v in self._stale for v in vertices)
+
+    def mark_stale(self, *vertices: int) -> None:
+        """Flag vertices as possibly outdated (idempotent)."""
+        fresh = [v for v in vertices if v not in self._stale]
+        if fresh:
+            self._stale.update(fresh)
+            _METRICS().stale_marks.inc(len(fresh))
+
+    def clear_stale(self) -> None:
+        """Reset the stale set (after a rebuild from a fresh stream)."""
+        self._stale.clear()
+
+    def invalidation_hook(self):
+        """A callable for :meth:`HStarMaintainer.register_update_hook`.
+
+        Every applied edge insertion or deletion can change which maximal
+        cliques its endpoints belong to, so both endpoints' postings are
+        flagged stale.  Full incremental index maintenance is future
+        work; the hook guarantees staleness is at least *visible*.
+        """
+
+        def hook(kind: str, u: int, v: int) -> None:  # noqa: ARG001 — uniform signature
+            self.mark_stale(u, v)
+
+        return hook

@@ -1,0 +1,31 @@
+"""Concurrent query service over the persisted clique index.
+
+Three layers, each usable alone:
+
+* :class:`CliqueQueryEngine` — thread-safe query execution with an LRU
+  postings cache, single-flight deduplication, per-query timeouts and
+  cold-path degradation (see :mod:`repro.service.engine`).
+* :class:`CliqueQueryServer` — a stdlib TCP/JSON-lines server exposing
+  the engine to the network (``repro-mce serve``).
+* :class:`CliqueQueryClient` — the matching blocking client.
+
+This is the piece the ROADMAP's "serve heavy traffic" north star asks
+for: enumeration produces the index once; the service answers clique
+queries without ever re-running ExtMCE.
+"""
+
+from repro.service.client import CliqueQueryClient, Response
+from repro.service.engine import OPERATIONS, CliqueQueryEngine, QueryResult
+from repro.service.server import CliqueQueryServer
+from repro.service.stats import has_query_metrics, summarize_query_metrics
+
+__all__ = [
+    "OPERATIONS",
+    "CliqueQueryClient",
+    "CliqueQueryEngine",
+    "CliqueQueryServer",
+    "QueryResult",
+    "Response",
+    "has_query_metrics",
+    "summarize_query_metrics",
+]

@@ -1,0 +1,120 @@
+"""Blocking JSON-lines client for :class:`CliqueQueryServer`.
+
+One socket, one request/response exchange at a time — the simplest
+correct client for the line protocol.  Server-side errors come back as
+:class:`~repro.errors.ServiceError` (or
+:class:`~repro.errors.QueryTimeoutError` when the server reports a
+deadline miss); transport and framing problems raise
+:class:`~repro.errors.ServiceProtocolError`.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+
+from repro.errors import QueryTimeoutError, ServiceError, ServiceProtocolError
+
+
+@dataclass(frozen=True)
+class Response:
+    """One successful server response."""
+
+    result: object
+    degraded: bool
+    stale: bool
+    elapsed_ms: float
+
+
+class CliqueQueryClient:
+    """Talk to a running clique query server."""
+
+    def __init__(
+        self, host: str, port: int, timeout_seconds: float | None = 30.0
+    ) -> None:
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout_seconds)
+        except OSError as exc:
+            raise ServiceProtocolError(
+                f"cannot connect to clique service at {host}:{port}: {exc}"
+            ) from exc
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "CliqueQueryClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def request(
+        self, op: str, timeout: float | None = None, **args
+    ) -> Response:
+        """Send one request and block for its response."""
+        self._next_id += 1
+        payload: dict = {"id": self._next_id, "op": op, "args": args}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        try:
+            self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServiceProtocolError(f"transport failure during {op}: {exc}") from exc
+        if not line:
+            raise ServiceProtocolError(f"server closed the connection during {op}")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ServiceProtocolError(f"unparseable response line: {line!r}") from exc
+        if not isinstance(response, dict) or response.get("id") != self._next_id:
+            raise ServiceProtocolError(
+                f"response id {response.get('id')!r} does not match request "
+                f"{self._next_id}"
+            )
+        if not response.get("ok"):
+            message = str(response.get("error", "unknown server error"))
+            if response.get("timeout"):
+                raise QueryTimeoutError(message)
+            raise ServiceError(message)
+        return Response(
+            result=response.get("result"),
+            degraded=bool(response.get("degraded")),
+            stale=bool(response.get("stale")),
+            elapsed_ms=float(response.get("elapsed_ms", 0.0)),
+        )
+
+    # Convenience wrappers ----------------------------------------------
+    def cliques_containing(self, v: int, **kw) -> Response:
+        """Clique ids containing vertex ``v``."""
+        return self.request("cliques_containing", v=v, **kw)
+
+    def cliques_containing_edge(self, u: int, v: int, **kw) -> Response:
+        """Clique ids containing the edge ``(u, v)``."""
+        return self.request("cliques_containing_edge", u=u, v=v, **kw)
+
+    def clique(self, clique_id: int, **kw) -> Response:
+        """The vertex list of one clique id."""
+        return self.request("clique", clique_id=clique_id, **kw)
+
+    def membership(self, vertices, **kw) -> Response:
+        """Clique ids containing every vertex of ``vertices``."""
+        return self.request("membership", vertices=sorted(set(vertices)), **kw)
+
+    def top_k_largest(self, k: int, **kw) -> Response:
+        """The ``k`` largest cliques."""
+        return self.request("top_k_largest", k=k, **kw)
+
+    def stats(self, **kw) -> Response:
+        """Index statistics."""
+        return self.request("stats", **kw)

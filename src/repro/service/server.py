@@ -1,0 +1,166 @@
+"""Stdlib TCP/JSON-lines server over a :class:`CliqueQueryEngine`.
+
+Wire protocol — one JSON object per ``\\n``-terminated line, both ways::
+
+    -> {"id": 7, "op": "cliques_containing", "args": {"v": 12}}
+    <- {"id": 7, "ok": true, "result": [0, 3, 19], "degraded": false,
+        "stale": false, "elapsed_ms": 0.41}
+
+    -> {"id": 8, "op": "nonsense", "args": {}}
+    <- {"id": 8, "ok": false, "error": "unknown operation 'nonsense'..."}
+
+Operations mirror :data:`repro.service.engine.OPERATIONS`; an optional
+``"timeout"`` field (seconds) overrides the engine default for that
+request.  Errors — bad JSON, unknown ops, timeouts, storage failures
+that even the degraded path could not absorb — are *responses*, never
+dropped connections: every request gets exactly one reply, which is what
+the concurrent contract test in ``tests/service/`` holds the server to.
+
+The server is a :class:`socketserver.ThreadingTCPServer` (one daemon
+thread per connection); the engine underneath provides the thread
+safety, caching and deduplication.  ``repro-mce serve`` wraps this class
+for the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from types import SimpleNamespace
+
+from repro import metrics
+from repro.errors import QueryTimeoutError, ReproError
+from repro.service.engine import OPERATIONS, CliqueQueryEngine
+
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        connections=registry.counter(
+            "repro_server_connections_total", "client connections accepted"
+        ),
+        requests=registry.counter(
+            "repro_server_requests_total", "request lines received"
+        ),
+        responses_ok=registry.counter(
+            "repro_server_responses_ok_total", "successful responses sent"
+        ),
+        responses_error=registry.counter(
+            "repro_server_responses_error_total", "error responses sent"
+        ),
+    )
+)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request lines and response lines."""
+
+    def handle(self) -> None:  # pragma: no cover — exercised via the server
+        _METRICS().connections.inc()
+        while True:
+            try:
+                line = self.rfile.readline()
+            except OSError:
+                return
+            if not line:
+                return
+            if not line.strip():
+                continue
+            response = self.server.engine_respond(line)  # type: ignore[attr-defined]
+            try:
+                self.wfile.write(response)
+                self.wfile.flush()
+            except OSError:
+                return
+
+
+class CliqueQueryServer(socketserver.ThreadingTCPServer):
+    """Serve one :class:`CliqueQueryEngine` over TCP JSON-lines."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        engine: CliqueQueryEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.engine = engine
+        self._thread: threading.Thread | None = None
+        super().__init__((host, port), _Handler)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved when 0 was requested)."""
+        return self.server_address[0], self.server_address[1]
+
+    def start(self) -> "CliqueQueryServer":
+        """Serve on a background daemon thread; returns self."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="clique-query-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the serve loop down and close the listening socket."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "CliqueQueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def engine_respond(self, line: bytes) -> bytes:
+        """Answer one request line with one response line (never raises)."""
+        bundle = _METRICS()
+        bundle.requests.inc()
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            if not isinstance(op, str) or op not in OPERATIONS:
+                raise ValueError(
+                    f"unknown operation {op!r}; choose from {list(OPERATIONS)}"
+                )
+            args = request.get("args") or {}
+            if not isinstance(args, dict):
+                raise ValueError("'args' must be a JSON object")
+            timeout = request.get("timeout")
+            result = self.engine.query(
+                op,
+                timeout_seconds=float(timeout) if timeout is not None else None,
+                **args,
+            )
+            payload = {
+                "id": request_id,
+                "ok": True,
+                "result": result.value,
+                "degraded": result.degraded,
+                "stale": result.stale,
+                "elapsed_ms": round(result.elapsed_seconds * 1000.0, 3),
+            }
+            bundle.responses_ok.inc()
+        except QueryTimeoutError as exc:
+            payload = {"id": request_id, "ok": False, "error": str(exc), "timeout": True}
+            bundle.responses_error.inc()
+        except (ReproError, ValueError, TypeError) as exc:
+            payload = {"id": request_id, "ok": False, "error": str(exc)}
+            bundle.responses_error.inc()
+        return json.dumps(payload).encode("utf-8") + b"\n"

@@ -1,0 +1,111 @@
+"""Human rendering of the index/service metric families.
+
+``repro-mce stats SNAPSHOT.json`` prints every metric as a flat table;
+for snapshots produced by the query service that table buries the
+numbers an operator actually wants.  :func:`summarize_query_metrics`
+sniffs a snapshot for the ``repro_index_*`` / ``repro_service_*`` /
+``repro_server_*`` families and, when present, renders the operational
+summary — queries by type, cache hit rate, degradations/timeouts, and
+latency percentiles estimated from the histogram buckets.
+"""
+
+from __future__ import annotations
+
+from repro.metrics import counter_value
+
+#: Prefixes that mark a snapshot as coming from an index/service run.
+FAMILY_PREFIXES = ("repro_index_", "repro_service_", "repro_server_")
+
+
+def has_query_metrics(snapshot: dict) -> bool:
+    """Whether the snapshot carries any index/service metric family."""
+    return any(
+        entry["name"].startswith(FAMILY_PREFIXES)
+        for entry in snapshot.get("metrics", ())
+    )
+
+
+def _histogram_entries(snapshot: dict, name: str) -> list[dict]:
+    return [
+        entry
+        for entry in snapshot["metrics"]
+        if entry["name"] == name and entry["type"] == "histogram"
+    ]
+
+
+def histogram_quantile(snapshot: dict, name: str, quantile: float) -> float | None:
+    """Estimate a quantile from a histogram's bucket counts.
+
+    Merges every label set of ``name``, then walks the cumulative bucket
+    counts and returns the upper bound of the bucket containing the
+    quantile — the standard conservative estimate Prometheus'
+    ``histogram_quantile`` makes.  ``None`` when the histogram is absent
+    or empty.
+    """
+    entries = _histogram_entries(snapshot, name)
+    if not entries:
+        return None
+    bounds = entries[0]["buckets"]
+    counts = [0] * (len(bounds) + 1)
+    for entry in entries:
+        for index, count in enumerate(entry["counts"]):
+            counts[index] += count
+    total = sum(counts)
+    if total == 0:
+        return None
+    target = quantile * total
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        if cumulative >= target:
+            return float(bound)
+    return float("inf")  # overflow bucket: above the largest bound
+
+
+def summarize_query_metrics(snapshot: dict) -> str | None:
+    """The operator summary for an index/service snapshot, or ``None``."""
+    if not has_query_metrics(snapshot):
+        return None
+    from repro.analysis.tables import render_table
+
+    rows: list[tuple[str, str]] = []
+    by_op = {
+        entry["labels"].get("op", "?"): entry["value"]
+        for entry in snapshot["metrics"]
+        if entry["name"] == "repro_service_queries_total"
+        and entry["type"] == "counter"
+    }
+    for op in sorted(by_op):
+        rows.append((f"queries[{op}]", str(by_op[op])))
+    hits = counter_value(snapshot, "repro_service_cache_hits_total")
+    misses = counter_value(snapshot, "repro_service_cache_misses_total")
+    if hits or misses:
+        rows.append(("postings cache hit rate", f"{hits / (hits + misses):.1%}"))
+    for label, name in (
+        ("deduplicated queries", "repro_service_deduplicated_total"),
+        ("degraded (cold-path) answers", "repro_service_degraded_total"),
+        ("query timeouts", "repro_service_timeouts_total"),
+        ("query errors", "repro_service_errors_total"),
+        ("stale answers", "repro_service_stale_answers_total"),
+        ("postings lists read", "repro_index_postings_read_total"),
+        ("clique records read", "repro_index_records_read_total"),
+        ("bufferpool page misses", "repro_bufferpool_misses_total"),
+        ("server connections", "repro_server_connections_total"),
+        ("server requests", "repro_server_requests_total"),
+        ("indexed cliques (builds)", "repro_index_build_cliques_total"),
+    ):
+        value = counter_value(snapshot, name)
+        if value:
+            rows.append((label, str(value)))
+    for quantile, label in ((0.5, "query latency p50"), (0.95, "query latency p95")):
+        estimate = histogram_quantile(
+            snapshot, "repro_service_query_seconds", quantile
+        )
+        if estimate is not None:
+            rows.append(
+                (label, "> largest bucket" if estimate == float("inf")
+                 else f"<= {estimate * 1000:.3g} ms")
+            )
+    if not rows:
+        return None
+    return render_table("Clique query service", ["metric", "value"], rows)

@@ -1,13 +1,14 @@
 """Tests for the clique-stream consumers."""
 
 import pytest
+from hypothesis import given, settings
 
 from repro.applications.cliques import k_clique_communities, maximum_clique, top_k_cliques
 from repro.baselines.bron_kerbosch import tomita_maximal_cliques
 from repro.errors import GraphError
 from repro.graph.adjacency import AdjacencyGraph
 
-from tests.helpers import seeded_gnp
+from tests.helpers import seeded_gnp, small_graphs
 
 
 def fs(*members):
@@ -61,6 +62,38 @@ class TestTopK:
         top = top_k_cliques(algo.enumerate_cliques(), 3)
         oracle = top_k_cliques(list(tomita_maximal_cliques(g)), 3)
         assert [len(c) for c in top] == [len(c) for c in oracle]
+
+
+class TestStreamConsumerProperties:
+    """Property coverage tying the stream consumers to each other."""
+
+    @settings(max_examples=40)
+    @given(small_graphs(max_vertices=10))
+    def test_maximum_clique_agrees_with_top_1(self, g):
+        # The two consumers break size ties differently, so compare the
+        # guaranteed part: both return a clique of the maximum size.
+        cliques = list(tomita_maximal_cliques(g))
+        if not cliques:
+            return
+        assert len(maximum_clique(cliques)) == len(top_k_cliques(cliques, 1)[0])
+
+    @settings(max_examples=40)
+    @given(small_graphs(max_vertices=10))
+    def test_top_k_is_order_invariant(self, g):
+        cliques = list(tomita_maximal_cliques(g))
+        if not cliques:
+            return
+        forward = top_k_cliques(cliques, 3)
+        assert top_k_cliques(list(reversed(cliques)), 3) == forward
+
+    @settings(max_examples=30)
+    @given(small_graphs(max_vertices=10))
+    def test_communities_cover_every_qualified_clique(self, g):
+        cliques = list(tomita_maximal_cliques(g))
+        communities = k_clique_communities(cliques, k=3)
+        for clique in cliques:
+            if len(clique) >= 3:
+                assert any(clique <= community for community in communities)
 
 
 class TestCliquePercolation:

@@ -63,6 +63,28 @@ class TestIndependentSets:
                     assert g.neighbors(v) & independent
 
 
+class TestCliqueDuality:
+    """The Section 1 connection: MIS(G) = MCE(complement(G)), exactly."""
+
+    @settings(max_examples=50)
+    @given(small_graphs(max_vertices=10))
+    def test_independent_sets_are_complement_cliques(self, g):
+        from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+
+        independent = cliques_of(maximal_independent_sets(g))
+        complement_cliques = cliques_of(tomita_maximal_cliques(complement_graph(g)))
+        assert independent == complement_cliques
+
+    @settings(max_examples=30)
+    @given(small_graphs(max_vertices=9))
+    def test_cover_complements_partition_back_to_independent_sets(self, g):
+        everything = frozenset(g.vertices())
+        covers = cliques_of(minimal_vertex_covers(g))
+        assert {everything - cover for cover in covers} == cliques_of(
+            maximal_independent_sets(g)
+        )
+
+
 class TestVertexCovers:
     def test_path_graph_covers(self):
         g = AdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 3)])

@@ -1,5 +1,7 @@
 """Tests for clique output sinks."""
 
+import pytest
+
 from repro.core.result import (
     CliqueCollector,
     CliqueCounter,
@@ -59,6 +61,77 @@ class TestFileSink:
         sink = CliqueFileSink(tmp_path / "c.txt")
         sink.close()
         sink.close()
+
+
+class TestCrashSafety:
+    def test_writes_go_to_scratch_until_commit(self, tmp_path):
+        path = tmp_path / "c.txt"
+        sink = CliqueFileSink(path)
+        sink.accept(frozenset({1, 2}))
+        assert not path.exists()
+        assert (tmp_path / "c.txt.tmp").exists()
+        sink.close()
+        assert path.exists()
+        assert not (tmp_path / "c.txt.tmp").exists()
+
+    def test_torn_write_leaves_previous_output_untouched(self, tmp_path):
+        """A producer that dies mid-stream must not clobber the last
+        complete result with a torn, half-written file."""
+        path = tmp_path / "c.txt"
+        with CliqueFileSink(path) as sink:
+            sink.accept(frozenset({1, 2, 3}))
+        complete = path.read_bytes()
+
+        crashed = CliqueFileSink(path)
+        crashed.accept(frozenset({4}))
+        # Simulated crash: the process vanishes without close(); at worst
+        # a stale scratch file survives, never a torn target.
+        assert path.read_bytes() == complete
+        assert (tmp_path / "c.txt.tmp").exists()
+
+        # The next sink for the same path overwrites the stale scratch
+        # and commits its own complete output.
+        with CliqueFileSink(path) as sink:
+            sink.accept(frozenset({7, 8}))
+        assert path.read_text() == "7 8\n"
+        assert not (tmp_path / "c.txt.tmp").exists()
+
+    def test_exception_aborts_instead_of_committing(self, tmp_path):
+        path = tmp_path / "c.txt"
+        with pytest.raises(RuntimeError):
+            with CliqueFileSink(path) as sink:
+                sink.accept(frozenset({1}))
+                raise RuntimeError("producer died")
+        assert not path.exists()
+        assert not (tmp_path / "c.txt.tmp").exists()
+
+    def test_abort_discards_scratch_only(self, tmp_path):
+        path = tmp_path / "c.txt"
+        with CliqueFileSink(path) as sink:
+            sink.accept(frozenset({1, 2}))
+        kept = path.read_bytes()
+        replacement = CliqueFileSink(path)
+        replacement.accept(frozenset({9}))
+        replacement.abort()
+        assert path.read_bytes() == kept
+        assert not (tmp_path / "c.txt.tmp").exists()
+
+    def test_abort_after_close_keeps_the_committed_file(self, tmp_path):
+        path = tmp_path / "c.txt"
+        sink = CliqueFileSink(path)
+        sink.accept(frozenset({1}))
+        sink.close()
+        sink.abort()
+        assert path.read_text() == "1\n"
+
+    def test_canonical_sink_is_crash_safe_too(self, tmp_path):
+        path = tmp_path / "c.txt"
+        with pytest.raises(RuntimeError):
+            with CliqueFileSink(path, canonical=True) as sink:
+                sink.accept(frozenset({5}))
+                raise RuntimeError("producer died")
+        assert not path.exists()
+        assert not (tmp_path / "c.txt.tmp").exists()
 
 
 class TestCanonicalOrder:

@@ -1,0 +1,251 @@
+"""CliqueQueryEngine: caching, dedup, timeouts, degradation."""
+
+import threading
+
+import pytest
+
+from repro import metrics
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.errors import GraphError, QueryTimeoutError, ServiceError
+from repro.faults import FaultPlan, FaultRule
+from repro.index import CliqueIndex, build_index
+from repro.service import CliqueQueryEngine
+
+from tests.helpers import seeded_gnp
+
+
+@pytest.fixture()
+def fresh_registry():
+    previous = metrics.get_registry()
+    registry = metrics.MetricsRegistry()
+    metrics.set_registry(registry)
+    yield registry
+    metrics.set_registry(previous)
+
+
+def _build(tmp_path, seed=3):
+    graph = seeded_gnp(30, 0.3, seed=seed)
+    cliques = sorted(tuple(sorted(c)) for c in set(tomita_maximal_cliques(graph)))
+    build_index(cliques, tmp_path / "idx")
+    return cliques
+
+
+class TestBasicQueries:
+    def test_all_operations_answer(self, tmp_path):
+        cliques = _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index)
+            assert engine.cliques_containing(0).value == list(
+                index.cliques_containing(0)
+            )
+            assert engine.clique(0).value == list(cliques[0])
+            assert engine.membership(cliques[0]).value == [0]
+            assert engine.top_k_largest(2).value == [
+                list(c) for c in index.top_k_largest(2)
+            ]
+            assert engine.stats().value["num_cliques"] == len(cliques)
+
+    def test_unknown_operation_rejected(self, tmp_path):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index)
+            with pytest.raises(ServiceError, match="unknown operation"):
+                engine.query("drop_tables")
+
+    def test_bad_arguments_raise_not_degrade(self, tmp_path):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index)
+            with pytest.raises(GraphError):
+                engine.cliques_containing_edge(4, 4)
+            with pytest.raises(GraphError):
+                engine.membership([])
+            with pytest.raises(GraphError):
+                engine.top_k_largest(0)
+
+    def test_negative_cache_capacity_rejected(self, tmp_path):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            with pytest.raises(ServiceError):
+                CliqueQueryEngine(index, cache_entries=-1)
+
+
+class TestPostingsCache:
+    def test_hits_and_misses_counted(self, tmp_path, fresh_registry):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index)
+            engine.cliques_containing(1)
+            engine.cliques_containing(1)
+            engine.cliques_containing(1)
+        snapshot = fresh_registry.snapshot()
+        assert metrics.counter_value(snapshot, "repro_service_cache_misses_total") == 1
+        assert metrics.counter_value(snapshot, "repro_service_cache_hits_total") == 2
+
+    def test_lru_eviction_bounds_entries(self, tmp_path):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index, cache_entries=4)
+            for v in range(20):
+                engine.cliques_containing(v)
+            assert engine.cached_postings <= 4
+
+    def test_zero_capacity_disables_caching(self, tmp_path, fresh_registry):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index, cache_entries=0)
+            engine.cliques_containing(1)
+            engine.cliques_containing(1)
+            assert engine.cached_postings == 0
+        snapshot = fresh_registry.snapshot()
+        assert metrics.counter_value(snapshot, "repro_service_cache_hits_total") == 0
+
+    def test_invalidate_drops_entries(self, tmp_path):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index)
+            engine.cliques_containing(1)
+            engine.cliques_containing(2)
+            engine.invalidate(1)
+            assert engine.cached_postings == 1
+            engine.invalidate()
+            assert engine.cached_postings == 0
+
+    def test_stale_vertices_bypass_cache(self, tmp_path, fresh_registry):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index)
+            engine.cliques_containing(1)
+            index.mark_stale(1)
+            result = engine.cliques_containing(1)
+            assert result.stale
+        snapshot = fresh_registry.snapshot()
+        # Second query re-read from the index: two misses, zero hits.
+        assert metrics.counter_value(snapshot, "repro_service_cache_misses_total") == 2
+        assert metrics.counter_value(snapshot, "repro_service_stale_answers_total") == 1
+
+
+class TestDeduplication:
+    def test_identical_concurrent_queries_share_one_execution(
+        self, tmp_path, fresh_registry
+    ):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index)
+            release = threading.Event()
+            original = index.postings
+
+            def slow_postings(vertex):
+                release.wait(5.0)
+                return original(vertex)
+
+            index.postings = slow_postings
+            barrier = threading.Barrier(4)
+            results = []
+
+            def worker():
+                barrier.wait()
+                results.append(engine.cliques_containing(7))
+
+            threads = [threading.Thread(target=worker) for _ in range(4)]
+            for t in threads:
+                t.start()
+            # Let every thread either claim leadership or park as follower,
+            # then open the gate.
+            import time
+            time.sleep(0.2)
+            release.set()
+            for t in threads:
+                t.join(timeout=10)
+            index.postings = original
+
+        assert len(results) == 4
+        values = {tuple(r.value) for r in results}
+        assert len(values) == 1
+        dedup_flags = sorted(r.deduplicated for r in results)
+        assert dedup_flags.count(True) >= 1
+        snapshot = fresh_registry.snapshot()
+        assert metrics.counter_value(
+            snapshot, "repro_service_deduplicated_total"
+        ) == dedup_flags.count(True)
+
+    def test_list_and_tuple_membership_share_a_flight_key(self, tmp_path):
+        from repro.service.engine import _canonical_args
+
+        assert _canonical_args({"vertices": [2, 1]}) == _canonical_args(
+            {"vertices": (1, 2)}
+        )
+
+
+class TestTimeouts:
+    def test_expired_deadline_raises(self, tmp_path, fresh_registry):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index)
+            with pytest.raises(QueryTimeoutError):
+                engine.query("cliques_containing", v=1, timeout_seconds=1e-9)
+        snapshot = fresh_registry.snapshot()
+        assert metrics.counter_value(snapshot, "repro_service_timeouts_total") >= 1
+
+    def test_engine_default_timeout_applies(self, tmp_path):
+        _build(tmp_path)
+        with CliqueIndex(tmp_path / "idx") as index:
+            engine = CliqueQueryEngine(index, timeout_seconds=1e-9)
+            with pytest.raises(QueryTimeoutError):
+                engine.cliques_containing(1)
+            # A per-query override can relax the default.
+            result = engine.query("cliques_containing", v=1, timeout_seconds=30.0)
+            assert not result.degraded
+
+
+class TestDegradation:
+    def test_fault_on_postings_read_degrades_with_correct_answer(
+        self, tmp_path, fresh_registry
+    ):
+        cliques = _build(tmp_path)
+        plan = FaultPlan(
+            [FaultRule(operation="pool_read", kind="io_error",
+                       path_contains="postings.dat")],
+            seed=5,
+        )
+        with CliqueIndex(tmp_path / "idx", fault_plan=plan) as index:
+            engine = CliqueQueryEngine(index)
+            result = engine.cliques_containing(3)
+            assert result.degraded
+            expected = [cid for cid, c in enumerate(cliques) if 3 in c]
+            assert result.value == expected
+        snapshot = fresh_registry.snapshot()
+        assert metrics.counter_value(snapshot, "repro_service_degraded_total") == 1
+
+    def test_corrupt_page_degrades_with_correct_answer(self, tmp_path):
+        cliques = _build(tmp_path)
+        plan = FaultPlan(
+            [FaultRule(operation="pool_read", kind="corrupt",
+                       path_contains="postings.dat")],
+            seed=5,
+        )
+        with CliqueIndex(tmp_path / "idx", fault_plan=plan) as index:
+            engine = CliqueQueryEngine(index)
+            result = engine.cliques_containing(3)
+            expected = [cid for cid, c in enumerate(cliques) if 3 in c]
+            assert result.value == expected
+
+    def test_every_operation_survives_a_postings_fault(self, tmp_path):
+        cliques = _build(tmp_path)
+        for op, args in [
+            ("cliques_containing", {"v": 2}),
+            ("cliques_containing_edge", {"u": cliques[0][0], "v": cliques[0][1]}),
+            ("membership", {"vertices": list(cliques[0])}),
+        ]:
+            plan = FaultPlan(
+                [FaultRule(operation="pool_read", kind="io_error",
+                           path_contains="postings.dat")],
+                seed=5,
+            )
+            with CliqueIndex(tmp_path / "idx", fault_plan=plan) as index:
+                engine = CliqueQueryEngine(index)
+                degraded = engine.query(op, **args)
+                assert degraded.degraded
+            with CliqueIndex(tmp_path / "idx") as clean_index:
+                clean = CliqueQueryEngine(clean_index).query(op, **args)
+                assert degraded.value == clean.value

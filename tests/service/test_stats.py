@@ -1,0 +1,89 @@
+"""The operator summary renderer for index/service snapshots."""
+
+from repro import metrics
+from repro.service.stats import (
+    has_query_metrics,
+    histogram_quantile,
+    summarize_query_metrics,
+)
+
+
+def _snapshot_with(run):
+    previous = metrics.get_registry()
+    registry = metrics.MetricsRegistry()
+    metrics.set_registry(registry)
+    try:
+        run(registry)
+        return registry.snapshot()
+    finally:
+        metrics.set_registry(previous)
+
+
+class TestSniffing:
+    def test_plain_snapshot_has_no_query_metrics(self):
+        snapshot = _snapshot_with(
+            lambda r: r.counter("repro_mce_cliques_emitted_total", "x").inc()
+        )
+        assert not has_query_metrics(snapshot)
+        assert summarize_query_metrics(snapshot) is None
+
+    def test_service_snapshot_is_recognised(self):
+        def run(registry):
+            registry.counter(
+                "repro_service_degraded_total", "x"
+            ).inc(3)
+
+        snapshot = _snapshot_with(run)
+        assert has_query_metrics(snapshot)
+        summary = summarize_query_metrics(snapshot)
+        assert "Clique query service" in summary
+        assert "degraded (cold-path) answers" in summary
+
+    def test_per_op_query_counts_are_listed(self):
+        def run(registry):
+            registry.counter(
+                "repro_service_queries_total", "x", labels={"op": "stats"}
+            ).inc(2)
+            registry.counter(
+                "repro_service_queries_total", "x", labels={"op": "membership"}
+            ).inc(5)
+
+        summary = summarize_query_metrics(_snapshot_with(run))
+        assert "queries[membership]" in summary
+        assert "queries[stats]" in summary
+
+
+class TestHistogramQuantile:
+    def test_absent_histogram_is_none(self):
+        snapshot = _snapshot_with(lambda r: None)
+        assert histogram_quantile(snapshot, "repro_service_query_seconds", 0.5) is None
+
+    def test_empty_histogram_is_none(self):
+        snapshot = _snapshot_with(
+            lambda r: r.histogram("repro_service_query_seconds", "x")
+        )
+        assert histogram_quantile(snapshot, "repro_service_query_seconds", 0.5) is None
+
+    def test_quantile_is_the_conservative_bucket_bound(self):
+        def run(registry):
+            histogram = registry.histogram(
+                "repro_service_query_seconds", "x", buckets=(0.001, 0.01, 0.1)
+            )
+            for _ in range(9):
+                histogram.observe(0.0005)
+            histogram.observe(0.05)
+
+        snapshot = _snapshot_with(run)
+        assert histogram_quantile(snapshot, "repro_service_query_seconds", 0.5) == 0.001
+        assert histogram_quantile(snapshot, "repro_service_query_seconds", 0.95) == 0.1
+
+    def test_overflow_bucket_is_infinite(self):
+        def run(registry):
+            registry.histogram(
+                "repro_service_query_seconds", "x", buckets=(0.001,)
+            ).observe(5.0)
+
+        snapshot = _snapshot_with(run)
+        assert histogram_quantile(
+            snapshot, "repro_service_query_seconds", 0.99
+        ) == float("inf")

@@ -208,3 +208,73 @@ class TestVerify:
         assert main(
             ["verify", str(small_disk.path), str(out), "--soundness-only"]
         ) == 0
+
+
+class TestIndexOut:
+    def test_index_out_builds_queryable_index(self, small_disk, tmp_path, capsys):
+        from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+        from repro.index import CliqueIndex
+
+        directory = tmp_path / "idx"
+        assert main(
+            ["enumerate", str(small_disk.path), "--index-out", str(directory)]
+        ) == 0
+        assert "index written" in capsys.readouterr().out
+        oracle = sorted(
+            tuple(sorted(c))
+            for c in set(tomita_maximal_cliques(small_disk.to_adjacency_graph()))
+        )
+        with CliqueIndex(directory) as index:
+            assert index.num_cliques == len(oracle)
+            assert list(index.scan_cliques()) == list(enumerate(oracle))
+
+    def test_index_out_worker_count_does_not_change_bytes(
+        self, small_disk, tmp_path, capsys
+    ):
+        names = ("cliques.dat", "cliques.idx", "postings.dat", "postings.dir")
+        serial, parallel = tmp_path / "serial", tmp_path / "parallel"
+        base = ["enumerate", str(small_disk.path)]
+        assert main(base + ["--index-out", str(serial)]) == 0
+        assert main(base + ["--index-out", str(parallel), "--workers", "2"]) == 0
+        capsys.readouterr()
+        for name in names:
+            assert (serial / name).read_bytes() == (parallel / name).read_bytes()
+
+    def test_stats_summarises_an_index_snapshot(self, small_disk, tmp_path, capsys):
+        from repro import metrics
+
+        snapshot_path = tmp_path / "metrics.json"
+        try:
+            assert main(
+                [
+                    "enumerate", str(small_disk.path),
+                    "--index-out", str(tmp_path / "idx"),
+                    "--metrics-out", str(snapshot_path),
+                ]
+            ) == 0
+        finally:
+            metrics.disable()
+        capsys.readouterr()
+        assert main(["stats", str(snapshot_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Clique query service" in out
+        assert "indexed cliques (builds)" in out
+        assert "Metrics snapshot" in out  # the flat table still follows
+
+
+class TestServe:
+    def test_missing_index_reports_cli_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "absent")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parser_accepts_serve_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "idx", "--port", "7777", "--cache-entries", "9",
+             "--timeout", "2.5"]
+        )
+        assert args.command == "serve"
+        assert args.port == 7777
+        assert args.cache_entries == 9
+        assert args.timeout == 2.5
