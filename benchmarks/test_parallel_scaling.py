@@ -8,6 +8,11 @@ machine-readable ``BENCH_parallel.json`` summary next to it.
 The >1.5x-at-4-workers assertion only makes sense with real cores to
 run on, so it is guarded on ``os.cpu_count()``; the table and JSON are
 emitted unconditionally so single-core CI still records the numbers.
+
+Runs with more workers than the host has CPUs measure scheduler churn,
+not parallel speedup, so they are marked ``"oversubscribed": true`` in
+``BENCH_parallel.json`` and excluded from the ``headline_speedup``
+field (which is ``null`` when no honestly-parallel run exists).
 """
 
 import json
@@ -50,8 +55,14 @@ def test_parallel_scaling_sweep(benchmark, save_result, results_dir):
         lambda: [_run_one(graph, w) for w in WORKER_COUNTS], rounds=1, iterations=1
     )
     serial_seconds = results[0]["seconds"]
+    host_cpus = os.cpu_count() or 1
     for r in results:
         r["speedup"] = serial_seconds / r["seconds"] if r["seconds"] else float("inf")
+        r["oversubscribed"] = r["workers"] > host_cpus
+    honest = [
+        r for r in results if r["workers"] > 1 and not r["oversubscribed"]
+    ]
+    headline_speedup = max(r["speedup"] for r in honest) if honest else None
 
     save_result(
         "parallel_scaling",
@@ -65,7 +76,8 @@ def test_parallel_scaling_sweep(benchmark, save_result, results_dir):
                     r["workers"],
                     r["cliques"],
                     f"{r['seconds']:.2f}",
-                    f"{r['speedup']:.2f}x",
+                    f"{r['speedup']:.2f}x"
+                    + (" (oversubscribed)" if r["oversubscribed"] else ""),
                     r["recursions"],
                     r["fallback_steps"],
                     r["payload_bytes"],
@@ -77,7 +89,8 @@ def test_parallel_scaling_sweep(benchmark, save_result, results_dir):
     summary = {
         "bench": "parallel_scaling",
         "graph": {"model": "powerlaw_cluster", "n": NUM_VERTICES, "m": 5, "p": 0.7},
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus,
+        "headline_speedup": headline_speedup,
         "runs": results,
     }
     (results_dir.parent.parent / "BENCH_parallel.json").write_text(
@@ -89,7 +102,7 @@ def test_parallel_scaling_sweep(benchmark, save_result, results_dir):
         assert r["cliques"] == results[0]["cliques"]
         assert r["fallback_steps"] == 0
 
-    cpus = os.cpu_count() or 1
+    cpus = host_cpus
     if cpus >= 4:
         assert results[-1]["speedup"] > 1.5, (
             f"expected >1.5x at 4 workers on a {cpus}-cpu host, "

@@ -27,6 +27,9 @@ Package layout:
   2018 composed with the H*-graph recursion).
 * :mod:`repro.dynamic` — Section 5's incremental maintenance of the
   H*-max-clique tree under edge updates.
+* :mod:`repro.live` — continuously maintained serving: edge streams
+  become durable clique deltas (WAL), folded by background compaction
+  and overlaid on the query index in real time.
 * :mod:`repro.generators` — deterministic scale-free workload generators
   standing in for the paper's proprietary datasets.
 * :mod:`repro.analysis` — network statistics and table rendering.
@@ -82,6 +85,13 @@ from repro.dynamic import HStarMaintainer
 from repro.faults import FaultPlan, FaultRule
 from repro.graph import AdjacencyGraph
 from repro.index import CliqueIndex, CliqueIndexSink, IndexBuildReport, build_index
+from repro.live import (
+    CliqueDelta,
+    LiveCliqueStore,
+    LiveIngestor,
+    SubscriptionEvent,
+    bootstrap_live_store,
+)
 from repro.metrics import MetricsRegistry
 from repro.kernel import (
     CompactGraph,
@@ -113,6 +123,7 @@ __all__ = [
     "BufferPool",
     "CliqueCollector",
     "CliqueCounter",
+    "CliqueDelta",
     "CliqueFileSink",
     "CliqueIndex",
     "CliqueIndexSink",
@@ -135,6 +146,8 @@ __all__ = [
     "IOStats",
     "IndexBuildReport",
     "InjectedFaultError",
+    "LiveCliqueStore",
+    "LiveIngestor",
     "MemoryBudgetExceeded",
     "MemoryModel",
     "MetricsRegistry",
@@ -149,10 +162,12 @@ __all__ = [
     "StorageError",
     "StorageFormatError",
     "StorageIOError",
+    "SubscriptionEvent",
     "TraceWriter",
     "VerificationReport",
     "VertexNotFoundError",
     "__version__",
+    "bootstrap_live_store",
     "bron_kerbosch_maximal_cliques",
     "build_clique_tree",
     "build_index",

@@ -7,6 +7,8 @@ Subcommands::
     repro-mce enumerate graph.bin -o out.txt   # ExtMCE over a disk graph
     repro-mce enumerate graph.bin --index-out idx/   # + build a query index
     repro-mce serve idx/ --port 7777           # query service over an index
+    repro-mce live store/ --stream stream.txt  # continuously maintained serving
+    repro-mce verify-index idx/                # offline index integrity audit
     repro-mce generate blogs edges.txt         # synthesize a dataset
     repro-mce maintain graph.bin stream.txt    # replay a dynamic stream
     repro-mce experiments table4 figure3       # paper tables
@@ -133,6 +135,50 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", type=Path,
                        help="write a metrics snapshot here on shutdown")
 
+    live = sub.add_parser(
+        "live",
+        help="continuously maintained clique serving over an update stream",
+    )
+    live.add_argument("store", type=Path,
+                      help="live store directory (created when missing)")
+    live.add_argument("--graph", type=Path,
+                      help="starting graph (DiskGraph or edge list); enumerated "
+                           "into generation 0 when the store is created, and "
+                           "used to seed the in-memory maintainer either way")
+    live.add_argument("--stream", type=Path,
+                      help="update stream: 'timestamp u v' insertion lines or "
+                           "'timestamp op u v' with op in {insert, delete}")
+    live.add_argument("--serve", action=argparse.BooleanOptionalAction,
+                      default=False,
+                      help="answer queries over TCP/JSON lines while (and "
+                           "after) the stream is ingested")
+    live.add_argument("--host", default="127.0.0.1")
+    live.add_argument("--port", type=int, default=0,
+                      help="TCP port (default: any free port, printed at start)")
+    live.add_argument("--cache-entries", type=int, default=1024,
+                      help="postings LRU cache capacity (entries)")
+    live.add_argument("--cache-pages", type=int, default=64,
+                      help="buffer-pool page cache capacity per index file")
+    live.add_argument("--timeout", type=float, default=None,
+                      help="default per-query timeout in seconds")
+    live.add_argument("--compact-threshold", type=int, default=256,
+                      help="background compaction folds the delta tail once it "
+                           "exceeds this many deltas")
+    live.add_argument("--compact-on-exit",
+                      action=argparse.BooleanOptionalAction, default=True,
+                      help="fold any remaining delta tail into a fresh "
+                           "generation before exiting")
+    live.add_argument("--metrics-out", type=Path,
+                      help="write a metrics snapshot here on shutdown")
+
+    verify_index = sub.add_parser(
+        "verify-index",
+        help="offline integrity audit of a clique index or live store",
+    )
+    verify_index.add_argument("index", type=Path,
+                              help="index directory (enumerate --index-out) or "
+                                   "live store directory (repro-mce live)")
+
     generate = sub.add_parser("generate", help="synthesize a dataset stand-in")
     generate.add_argument("dataset", choices=sorted(DATASETS))
     generate.add_argument("output", type=Path, help="edge list destination")
@@ -164,7 +210,9 @@ def main(argv: list[str] | None = None) -> int:
         "generate": _cmd_generate,
         "maintain": _cmd_maintain,
         "serve": _cmd_serve,
+        "live": _cmd_live,
         "verify": _cmd_verify,
+        "verify-index": _cmd_verify_index,
         "experiments": _cmd_experiments,
     }[args.command]
     try:
@@ -436,6 +484,135 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         metrics.dump_snapshot(metrics.get_registry().snapshot(), args.metrics_out)
         print(f"metrics written : {args.metrics_out}")
+    return 0
+
+
+def _read_update_stream(path: Path):
+    """Yield ingestable events from a stream file.
+
+    Accepts the ``timestamp u v`` insertion shape that
+    :func:`read_timestamped_edge_list` defines, extended with
+    ``timestamp op u v`` lines (``op`` in ``{insert, delete}``) for
+    mixed dynamic workloads.
+    """
+    from repro.errors import StorageFormatError
+
+    with open(path, "r", encoding="ascii") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            try:
+                if len(parts) == 3:
+                    yield int(parts[0]), int(parts[1]), int(parts[2])
+                    continue
+                if len(parts) == 4 and parts[1] in ("insert", "delete"):
+                    yield int(parts[0]), parts[1], int(parts[2]), int(parts[3])
+                    continue
+            except ValueError as exc:
+                raise StorageFormatError(
+                    f"{path}:{line_number}: non-integer field in {stripped!r}"
+                ) from exc
+            raise StorageFormatError(
+                f"{path}:{line_number}: expected 'timestamp u v' or "
+                f"'timestamp insert|delete u v', got {stripped!r}"
+            )
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    from repro.live import LIVE_MANIFEST_FILENAME, LiveCliqueStore, LiveIngestor
+    from repro.live.ingest import bootstrap_live_store
+    from repro.service import CliqueQueryEngine, CliqueQueryServer
+
+    if args.metrics_out is not None:
+        from repro import metrics
+
+        metrics.enable()
+    graph = None
+    if args.graph is not None:
+        graph = _open_graph(args.graph).to_adjacency_graph()
+    existing = (args.store / LIVE_MANIFEST_FILENAME).exists()
+    if existing:
+        store = LiveCliqueStore.open(args.store, cache_pages=args.cache_pages)
+    elif graph is not None:
+        with tempfile.TemporaryDirectory(prefix="repro_live_") as tmp:
+            store = bootstrap_live_store(
+                args.store, graph, tmp, cache_pages=args.cache_pages
+            )
+    else:
+        store = LiveCliqueStore.initialize(args.store, cache_pages=args.cache_pages)
+    maintainer = HStarMaintainer(graph) if graph is not None else HStarMaintainer()
+    ingestor = LiveIngestor(maintainer, store)
+    store.start_compactor(tail_threshold=args.compact_threshold)
+    print(f"live store      : {args.store} "
+          f"({'opened' if existing else 'created'}, "
+          f"generation {store.generation or '-'}, "
+          f"{store.num_cliques} cliques, tail {store.tail_length})")
+    server = None
+    try:
+        if args.serve:
+            engine = CliqueQueryEngine(
+                store,
+                cache_entries=args.cache_entries,
+                timeout_seconds=args.timeout,
+            )
+            server = CliqueQueryServer(engine, host=args.host, port=args.port)
+            host, port = server.address
+            server.start()
+            print(f"listening on    : {host}:{port}")
+            print("protocol        : one JSON request per line; subscriptions "
+                  'via {"op": "subscribe", "args": {"v": 0}}')
+        if args.stream is not None:
+            applied = ingestor.ingest(_read_update_stream(args.stream))
+            report = ingestor.report
+            print(f"stream ingested : {applied} edge updates "
+                  f"({report.insertions} inserts, {report.deletions} deletes) "
+                  f"in {report.seconds:.2f} s "
+                  f"({report.updates_per_second:.0f} updates/s)")
+            print(f"clique deltas   : {report.deltas_emitted} "
+                  f"(+{report.cliques_added} / -{report.cliques_removed}); "
+                  f"tail {store.tail_length}, seq {store.last_seq}")
+        if args.serve:
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                print("\nshutting down")
+    finally:
+        if server is not None:
+            server.stop()
+        if args.compact_on_exit and store.tail_length:
+            generation = store.compact()
+            if generation is not None:
+                print(f"compacted       : {generation} "
+                      f"({store.num_cliques} cliques)")
+        print(f"final state     : generation {store.generation_number}, "
+              f"{store.num_cliques} live cliques")
+        store.close()
+    if args.metrics_out is not None:
+        from repro import metrics
+
+        metrics.dump_snapshot(metrics.get_registry().snapshot(), args.metrics_out)
+        print(f"metrics written : {args.metrics_out}")
+    return 0
+
+
+def _cmd_verify_index(args: argparse.Namespace) -> int:
+    from repro.index import CliqueIndex
+    from repro.live import LIVE_MANIFEST_FILENAME, LiveCliqueStore
+
+    if (args.index / LIVE_MANIFEST_FILENAME).exists():
+        with LiveCliqueStore.open(args.index) as store:
+            summary = store.verify()
+        kind = "live store"
+    else:
+        with CliqueIndex(args.index) as index:
+            summary = index.verify()
+        kind = "index"
+    print(f"{kind} {args.index}: OK")
+    for key in sorted(summary):
+        print(f"  {key}: {summary[key]}")
     return 0
 
 

@@ -25,6 +25,13 @@ Operation sites and the fault kinds they honour::
     "pool_read"  BufferPool._page          io_error, corrupt, latency
     "chunk"      StepExecutor submission   worker_kill, worker_error,
                                            timeout, poison, latency
+    "compaction" LiveCliqueStore.compact   io_error, latency
+
+The ``"compaction"`` site fires once per compaction *stage* — the path
+argument is the stage name (``"rotate"``, ``"build"``, ``"commit"``,
+``"cleanup"``) so ``path_contains`` pins a fault to one point of the
+protocol.  Live-store WAL appends go through PageStore, so the existing
+``"write"`` site (with ``path_contains="wal"``) covers log faults.
 
 The failure-model contract the plan exists to enforce: under *every*
 schedule expressible here, a run either completes with a clique stream

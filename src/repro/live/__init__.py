@@ -1,0 +1,66 @@
+"""repro.live — continuously maintained clique serving.
+
+The enumerate-once pipeline (ExtMCE → ``repro.index`` → ``repro.service``)
+answers queries about the graph *as it was enumerated*; edge updates only
+flag postings stale.  This package closes the loop:
+
+* :mod:`repro.live.deltas` — the effect of one edge update on the
+  maximal-clique set, as explicit add/remove deltas (Section 5 plus the
+  Das et al. dynamic-MCE case analysis);
+* :mod:`repro.live.wal` — a CRC32-checksummed write-ahead delta log with
+  torn-tail recovery;
+* :mod:`repro.live.store` — the generational store: a base
+  ``repro.index`` generation plus an in-memory overlay of the logged
+  delta tail, folded by non-blocking background compaction and swapped
+  in with an atomic manifest commit;
+* :mod:`repro.live.ingest` — stream ingestion driving
+  :class:`~repro.dynamic.maintainer.HStarMaintainer` and mirroring every
+  applied update into the store.
+
+``docs/LIVE.md`` documents the on-disk layout, the compaction lifecycle,
+and the subscription protocol.
+"""
+
+from repro.live.deltas import (
+    ADD,
+    REMOVE,
+    CliqueDelta,
+    delete_edge_deltas,
+    insert_edge_deltas,
+)
+from repro.live.ingest import IngestReport, LiveIngestor, bootstrap_live_store
+from repro.live.store import (
+    LIVE_MANIFEST_FILENAME,
+    LIVE_MANIFEST_SCHEMA,
+    LiveCliqueStore,
+    SubscriptionEvent,
+)
+from repro.live.wal import (
+    WAL_MAGIC,
+    DeltaLogWriter,
+    ReplayReport,
+    decode_delta_record,
+    encode_delta_record,
+    replay_delta_log,
+)
+
+__all__ = [
+    "ADD",
+    "REMOVE",
+    "CliqueDelta",
+    "insert_edge_deltas",
+    "delete_edge_deltas",
+    "IngestReport",
+    "LiveIngestor",
+    "bootstrap_live_store",
+    "LIVE_MANIFEST_FILENAME",
+    "LIVE_MANIFEST_SCHEMA",
+    "LiveCliqueStore",
+    "SubscriptionEvent",
+    "WAL_MAGIC",
+    "DeltaLogWriter",
+    "ReplayReport",
+    "encode_delta_record",
+    "decode_delta_record",
+    "replay_delta_log",
+]

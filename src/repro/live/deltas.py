@@ -1,0 +1,162 @@
+"""Clique add/remove deltas for single edge updates.
+
+The paper's Section 5 maintains ``T_H*`` — the clique tree of the
+H*-graph — under edge updates; serving the *full* maximal-clique result
+live additionally needs the update's effect on ``M(G)`` itself.  That
+effect is local (Das et al., arXiv 2001.11433, compute it in parallel
+from exactly this case analysis):
+
+* **Insertion of (u, v).**  Let ``NB = N(u) ∩ N(v)`` in the *updated*
+  graph.  The new maximal cliques are ``C ∪ {u, v}`` for every maximal
+  clique ``C`` of the induced subgraph ``G[NB]`` (``{u, v}`` itself when
+  ``NB`` is empty).  The cliques that stop being maximal are exactly the
+  current cliques ``K`` with ``u ∈ K ⊆ {u} ∪ NB`` or ``v ∈ K ⊆ {v} ∪ NB``
+  — each is subsumed by ``K ∪ {v}`` (resp. ``K ∪ {u}``), which the edge
+  just completed.
+* **Deletion of (u, v).**  Every current clique containing both
+  endpoints dies.  For each dead ``K``, the halves ``K − {u}`` and
+  ``K − {v}`` are the only candidate new maximal cliques; a candidate
+  survives iff no vertex of the *updated* graph is adjacent to all of it.
+
+Both rules consult only the current clique set around the endpoints (the
+live store answers that from its postings overlay) and the updated
+adjacency (the :class:`~repro.dynamic.maintainer.HStarMaintainer` holds
+it), so one update costs time local to the endpoints' neighbourhoods —
+never a fresh enumeration.  ``tests/live/test_differential.py`` pins the
+contract: replaying any stream through these deltas reproduces exactly
+the maximal cliques of the final graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import GraphError
+
+#: Delta kinds, in wire/WAL order.
+ADD = "add"
+REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class CliqueDelta:
+    """One maximal clique entering (``add``) or leaving (``remove``) ``M(G)``.
+
+    ``seq`` is the store-assigned log sequence number; deltas produced by
+    the compute functions below carry ``seq=0`` until the live store
+    stamps them during the WAL append.
+    """
+
+    kind: str
+    vertices: tuple[int, ...]
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (ADD, REMOVE):
+            raise GraphError(f"unknown delta kind {self.kind!r}")
+        if not self.vertices:
+            raise GraphError("a clique delta needs at least one vertex")
+
+    def stamped(self, seq: int) -> "CliqueDelta":
+        """This delta with its log sequence number assigned."""
+        return CliqueDelta(kind=self.kind, vertices=self.vertices, seq=seq)
+
+
+#: Callback answering "which current maximal cliques contain vertex v?"
+#: with materialised vertex tuples (the live store's overlay view).
+CliqueLookup = Callable[[int], Iterable[Sequence[int]]]
+
+
+def _maximal_cliques(adjacency: dict[int, set[int]]) -> list[frozenset[int]]:
+    """Pivoted Bron–Kerbosch over a small dict-of-sets subgraph.
+
+    The induced subgraphs this module enumerates are common
+    neighbourhoods of a single edge — tiny even on graphs whose global
+    enumeration needs ExtMCE — so a direct recursion is the right tool.
+    """
+    results: list[frozenset[int]] = []
+
+    def expand(r: set[int], p: set[int], x: set[int]) -> None:
+        if not p and not x:
+            results.append(frozenset(r))
+            return
+        pivot = max(p | x, key=lambda w: len(adjacency[w] & p))
+        for v in list(p - adjacency[pivot]):
+            nbrs = adjacency[v]
+            expand(r | {v}, p & nbrs, x & nbrs)
+            p.discard(v)
+            x.add(v)
+
+    expand(set(), set(adjacency), set())
+    return results
+
+
+def insert_edge_deltas(
+    graph, u: int, v: int, lookup: CliqueLookup
+) -> list[CliqueDelta]:
+    """Deltas for the insertion of edge ``(u, v)``.
+
+    ``graph`` is the adjacency *after* the insertion (duck-typed:
+    ``neighbors(v)`` returning a set); ``lookup`` answers against the
+    clique set *before* it.  Removals precede additions so a replay
+    never holds two copies of a subsumed clique.
+    """
+    common = set(graph.neighbors(u)) & set(graph.neighbors(v))
+    deltas: list[CliqueDelta] = []
+    seen: set[tuple[int, ...]] = set()
+    for endpoint in (u, v):
+        subsumed_bound = common | {endpoint}
+        for clique in lookup(endpoint):
+            members = tuple(sorted(clique))
+            if members in seen:
+                continue
+            if set(members) <= subsumed_bound:
+                seen.add(members)
+                deltas.append(CliqueDelta(REMOVE, members))
+    if not common:
+        deltas.append(CliqueDelta(ADD, tuple(sorted((u, v)))))
+        return deltas
+    induced = {w: set(graph.neighbors(w)) & common for w in common}
+    for kernel in _maximal_cliques(induced):
+        deltas.append(CliqueDelta(ADD, tuple(sorted(kernel | {u, v}))))
+    return deltas
+
+
+def delete_edge_deltas(
+    graph, u: int, v: int, lookup: CliqueLookup
+) -> list[CliqueDelta]:
+    """Deltas for the deletion of edge ``(u, v)``.
+
+    ``graph`` is the adjacency *after* the deletion; ``lookup`` answers
+    against the clique set *before* it (so the dead cliques — the ones
+    containing both endpoints — are still visible).
+    """
+    dead = [
+        tuple(sorted(clique))
+        for clique in lookup(u)
+        if v in clique
+    ]
+    deltas = [CliqueDelta(REMOVE, members) for members in dead]
+    candidates: set[tuple[int, ...]] = set()
+    for members in dead:
+        for drop in (u, v):
+            survivor = tuple(w for w in members if w != drop)
+            if survivor:
+                candidates.add(survivor)
+    for survivor in sorted(candidates):
+        if _is_maximal(graph, survivor):
+            deltas.append(CliqueDelta(ADD, survivor))
+    return deltas
+
+
+def _is_maximal(graph, vertices: tuple[int, ...]) -> bool:
+    """Whether ``vertices`` (a clique) is maximal in ``graph``."""
+    members = set(vertices)
+    common: set[int] | None = None
+    for w in vertices:
+        nbrs = set(graph.neighbors(w))
+        common = nbrs if common is None else common & nbrs
+        if not common - members:
+            return True
+    return not (common - members)

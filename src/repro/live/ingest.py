@@ -1,0 +1,197 @@
+"""Edge-stream ingestion: maintainer updates → clique deltas → live store.
+
+:class:`LiveIngestor` closes the loop the ROADMAP calls "from stale
+flags to incremental index maintenance".  It hangs off
+:meth:`~repro.dynamic.maintainer.HStarMaintainer.register_update_hook`,
+so every edge event flows through the paper's Section 5 maintenance of
+``T_H*`` first; the hook then computes the event's effect on the *full*
+maximal-clique set (:mod:`repro.live.deltas`) and applies it to the
+:class:`~repro.live.store.LiveCliqueStore` — durably logged, overlay
+applied, subscribers notified — before the next event is admitted.
+
+The hook fires after the maintainer mutates the graph and before the
+store applies the deltas, which is exactly the window the delta rules
+need: adjacency reflects the update, the store's clique set does not
+yet.  Events come in the ``(timestamp, u, v)`` shape
+:mod:`repro.generators.streams` produces, optionally extended with an
+operation tag for deletions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dynamic.maintainer import HStarMaintainer
+from repro.errors import GraphError
+from repro.live.deltas import delete_edge_deltas, insert_edge_deltas
+from repro.live.store import LiveCliqueStore
+
+
+@dataclass
+class IngestReport:
+    """Counters for one ingestion session."""
+
+    edges_applied: int = 0
+    insertions: int = 0
+    deletions: int = 0
+    deltas_emitted: int = 0
+    cliques_added: int = 0
+    cliques_removed: int = 0
+    seconds: float = 0.0
+
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def updates_per_second(self) -> float:
+        """Sustained edge-update throughput of the session."""
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.edges_applied / self.seconds
+
+    def to_payload(self) -> dict:
+        """JSON-able summary."""
+        return {
+            "edges_applied": self.edges_applied,
+            "insertions": self.insertions,
+            "deletions": self.deletions,
+            "deltas_emitted": self.deltas_emitted,
+            "cliques_added": self.cliques_added,
+            "cliques_removed": self.cliques_removed,
+            "seconds": self.seconds,
+            "updates_per_second": self.updates_per_second,
+            **self.extra,
+        }
+
+
+class LiveIngestor:
+    """Drives a maintainer and mirrors every update into a live store.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.dynamic.maintainer import HStarMaintainer
+    >>> from repro.live.store import LiveCliqueStore
+    >>> directory = tempfile.mkdtemp()
+    >>> store = LiveCliqueStore.initialize(directory)
+    >>> ingestor = LiveIngestor(HStarMaintainer(), store)
+    >>> ingestor.ingest([(0, 1, 2), (1, 2, 3), (2, 1, 3)])
+    3
+    >>> sorted(store.live_cliques())
+    [(1, 2, 3)]
+    >>> store.close()
+    """
+
+    def __init__(self, maintainer: HStarMaintainer, store: LiveCliqueStore) -> None:
+        self._maintainer = maintainer
+        self._store = store
+        self.report = IngestReport()
+        maintainer.register_update_hook(self._on_update)
+
+    @property
+    def maintainer(self) -> HStarMaintainer:
+        """The driven maintainer (its graph is the source of truth)."""
+        return self._maintainer
+
+    @property
+    def store(self) -> LiveCliqueStore:
+        """The live store mirroring the maintainer's clique set."""
+        return self._store
+
+    # ------------------------------------------------------------------
+    # The maintainer hook: one applied edge → one delta batch
+    # ------------------------------------------------------------------
+    def _on_update(self, kind: str, u: int, v: int) -> None:
+        if kind == "insert":
+            deltas = insert_edge_deltas(self._maintainer.graph, u, v, self._lookup)
+            self.report.insertions += 1
+        elif kind == "delete":
+            deltas = delete_edge_deltas(self._maintainer.graph, u, v, self._lookup)
+            self.report.deletions += 1
+        else:
+            raise GraphError(f"unknown maintainer update kind {kind!r}")
+        self.report.edges_applied += 1
+        if not deltas:
+            return
+        stamped = self._store.apply_deltas(deltas)
+        self.report.deltas_emitted += len(stamped)
+        for delta in stamped:
+            if delta.kind == "add":
+                self.report.cliques_added += 1
+            else:
+                self.report.cliques_removed += 1
+
+    def _lookup(self, vertex: int) -> list[tuple[int, ...]]:
+        """Current maximal cliques containing ``vertex`` (pre-update view)."""
+        store = self._store
+        return [store.clique(cid) for cid in store.postings(vertex)]
+
+    # ------------------------------------------------------------------
+    # Stream entry points
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> None:
+        """Apply one edge insertion end to end."""
+        self._maintainer.insert_edge(u, v)
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Apply one edge deletion end to end."""
+        self._maintainer.delete_edge(u, v)
+
+    def ingest(self, events: Iterable[tuple]) -> int:
+        """Replay a timestamped event stream; returns edges applied.
+
+        Events are ``(timestamp, u, v)`` insertions (the
+        :mod:`repro.generators.streams` shape) or
+        ``(timestamp, op, u, v)`` with ``op`` in ``{"insert", "delete"}``
+        for mixed workloads.  Duplicate insertions are silently skipped
+        (the maintainer never fires the hook for them).
+        """
+        before = self.report.edges_applied
+        started = time.perf_counter()
+        for event in events:
+            if len(event) == 3:
+                _, u, v = event
+                self._maintainer.insert_edge(u, v)
+            elif len(event) == 4:
+                _, op, u, v = event
+                if op == "insert":
+                    self._maintainer.insert_edge(u, v)
+                elif op == "delete":
+                    self._maintainer.delete_edge(u, v)
+                else:
+                    raise GraphError(f"unknown stream operation {op!r}")
+            else:
+                raise GraphError(
+                    f"stream events are (ts, u, v) or (ts, op, u, v); got {event!r}"
+                )
+        self.report.seconds += time.perf_counter() - started
+        return self.report.edges_applied - before
+
+
+def bootstrap_live_store(
+    directory,
+    graph,
+    workdir,
+    **store_kwargs,
+) -> LiveCliqueStore:
+    """Initialise a live store from a fresh enumeration of ``graph``.
+
+    Runs ExtMCE over a disk snapshot (the enumerate-once pipeline) and
+    seeds generation 0 with the result, so ingestion starts from a base
+    index instead of an all-overlay tail.
+    """
+    from pathlib import Path
+
+    from repro.core.extmce import ExtMCE, ExtMCEConfig
+    from repro.storage.diskgraph import DiskGraph
+
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    disk = DiskGraph.create(workdir / "bootstrap.bin", graph)
+    algo = ExtMCE(disk, ExtMCEConfig(workdir=workdir))
+    try:
+        cliques = [tuple(sorted(clique)) for clique in algo.enumerate_cliques()]
+    finally:
+        disk.delete()
+    return LiveCliqueStore.initialize(directory, cliques, **store_kwargs)

@@ -6,12 +6,20 @@ correct client for the line protocol.  Server-side errors come back as
 :class:`~repro.errors.QueryTimeoutError` when the server reports a
 deadline miss); transport and framing problems raise
 :class:`~repro.errors.ServiceProtocolError`.
+
+When the server fronts a live store, the client can also
+:meth:`~CliqueQueryClient.subscribe` to change notifications.  Pushed
+event lines carry no ``"id"`` key; the client routes them into an event
+queue as they arrive — whether that happens while blocked inside
+:meth:`~CliqueQueryClient.next_event` or interleaved with a pending
+request's response — so no line is ever misread as the wrong kind.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import QueryTimeoutError, ServiceError, ServiceProtocolError
@@ -33,21 +41,20 @@ class CliqueQueryClient:
     def __init__(
         self, host: str, port: int, timeout_seconds: float | None = 30.0
     ) -> None:
+        self._timeout = timeout_seconds
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout_seconds)
         except OSError as exc:
             raise ServiceProtocolError(
                 f"cannot connect to clique service at {host}:{port}: {exc}"
             ) from exc
-        self._reader = self._sock.makefile("rb")
+        self._buffer = bytearray()
+        self._events: deque[dict] = deque()
         self._next_id = 0
 
     def close(self) -> None:
         """Close the connection."""
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._sock.close()
 
     def __enter__(self) -> "CliqueQueryClient":
         return self
@@ -56,42 +63,90 @@ class CliqueQueryClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # Framing
+    # ------------------------------------------------------------------
+    def _read_line(self, timeout: float | None) -> bytes | None:
+        """One ``\\n``-terminated line; ``None`` on timeout, ``b""`` on EOF.
+
+        The client owns its buffering (no ``makefile``): a timeout mid-
+        line leaves the partial bytes in ``_buffer`` instead of losing
+        them inside a file object's internals.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                return line
+            self._sock.settimeout(timeout)
+            try:
+                chunk = self._sock.recv(65536)
+            except TimeoutError:
+                return None
+            if not chunk:
+                return b""
+            self._buffer += chunk
+
+    def _parse_line(self, line: bytes) -> dict:
+        try:
+            message = json.loads(line)
+        except ValueError as exc:
+            raise ServiceProtocolError(f"unparseable response line: {line!r}") from exc
+        if not isinstance(message, dict):
+            raise ServiceProtocolError(f"expected a JSON object line, got {line!r}")
+        return message
+
+    # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
     def request(
         self, op: str, timeout: float | None = None, **args
     ) -> Response:
-        """Send one request and block for its response."""
+        """Send one request and block for its response.
+
+        Subscription events arriving while the response is in flight are
+        queued for :meth:`next_event`, never dropped.
+        """
         self._next_id += 1
         payload: dict = {"id": self._next_id, "op": op, "args": args}
         if timeout is not None:
             payload["timeout"] = timeout
         try:
+            self._sock.settimeout(self._timeout)
             self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
-            line = self._reader.readline()
         except OSError as exc:
             raise ServiceProtocolError(f"transport failure during {op}: {exc}") from exc
-        if not line:
-            raise ServiceProtocolError(f"server closed the connection during {op}")
-        try:
-            response = json.loads(line)
-        except ValueError as exc:
-            raise ServiceProtocolError(f"unparseable response line: {line!r}") from exc
-        if not isinstance(response, dict) or response.get("id") != self._next_id:
+        while True:
+            try:
+                line = self._read_line(self._timeout)
+            except OSError as exc:
+                raise ServiceProtocolError(
+                    f"transport failure during {op}: {exc}"
+                ) from exc
+            if line is None:
+                raise ServiceProtocolError(f"timed out waiting for {op} response")
+            if not line:
+                raise ServiceProtocolError(f"server closed the connection during {op}")
+            message = self._parse_line(line)
+            if "id" not in message:
+                self._events.append(message)
+                continue
+            break
+        if message.get("id") != self._next_id:
             raise ServiceProtocolError(
-                f"response id {response.get('id')!r} does not match request "
+                f"response id {message.get('id')!r} does not match request "
                 f"{self._next_id}"
             )
-        if not response.get("ok"):
-            message = str(response.get("error", "unknown server error"))
-            if response.get("timeout"):
-                raise QueryTimeoutError(message)
-            raise ServiceError(message)
+        if not message.get("ok"):
+            error = str(message.get("error", "unknown server error"))
+            if message.get("timeout"):
+                raise QueryTimeoutError(error)
+            raise ServiceError(error)
         return Response(
-            result=response.get("result"),
-            degraded=bool(response.get("degraded")),
-            stale=bool(response.get("stale")),
-            elapsed_ms=float(response.get("elapsed_ms", 0.0)),
+            result=message.get("result"),
+            degraded=bool(message.get("degraded")),
+            stale=bool(message.get("stale")),
+            elapsed_ms=float(message.get("elapsed_ms", 0.0)),
         )
 
     # Convenience wrappers ----------------------------------------------
@@ -118,3 +173,45 @@ class CliqueQueryClient:
     def stats(self, **kw) -> Response:
         """Index statistics."""
         return self.request("stats", **kw)
+
+    # Change subscriptions ----------------------------------------------
+    def subscribe(self, v: int, **kw) -> int:
+        """Subscribe to cliques containing ``v`` appearing or dying.
+
+        Returns the subscription id stamped on every pushed event; only
+        servers fronting a live store accept this.
+        """
+        return int(self.request("subscribe", v=v, **kw).result)  # type: ignore[arg-type]
+
+    def unsubscribe(self, subscription: int, **kw) -> bool:
+        """Cancel a subscription; returns whether the server knew it."""
+        return bool(self.request("unsubscribe", subscription=subscription, **kw).result)
+
+    def next_event(self, timeout: float | None = None) -> dict | None:
+        """The next pushed subscription event, or ``None`` on timeout.
+
+        Events already routed aside during :meth:`request` calls drain
+        first; otherwise the socket is read for up to ``timeout`` seconds
+        (``None`` blocks under the connection default).
+        """
+        if self._events:
+            return self._events.popleft()
+        effective = timeout if timeout is not None else self._timeout
+        try:
+            line = self._read_line(effective)
+        except OSError as exc:
+            raise ServiceProtocolError(
+                f"transport failure while waiting for events: {exc}"
+            ) from exc
+        if line is None:
+            return None
+        if not line:
+            raise ServiceProtocolError(
+                "server closed the connection while waiting for events"
+            )
+        message = self._parse_line(line)
+        if "id" in message:
+            raise ServiceProtocolError(
+                f"unsolicited response line while waiting for events: {message!r}"
+            )
+        return message

@@ -20,6 +20,15 @@ index servable:
   (:class:`~repro.errors.StorageError`, including injected faults and
   CRC mismatches), the engine retries the query as a sequential
   cold-path scan of the record file and flags the answer ``degraded``.
+* **Live overlay** — the engine also serves a
+  :class:`~repro.live.store.LiveCliqueStore` (detected by its
+  ``register_apply_hook`` attribute): answers then reflect every applied
+  update, ``stale`` becomes the precise "delta-overlaid" signal, applied
+  deltas invalidate the affected cache entries, and change
+  subscriptions (:meth:`subscribe`) become available.  Cache entries are
+  tagged with the store's generation number, so a compaction swap —
+  which renumbers clique ids — can never be answered from the previous
+  generation's cache.
 
 Every decision emits :mod:`repro.metrics` series under
 ``repro_service_*`` — queries by type, cache hits/misses, dedup shares,
@@ -164,15 +173,44 @@ class CliqueQueryEngine:
         self._index = index
         self._timeout = timeout_seconds
         self._cache_capacity = cache_entries
-        self._postings_cache: OrderedDict[int, tuple[int, ...]] = OrderedDict()
+        # vertex -> (generation_token, postings); the token guards against
+        # a live store's compaction renumbering clique ids under the cache.
+        self._postings_cache: OrderedDict[int, tuple[int, tuple[int, ...]]] = (
+            OrderedDict()
+        )
         self._io_lock = threading.RLock()
         self._flight_lock = threading.Lock()
         self._in_flight: dict[tuple, _InFlight] = {}
+        self._live = hasattr(index, "register_apply_hook")
+        if self._live:
+            index.register_apply_hook(self._on_live_event)
 
     @property
     def index(self) -> CliqueIndex:
         """The index this engine serves."""
         return self._index
+
+    @property
+    def live(self) -> bool:
+        """Whether the served index is a continuously maintained live store."""
+        return self._live
+
+    def _generation_token(self) -> int:
+        """The served index's current generation (0 for a frozen index)."""
+        return getattr(self._index, "generation_number", 0)
+
+    def _on_live_event(self, event: str, payload) -> None:
+        """Live-store apply hook: keep the postings cache truthful.
+
+        Per-delta invalidation handles overlay updates; a compaction swap
+        renumbers every clique id, so the whole cache goes (the
+        generation token already fences late readers — this just frees
+        the memory eagerly).
+        """
+        if event == "delta":
+            self.invalidate(*payload.vertices)
+        else:
+            self.invalidate()
 
     # ------------------------------------------------------------------
     # Public query API
@@ -302,18 +340,25 @@ class CliqueQueryEngine:
         """Postings through the LRU (stale vertices bypass the cache)."""
         bundle = _METRICS()
         deadline.check(f"postings lookup for vertex {vertex}")
+        token = self._generation_token()
         if self._index.is_stale(vertex):
             self._postings_cache.pop(vertex, None)
         else:
             cached = self._postings_cache.get(vertex)
             if cached is not None:
-                self._postings_cache.move_to_end(vertex)
-                bundle.cache_hits.inc()
-                return cached
+                minted, postings = cached
+                if minted == token:
+                    self._postings_cache.move_to_end(vertex)
+                    bundle.cache_hits.inc()
+                    return postings
+                self._postings_cache.pop(vertex, None)
         bundle.cache_misses.inc()
-        postings = self._index.postings(vertex)
+        # Token read precedes the index read: if a compaction swaps the
+        # generation in between, the fresh postings get stamped with the
+        # older token and simply miss once more — never the reverse.
+        postings = tuple(self._index.postings(vertex))
         if self._cache_capacity and not self._index.is_stale(vertex):
-            self._postings_cache[vertex] = postings
+            self._postings_cache[vertex] = (token, postings)
             self._postings_cache.move_to_end(vertex)
             while len(self._postings_cache) > self._cache_capacity:
                 self._postings_cache.popitem(last=False)
@@ -403,10 +448,11 @@ class CliqueQueryEngine:
             )
         if op == "clique":
             cid = int(args["clique_id"])
-            if not 0 <= cid < self._index.num_cliques:
-                raise GraphError(
-                    f"clique id {cid} out of range [0, {self._index.num_cliques})"
-                )
+            # A live store's id space is sparse (tombstones, overlay adds
+            # past the base); ``id_space`` bounds it, num_cliques does not.
+            bound = getattr(self._index, "id_space", self._index.num_cliques)
+            if not 0 <= cid < bound:
+                raise GraphError(f"clique id {cid} out of range [0, {bound})")
             for found, vertices in records():
                 if found == cid:
                     return list(vertices), False
@@ -420,6 +466,34 @@ class CliqueQueryEngine:
             )
             return [list(vs) for _key, vs in winners], bool(stale_set)
         raise ServiceError(f"unhandled operation {op!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Change subscriptions (live stores only)
+    # ------------------------------------------------------------------
+    def subscribe(self, vertex: int, callback) -> int:
+        """Notify ``callback(event)`` when a clique containing ``vertex``
+        appears or dies; returns a token for :meth:`unsubscribe`.
+
+        Only a live store can change under the engine, so this raises
+        :class:`~repro.errors.ServiceError` over a frozen index.
+        Callbacks fire on the writer thread after the triggering delta is
+        durable and visible to queries.
+        """
+        if not self._live:
+            raise ServiceError(
+                "change subscriptions need a live store; this engine serves "
+                "a frozen index"
+            )
+        return self._index.subscribe(int(vertex), callback)
+
+    def unsubscribe(self, token: int) -> bool:
+        """Cancel one subscription; returns whether it existed."""
+        if not self._live:
+            raise ServiceError(
+                "change subscriptions need a live store; this engine serves "
+                "a frozen index"
+            )
+        return self._index.unsubscribe(token)
 
     # ------------------------------------------------------------------
     # Cache management

@@ -16,10 +16,25 @@ that even the degraded path could not absorb — are *responses*, never
 dropped connections: every request gets exactly one reply, which is what
 the concurrent contract test in ``tests/service/`` holds the server to.
 
+When the engine serves a live store, two connection-level operations
+join the vocabulary::
+
+    -> {"id": 9, "op": "subscribe", "args": {"v": 12}}
+    <- {"id": 9, "ok": true, "result": 1, "subscription": 1}
+    ...
+    <- {"subscription": 1, "event": "clique_added", "vertex": 12,
+        "clique": [4, 12, 31], "seq": 207}
+
+Pushed event lines carry no ``"id"`` key — that is how clients tell them
+from responses.  They interleave with responses on the same socket (a
+per-connection write lock keeps lines whole) and stop at
+``"unsubscribe"`` (``{"args": {"subscription": 1}}``) or disconnect,
+which cancels every subscription the connection held.
+
 The server is a :class:`socketserver.ThreadingTCPServer` (one daemon
 thread per connection); the engine underneath provides the thread
-safety, caching and deduplication.  ``repro-mce serve`` wraps this class
-for the command line.
+safety, caching and deduplication.  ``repro-mce serve`` and
+``repro-mce live`` wrap this class for the command line.
 """
 
 from __future__ import annotations
@@ -47,12 +62,42 @@ _METRICS = metrics.bound(
         responses_error=registry.counter(
             "repro_server_responses_error_total", "error responses sent"
         ),
+        subscriptions=registry.counter(
+            "repro_server_subscriptions_total", "change subscriptions accepted"
+        ),
+        events_pushed=registry.counter(
+            "repro_server_events_pushed_total",
+            "subscription event lines pushed to clients",
+        ),
     )
 )
 
 
 class _Handler(socketserver.StreamRequestHandler):
-    """One connection: a loop of request lines and response lines."""
+    """One connection: request/response lines plus pushed event lines.
+
+    Responses and subscription events share the socket; ``_write_lock``
+    keeps each line atomic no matter which thread (connection handler or
+    store writer) is pushing.
+    """
+
+    def setup(self) -> None:  # pragma: no cover — exercised via the server
+        super().setup()
+        self._write_lock = threading.Lock()
+        self._tokens: dict[int, int] = {}
+        self._next_subscription = 0
+
+    def push(self, payload: dict) -> bool:
+        """Write one JSON line; returns whether the socket took it."""
+        data = json.dumps(payload).encode("utf-8") + b"\n"
+        try:
+            with self._write_lock:
+                self.wfile.write(data)
+                self.wfile.flush()
+        except (OSError, ValueError):
+            return False
+        _METRICS().events_pushed.inc()
+        return True
 
     def handle(self) -> None:  # pragma: no cover — exercised via the server
         _METRICS().connections.inc()
@@ -65,12 +110,23 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if not line.strip():
                 continue
-            response = self.server.engine_respond(line)  # type: ignore[attr-defined]
+            response = self.server.engine_respond(line, connection=self)  # type: ignore[attr-defined]
             try:
-                self.wfile.write(response)
-                self.wfile.flush()
+                with self._write_lock:
+                    self.wfile.write(response)
+                    self.wfile.flush()
             except OSError:
                 return
+
+    def finish(self) -> None:  # pragma: no cover — exercised via the server
+        # A vanished connection takes its subscriptions with it.
+        for token in self._tokens.values():
+            try:
+                self.server.engine.unsubscribe(token)  # type: ignore[attr-defined]
+            except ReproError:
+                pass
+        self._tokens.clear()
+        super().finish()
 
 
 class CliqueQueryServer(socketserver.ThreadingTCPServer):
@@ -124,8 +180,13 @@ class CliqueQueryServer(socketserver.ThreadingTCPServer):
     # ------------------------------------------------------------------
     # Request handling
     # ------------------------------------------------------------------
-    def engine_respond(self, line: bytes) -> bytes:
-        """Answer one request line with one response line (never raises)."""
+    def engine_respond(self, line: bytes, connection: "_Handler | None" = None) -> bytes:
+        """Answer one request line with one response line (never raises).
+
+        ``connection`` carries the per-connection subscription state; the
+        stateless query operations ignore it, so tests may call this
+        method directly without a socket.
+        """
         bundle = _METRICS()
         bundle.requests.inc()
         request_id = None
@@ -135,13 +196,20 @@ class CliqueQueryServer(socketserver.ThreadingTCPServer):
                 raise ValueError("request must be a JSON object")
             request_id = request.get("id")
             op = request.get("op")
-            if not isinstance(op, str) or op not in OPERATIONS:
-                raise ValueError(
-                    f"unknown operation {op!r}; choose from {list(OPERATIONS)}"
-                )
             args = request.get("args") or {}
             if not isinstance(args, dict):
                 raise ValueError("'args' must be a JSON object")
+            if op in ("subscribe", "unsubscribe"):
+                payload = self._respond_subscription(
+                    op, args, request_id, connection
+                )
+                bundle.responses_ok.inc()
+                return json.dumps(payload).encode("utf-8") + b"\n"
+            if not isinstance(op, str) or op not in OPERATIONS:
+                raise ValueError(
+                    f"unknown operation {op!r}; choose from "
+                    f"{list(OPERATIONS) + ['subscribe', 'unsubscribe']}"
+                )
             timeout = request.get("timeout")
             result = self.engine.query(
                 op,
@@ -164,3 +232,35 @@ class CliqueQueryServer(socketserver.ThreadingTCPServer):
             payload = {"id": request_id, "ok": False, "error": str(exc)}
             bundle.responses_error.inc()
         return json.dumps(payload).encode("utf-8") + b"\n"
+
+    def _respond_subscription(
+        self, op: str, args: dict, request_id, connection: "_Handler | None"
+    ) -> dict:
+        """Handle the connection-scoped subscription operations."""
+        if connection is None:
+            raise ValueError(f"{op!r} needs a persistent client connection")
+        if op == "subscribe":
+            if "v" not in args:
+                raise ValueError("subscribe needs args {'v': <vertex>}")
+            vertex = int(args["v"])
+            connection._next_subscription += 1
+            subscription = connection._next_subscription
+
+            def deliver(event, _sid=subscription, _conn=connection) -> None:
+                _conn.push({"subscription": _sid, **event.to_payload()})
+
+            token = self.engine.subscribe(vertex, deliver)
+            connection._tokens[subscription] = token
+            _METRICS().subscriptions.inc()
+            return {
+                "id": request_id,
+                "ok": True,
+                "result": subscription,
+                "subscription": subscription,
+            }
+        if "subscription" not in args:
+            raise ValueError("unsubscribe needs args {'subscription': <id>}")
+        subscription = int(args["subscription"])
+        token = connection._tokens.pop(subscription, None)
+        cancelled = token is not None and self.engine.unsubscribe(token)
+        return {"id": request_id, "ok": True, "result": bool(cancelled)}

@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.metrics import counter_value
 
 #: Prefixes that mark a snapshot as coming from an index/service run.
-FAMILY_PREFIXES = ("repro_index_", "repro_service_", "repro_server_")
+FAMILY_PREFIXES = ("repro_index_", "repro_service_", "repro_server_", "repro_live_")
 
 
 def has_query_metrics(snapshot: dict) -> bool:
@@ -92,6 +92,13 @@ def summarize_query_metrics(snapshot: dict) -> str | None:
         ("bufferpool page misses", "repro_bufferpool_misses_total"),
         ("server connections", "repro_server_connections_total"),
         ("server requests", "repro_server_requests_total"),
+        ("subscriptions accepted", "repro_server_subscriptions_total"),
+        ("subscription events pushed", "repro_server_events_pushed_total"),
+        ("live deltas applied", "repro_live_deltas_applied_total"),
+        ("live WAL records", "repro_live_wal_records_total"),
+        ("live compactions", "repro_live_compactions_total"),
+        ("live compaction failures", "repro_live_compaction_failures_total"),
+        ("live deltas recovered", "repro_live_recovered_deltas_total"),
         ("indexed cliques (builds)", "repro_index_build_cliques_total"),
     ):
         value = counter_value(snapshot, name)

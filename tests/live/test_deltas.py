@@ -1,0 +1,162 @@
+"""Delta rules: one edge update's exact effect on the maximal-clique set."""
+
+import random
+
+import pytest
+
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.live.deltas import (
+    ADD,
+    REMOVE,
+    CliqueDelta,
+    delete_edge_deltas,
+    insert_edge_deltas,
+)
+
+
+def clique_set(graph: AdjacencyGraph) -> set[tuple[int, ...]]:
+    return {tuple(sorted(c)) for c in tomita_maximal_cliques(graph)}
+
+
+def make_lookup(cliques: set[tuple[int, ...]]):
+    def lookup(vertex: int):
+        return [c for c in cliques if vertex in c]
+
+    return lookup
+
+
+def apply_deltas(cliques: set[tuple[int, ...]], deltas) -> set[tuple[int, ...]]:
+    current = set(cliques)
+    for delta in deltas:
+        members = tuple(delta.vertices)
+        if delta.kind == ADD:
+            assert members not in current, f"duplicate add of {members}"
+            current.add(members)
+        else:
+            assert members in current, f"removal of unknown {members}"
+            current.remove(members)
+    return current
+
+
+class TestCliqueDelta:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(GraphError):
+            CliqueDelta("mutate", (1, 2))
+
+    def test_rejects_empty_clique(self):
+        with pytest.raises(GraphError):
+            CliqueDelta(ADD, ())
+
+    def test_stamped_assigns_seq(self):
+        delta = CliqueDelta(ADD, (1, 2))
+        assert delta.seq == 0
+        assert delta.stamped(7).seq == 7
+        assert delta.stamped(7).vertices == (1, 2)
+
+
+class TestInsert:
+    def test_first_edge_between_singletons(self):
+        graph = AdjacencyGraph.from_edges([(0, 1)])
+        before = {(0,), (1,)}
+        deltas = insert_edge_deltas(graph, 0, 1, make_lookup(before))
+        assert apply_deltas(before, deltas) == {(0, 1)}
+
+    def test_closing_a_triangle(self):
+        graph = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        before = {(0, 1), (1, 2)}  # pre-insert cliques of the path 0-1-2
+        deltas = insert_edge_deltas(graph, 0, 2, make_lookup(before))
+        assert apply_deltas(before, deltas) == {(0, 1, 2)}
+
+    def test_removals_precede_additions(self):
+        graph = AdjacencyGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        before = {(0, 1), (1, 2)}
+        deltas = insert_edge_deltas(graph, 0, 2, make_lookup(before))
+        kinds = [d.kind for d in deltas]
+        assert kinds == sorted(kinds, key=(REMOVE, ADD).index)
+
+    def test_bridge_edge_keeps_side_cliques(self):
+        # Two triangles joined by the new edge (2, 3): nothing is subsumed.
+        graph = AdjacencyGraph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        )
+        before = {(0, 1, 2), (3, 4, 5)}
+        deltas = insert_edge_deltas(graph, 2, 3, make_lookup(before))
+        assert apply_deltas(before, deltas) == {(0, 1, 2), (3, 4, 5), (2, 3)}
+
+
+class TestDelete:
+    def test_splitting_an_edge(self):
+        # Post-delete graph: two isolated vertices.
+        post = AdjacencyGraph.from_edges([], vertices=[0, 1])
+        before = {(0, 1)}
+        deltas = delete_edge_deltas(post, 0, 1, make_lookup(before))
+        assert apply_deltas(before, deltas) == {(0,), (1,)}
+
+    def test_breaking_a_triangle(self):
+        post = AdjacencyGraph.from_edges([(0, 1), (1, 2)])
+        before = {(0, 1, 2)}
+        deltas = delete_edge_deltas(post, 0, 2, make_lookup(before))
+        assert apply_deltas(before, deltas) == {(0, 1), (1, 2)}
+
+    def test_halves_subsumed_by_surviving_clique_are_dropped(self):
+        # K4 minus edge (0, 1): halves {0,2,3} and {1,2,3} both survive.
+        post = AdjacencyGraph.from_edges(
+            [(0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        )
+        before = {(0, 1, 2, 3)}
+        deltas = delete_edge_deltas(post, 0, 1, make_lookup(before))
+        assert apply_deltas(before, deltas) == {(0, 2, 3), (1, 2, 3)}
+
+
+class TestRandomizedSingleStep:
+    """Each single edge toggle moves M(G) exactly to the new graph's cliques."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_insert_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        n = 10
+        edges = {
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < 0.4
+        }
+        missing = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if (u, v) not in edges
+        ]
+        if not missing:
+            pytest.skip("dense draw left no edge to insert")
+        u, v = rng.choice(missing)
+        before_graph = AdjacencyGraph.from_edges(sorted(edges), vertices=range(n))
+        before = clique_set(before_graph)
+        after_graph = AdjacencyGraph.from_edges(
+            sorted(edges | {(u, v)}), vertices=range(n)
+        )
+        deltas = insert_edge_deltas(after_graph, u, v, make_lookup(before))
+        assert apply_deltas(before, deltas) == clique_set(after_graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_delete_matches_oracle(self, seed):
+        rng = random.Random(100 + seed)
+        n = 10
+        edges = {
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if rng.random() < 0.4
+        }
+        if not edges:
+            pytest.skip("sparse draw left no edge to delete")
+        u, v = rng.choice(sorted(edges))
+        before_graph = AdjacencyGraph.from_edges(sorted(edges), vertices=range(n))
+        before = clique_set(before_graph)
+        after_graph = AdjacencyGraph.from_edges(
+            sorted(edges - {(u, v)}), vertices=range(n)
+        )
+        deltas = delete_edge_deltas(after_graph, u, v, make_lookup(before))
+        assert apply_deltas(before, deltas) == clique_set(after_graph)

@@ -1,0 +1,80 @@
+"""LiveIngestor: maintainer hook → deltas → store, and bootstrapping."""
+
+import pytest
+
+from repro.dynamic.maintainer import HStarMaintainer
+from repro.errors import GraphError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.live.ingest import LiveIngestor, bootstrap_live_store
+from repro.live.store import LiveCliqueStore
+
+
+@pytest.fixture()
+def empty(tmp_path):
+    store = LiveCliqueStore.initialize(tmp_path / "live")
+    yield LiveIngestor(HStarMaintainer(), store)
+    store.close()
+
+
+class TestIngest:
+    def test_insert_only_stream(self, empty):
+        applied = empty.ingest([(0, 0, 1), (1, 1, 2), (2, 0, 2)])
+        assert applied == 3
+        assert empty.store.live_cliques() == {(0, 1, 2)}
+        assert empty.report.insertions == 3
+        assert empty.report.deletions == 0
+
+    def test_mixed_stream_with_deletes(self, empty):
+        empty.ingest([
+            (0, 0, 1), (1, 1, 2), (2, 0, 2),
+            (3, "delete", 0, 2),
+        ])
+        assert empty.store.live_cliques() == {(0, 1), (1, 2)}
+        assert empty.report.deletions == 1
+
+    def test_duplicate_insert_skipped(self, empty):
+        applied = empty.ingest([(0, 0, 1), (1, 0, 1), (2, 1, 0)])
+        # The maintainer only fires the hook for edges actually applied,
+        # so the two duplicates are invisible to the report.
+        assert applied == 1
+        assert empty.report.insertions == 1
+        assert empty.store.live_cliques() == {(0, 1)}
+
+    def test_single_edge_calls(self, empty):
+        empty.insert_edge(3, 4)
+        assert empty.store.live_cliques() == {(3, 4)}
+        empty.delete_edge(3, 4)
+        assert empty.store.live_cliques() == {(3,), (4,)}
+
+    def test_malformed_event_rejected(self, empty):
+        with pytest.raises(GraphError):
+            empty.ingest([(0, 1)])
+        with pytest.raises(GraphError):
+            empty.ingest([(0, "merge", 1, 2)])
+
+    def test_report_payload(self, empty):
+        empty.ingest([(0, 0, 1), (1, 1, 2)])
+        payload = empty.report.to_payload()
+        assert payload["edges_applied"] == 2
+        assert payload["deltas_emitted"] >= 2
+        assert payload["updates_per_second"] >= 0.0
+
+
+class TestBootstrap:
+    def test_bootstrap_seeds_generation_zero(self, tmp_path):
+        graph = AdjacencyGraph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+        )
+        store = bootstrap_live_store(
+            tmp_path / "live", graph, tmp_path / "work"
+        )
+        try:
+            assert store.generation == "gen-000000"
+            assert store.live_cliques() == {(0, 1, 2), (2, 3), (3, 4)}
+            # Ingestion continues from the bootstrapped base.
+            ingestor = LiveIngestor(HStarMaintainer(graph), store)
+            ingestor.ingest([(0, 2, 4)])
+            # (2,4) completes the triangle {2,3,4}, subsuming (2,3), (3,4).
+            assert store.live_cliques() == {(0, 1, 2), (2, 3, 4)}
+        finally:
+            store.close()

@@ -1,0 +1,382 @@
+"""LiveCliqueStore: overlay reads, durability, compaction, recovery, faults."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import GraphError, StorageError
+from repro.faults import FaultPlan, FaultRule
+from repro.live.deltas import ADD, REMOVE, CliqueDelta
+from repro.live.store import LIVE_MANIFEST_FILENAME, LiveCliqueStore
+
+
+def add(*vertices):
+    return CliqueDelta(ADD, tuple(sorted(vertices)))
+
+
+def remove(*vertices):
+    return CliqueDelta(REMOVE, tuple(sorted(vertices)))
+
+
+SEED_CLIQUES = [(0, 1, 2), (2, 3), (4, 5, 6), (6, 7)]
+
+
+@pytest.fixture()
+def seeded(tmp_path):
+    store = LiveCliqueStore.initialize(tmp_path / "live", SEED_CLIQUES)
+    yield store
+    store.close()
+
+
+class TestLifecycle:
+    def test_initialize_empty(self, tmp_path):
+        with LiveCliqueStore.initialize(tmp_path / "live") as store:
+            assert store.num_cliques == 0
+            assert store.generation is None
+            assert store.live_cliques() == set()
+
+    def test_initialize_seeded(self, seeded):
+        assert seeded.generation == "gen-000000"
+        assert seeded.live_cliques() == set(SEED_CLIQUES)
+        assert seeded.num_cliques == len(SEED_CLIQUES)
+
+    def test_initialize_refuses_existing(self, tmp_path, seeded):
+        with pytest.raises(StorageError):
+            LiveCliqueStore.initialize(seeded.directory)
+
+    def test_open_requires_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            LiveCliqueStore.open(tmp_path)
+
+    def test_closed_store_rejects_writes(self, tmp_path):
+        store = LiveCliqueStore.initialize(tmp_path / "live")
+        store.close()
+        with pytest.raises(StorageError):
+            store.apply_deltas([add(1, 2)])
+
+
+class TestOverlayReads:
+    def test_added_clique_visible_everywhere(self, seeded):
+        seeded.apply_deltas([add(7, 8, 9)])
+        assert (7, 8, 9) in seeded.live_cliques()
+        cid = seeded.postings(8)[0]
+        assert seeded.clique(cid) == (7, 8, 9)
+        assert seeded.clique_size(cid) == 3
+        assert seeded.is_stale(8)
+        assert not seeded.is_stale(0)
+
+    def test_removed_base_clique_tombstoned(self, seeded):
+        target = seeded.postings(3)  # (2, 3) lives in the base
+        assert len(target) == 1
+        seeded.apply_deltas([remove(2, 3)])
+        assert (2, 3) not in seeded.live_cliques()
+        assert target[0] not in seeded.postings(3)
+        with pytest.raises(GraphError):
+            seeded.clique(target[0])
+        assert seeded.is_stale(3)
+
+    def test_remove_then_readd_round_trip(self, seeded):
+        seeded.apply_deltas([remove(2, 3), add(2, 3)])
+        assert (2, 3) in seeded.live_cliques()
+
+    def test_add_of_live_clique_rejected(self, seeded):
+        with pytest.raises(StorageError):
+            seeded.apply_deltas([add(0, 1, 2)])
+
+    def test_remove_of_unknown_clique_rejected(self, seeded):
+        with pytest.raises(StorageError):
+            seeded.apply_deltas([remove(40, 41)])
+
+    def test_top_k_spans_base_and_overlay(self, seeded):
+        seeded.apply_deltas([add(10, 11, 12, 13)])
+        top = seeded.top_k_largest(2)
+        assert top[0] == (10, 11, 12, 13)
+        assert len(top[1]) == 3
+
+    def test_stats_reports_overlay(self, seeded):
+        seeded.apply_deltas([add(8, 9), remove(2, 3)])
+        stats = seeded.stats()
+        assert stats["live"]["added"] == 1
+        assert stats["live"]["tombstones"] == 1
+        assert stats["live"]["tail_deltas"] == 2
+        assert stats["num_cliques"] == len(SEED_CLIQUES)  # net zero
+
+
+class TestDurability:
+    def test_reopen_replays_tail(self, tmp_path):
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory, SEED_CLIQUES)
+        store.apply_deltas([add(8, 9), remove(2, 3)])
+        expected = store.live_cliques()
+        store.close()
+        with LiveCliqueStore.open(directory) as reopened:
+            assert reopened.live_cliques() == expected
+            assert reopened.tail_length == 2
+            assert reopened.last_seq == 2
+
+    def test_seq_numbers_continue_after_reopen(self, tmp_path):
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory)
+        stamped = store.apply_deltas([add(1, 2)])
+        assert [d.seq for d in stamped] == [1]
+        store.close()
+        with LiveCliqueStore.open(directory) as reopened:
+            stamped = reopened.apply_deltas([add(3, 4)])
+            assert [d.seq for d in stamped] == [2]
+
+    def test_torn_wal_tail_truncated_on_open(self, tmp_path):
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory, SEED_CLIQUES)
+        store.apply_deltas([add(8, 9)])
+        store.close()
+        wal = directory / "wal-000000.log"
+        with open(wal, "ab") as handle:
+            handle.write(b"\x42")  # torn record start
+        with LiveCliqueStore.open(directory) as reopened:
+            assert (8, 9) in reopened.live_cliques()
+            assert reopened.tail_length == 1
+
+
+class TestCompaction:
+    def test_compact_folds_tail(self, tmp_path):
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory, SEED_CLIQUES)
+        store.apply_deltas([add(8, 9), remove(2, 3)])
+        expected = store.live_cliques()
+        assert store.compact() == "gen-000001"
+        assert store.tail_length == 0
+        assert store.live_cliques() == expected
+        assert store.generation_number == 1
+        assert not store.is_stale(8)
+        # Old generation and WAL are gone; reopen serves the same set.
+        assert not (directory / "gen-000000").exists()
+        assert not (directory / "wal-000000.log").exists()
+        store.close()
+        with LiveCliqueStore.open(directory) as reopened:
+            assert reopened.live_cliques() == expected
+        store.close()
+
+    def test_compact_empty_tail_is_noop(self, seeded):
+        assert seeded.compact() is None
+
+    def test_compact_to_empty_store(self, tmp_path):
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory)
+        store.apply_deltas([add(1, 2)])
+        store.apply_deltas([remove(1, 2), add(1,), add(2,)])
+        store.apply_deltas([remove(1,), remove(2,)])
+        assert store.compact() is None or store.live_cliques() == set()
+        assert store.live_cliques() == set()
+        store.close()
+        with LiveCliqueStore.open(directory) as reopened:
+            assert reopened.live_cliques() == set()
+
+    def test_writes_during_no_lock_window_survive_compaction(self, tmp_path):
+        # Deltas applied between rotate and commit land in the new WAL
+        # and survive the swap as the new tail.
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory, SEED_CLIQUES)
+        store.apply_deltas([add(8, 9)])
+
+        plan = FaultPlan(
+            [FaultRule(operation="compaction", kind="latency",
+                       path_contains="build", latency_seconds=0.05)],
+            seed=1,
+        )
+        store._faults = plan
+        racing: list = []
+
+        def racer():
+            racing.append(store.apply_deltas([add(10, 11)]))
+
+        thread = threading.Thread(target=racer)
+        thread.start()
+        generation = store.compact()
+        thread.join()
+        assert generation == "gen-000001"
+        assert (8, 9) in store.live_cliques()
+        assert (10, 11) in store.live_cliques()
+        store.close()
+        with LiveCliqueStore.open(directory) as reopened:
+            assert (10, 11) in reopened.live_cliques()
+
+    def test_second_compaction_continues_generations(self, tmp_path):
+        store = LiveCliqueStore.initialize(tmp_path / "live", SEED_CLIQUES)
+        store.apply_deltas([add(8, 9)])
+        assert store.compact() == "gen-000001"
+        store.apply_deltas([add(10, 11)])
+        assert store.compact() == "gen-000002"
+        assert store.live_cliques() == set(SEED_CLIQUES) | {(8, 9), (10, 11)}
+        store.close()
+
+
+class TestCrashRecovery:
+    """An injected failure at any compaction stage recovers consistently."""
+
+    @pytest.mark.parametrize("stage", ["rotate", "build", "commit"])
+    def test_fault_at_stage_recovers(self, tmp_path, stage):
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory, SEED_CLIQUES)
+        store.apply_deltas([add(8, 9), remove(2, 3)])
+        expected = store.live_cliques()
+        plan = FaultPlan(
+            [FaultRule(operation="compaction", kind="io_error",
+                       path_contains=stage)],
+            seed=2,
+        )
+        store._faults = plan
+        with pytest.raises(StorageError):
+            store.compact()
+        store.close()
+
+        # Recovery from whatever the failed compaction left on disk.
+        with LiveCliqueStore.open(directory) as reopened:
+            assert reopened.live_cliques() == expected
+            reopened.verify()
+            # And the store still compacts cleanly afterwards.
+            if reopened.tail_length:
+                assert reopened.compact() is not None
+            assert reopened.live_cliques() == expected
+
+    def test_fault_at_cleanup_recovers(self, tmp_path):
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory, SEED_CLIQUES)
+        store.apply_deltas([add(8, 9)])
+        expected = store.live_cliques()
+        plan = FaultPlan(
+            [FaultRule(operation="compaction", kind="io_error",
+                       path_contains="cleanup")],
+            seed=2,
+        )
+        store._faults = plan
+        with pytest.raises(StorageError):
+            store.compact()
+        # The swap already committed: the store serves the new generation.
+        assert store.generation_number == 1
+        assert store.live_cliques() == expected
+        store.close()
+        with LiveCliqueStore.open(directory) as reopened:
+            assert reopened.live_cliques() == expected
+            # The stray old generation/WAL were garbage-collected.
+            assert not (directory / "gen-000000").exists()
+            assert not (directory / "wal-000000.log").exists()
+
+    def test_manifest_is_the_commit_point(self, tmp_path):
+        # A half-built generation directory without a manifest reference
+        # is swept on open, not served.
+        directory = tmp_path / "live"
+        store = LiveCliqueStore.initialize(directory, SEED_CLIQUES)
+        store.apply_deltas([add(8, 9)])
+        expected = store.live_cliques()
+        store.close()
+        stray = directory / "gen-000007"
+        stray.mkdir()
+        (stray / "cliques.dat").write_bytes(b"half-built garbage")
+        (directory / "wal-000099.log").write_bytes(b"stray log")
+        with LiveCliqueStore.open(directory) as reopened:
+            assert reopened.live_cliques() == expected
+        assert not stray.exists()
+        assert not (directory / "wal-000099.log").exists()
+
+    def test_malformed_manifest_raises(self, tmp_path):
+        directory = tmp_path / "live"
+        LiveCliqueStore.initialize(directory).close()
+        (directory / LIVE_MANIFEST_FILENAME).write_text("{not json")
+        with pytest.raises(StorageError):
+            LiveCliqueStore.open(directory)
+
+    def test_unsupported_schema_raises(self, tmp_path):
+        directory = tmp_path / "live"
+        LiveCliqueStore.initialize(directory).close()
+        manifest = json.loads((directory / LIVE_MANIFEST_FILENAME).read_text())
+        manifest["schema"] = "repro.live/99"
+        (directory / LIVE_MANIFEST_FILENAME).write_text(json.dumps(manifest))
+        with pytest.raises(StorageError):
+            LiveCliqueStore.open(directory)
+
+
+class TestSubscriptions:
+    def test_subscriber_sees_adds_and_removes(self, seeded):
+        events = []
+        token = seeded.subscribe(9, events.append)
+        seeded.apply_deltas([add(8, 9)])
+        seeded.apply_deltas([remove(8, 9)])
+        assert [(e.kind, e.vertices) for e in events] == [
+            ("clique_added", (8, 9)),
+            ("clique_removed", (8, 9)),
+        ]
+        assert all(e.vertex == 9 for e in events)
+        assert [e.seq for e in events] == [1, 2]
+        assert seeded.unsubscribe(token)
+        seeded.apply_deltas([add(8, 9)])
+        assert len(events) == 2
+
+    def test_unrelated_vertex_not_notified(self, seeded):
+        events = []
+        seeded.subscribe(0, events.append)
+        seeded.apply_deltas([add(8, 9)])
+        assert events == []
+
+    def test_unsubscribe_unknown_token(self, seeded):
+        assert not seeded.unsubscribe(123456)
+
+    def test_event_payload_shape(self, seeded):
+        events = []
+        seeded.subscribe(8, events.append)
+        seeded.apply_deltas([add(8, 9)])
+        payload = events[0].to_payload()
+        assert payload == {
+            "vertex": 8, "event": "clique_added", "clique": [8, 9], "seq": 1,
+        }
+
+    def test_callback_may_reenter_store(self, seeded):
+        # Callbacks run outside the store lock; a reader callback must
+        # not deadlock.
+        seen = []
+        seeded.subscribe(9, lambda event: seen.append(seeded.postings(9)))
+        seeded.apply_deltas([add(8, 9)])
+        assert len(seen) == 1
+
+
+class TestBackgroundCompactor:
+    def test_compactor_folds_past_threshold(self, tmp_path):
+        store = LiveCliqueStore.initialize(tmp_path / "live", SEED_CLIQUES)
+        compactor = store.start_compactor(tail_threshold=4, interval_seconds=0.01)
+        for i in range(6):
+            store.apply_deltas([add(100 + 2 * i, 101 + 2 * i)])
+        deadline = threading.Event()
+        for _ in range(500):
+            if compactor.compactions >= 1:
+                break
+            deadline.wait(0.01)
+        assert compactor.compactions >= 1
+        assert store.generation_number >= 1
+        expected = set(SEED_CLIQUES) | {
+            (100 + 2 * i, 101 + 2 * i) for i in range(6)
+        }
+        assert store.live_cliques() == expected
+        store.close()
+
+    def test_compactor_error_reported_not_fatal(self, tmp_path):
+        store = LiveCliqueStore.initialize(tmp_path / "live", SEED_CLIQUES)
+        plan = FaultPlan(
+            [FaultRule(operation="compaction", kind="io_error",
+                       path_contains="build")],
+            seed=4,
+        )
+        store._faults = plan
+        errors = []
+        compactor = store.start_compactor(
+            tail_threshold=1, interval_seconds=0.01, on_error=errors.append
+        )
+        store.apply_deltas([add(8, 9)])
+        for _ in range(500):
+            if compactor.errors:
+                break
+            threading.Event().wait(0.01)
+        assert compactor.errors >= 1
+        assert errors
+        # The store still serves and still compacts once the fault clears.
+        assert (8, 9) in store.live_cliques()
+        store.close()

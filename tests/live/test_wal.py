@@ -1,0 +1,200 @@
+"""WAL: record codec, torn-tail recovery, corruption detection, append repair."""
+
+import random
+
+import pytest
+
+from repro.errors import CorruptDataError, StorageError, StorageFormatError
+from repro.faults import FaultPlan, FaultRule
+from repro.live.deltas import ADD, REMOVE, CliqueDelta
+from repro.live.wal import (
+    WAL_MAGIC,
+    DeltaLogWriter,
+    ReplayReport,
+    decode_delta_record,
+    encode_delta_record,
+    replay_delta_log,
+)
+
+
+def some_deltas(count=5, seed=0):
+    rng = random.Random(seed)
+    deltas = []
+    for i in range(count):
+        vertices = tuple(sorted(rng.sample(range(50), rng.randint(1, 6))))
+        kind = ADD if rng.random() < 0.7 else REMOVE
+        deltas.append(CliqueDelta(kind, vertices, seq=i + 1))
+    return deltas
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        for delta in some_deltas(20, seed=3):
+            blob = encode_delta_record(delta)
+            decoded, consumed = decode_delta_record(blob)
+            assert decoded == delta
+            assert consumed == len(blob)
+
+    def test_truncation_is_format_error(self):
+        blob = encode_delta_record(CliqueDelta(ADD, (3, 4, 5), seq=9))
+        for cut in range(1, len(blob)):
+            with pytest.raises((StorageFormatError, CorruptDataError)):
+                decode_delta_record(blob[:cut])
+
+    def test_crc_flip_is_corruption(self):
+        blob = bytearray(encode_delta_record(CliqueDelta(ADD, (3, 4, 5), seq=9)))
+        blob[-1] ^= 0xFF
+        with pytest.raises(CorruptDataError):
+            decode_delta_record(bytes(blob))
+
+    def test_unknown_kind_byte_is_corruption(self):
+        delta = CliqueDelta(REMOVE, (1,), seq=1)
+        blob = bytearray(encode_delta_record(delta))
+        # seq=1 encodes as one varint byte; the kind byte follows it.
+        blob[1] = 0x7E
+        with pytest.raises(CorruptDataError):
+            decode_delta_record(bytes(blob), verify=False)
+
+
+class TestLogRoundTrip:
+    def test_create_append_replay(self, tmp_path):
+        path = tmp_path / "wal.log"
+        writer = DeltaLogWriter.create(path)
+        deltas = some_deltas(12, seed=1)
+        written = writer.append(deltas)
+        assert written > 0
+        assert list(replay_delta_log(path)) == deltas
+
+    def test_create_refuses_existing_content(self, tmp_path):
+        path = tmp_path / "wal.log"
+        DeltaLogWriter.create(path).append(some_deltas(1))
+        with pytest.raises(StorageError):
+            DeltaLogWriter.create(path)
+
+    def test_replay_rejects_bad_magic(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"NOTAWAL!\x00\x01")
+        with pytest.raises(StorageFormatError):
+            list(replay_delta_log(path))
+
+    def test_open_for_append_continues_log(self, tmp_path):
+        path = tmp_path / "wal.log"
+        first = some_deltas(4, seed=2)
+        DeltaLogWriter.create(path).append(first)
+        writer, replayed = DeltaLogWriter.open_for_append(path)
+        assert replayed == first
+        second = [CliqueDelta(ADD, (9, 10), seq=99)]
+        writer.append(second)
+        assert list(replay_delta_log(path)) == first + second
+
+
+class TestTornTail:
+    def test_torn_tail_raises_without_recover(self, tmp_path):
+        path = tmp_path / "wal.log"
+        DeltaLogWriter.create(path).append(some_deltas(3, seed=4))
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-2])
+        with pytest.raises(StorageFormatError):
+            list(replay_delta_log(path))
+
+    def test_recover_tail_drops_only_the_tear(self, tmp_path):
+        path = tmp_path / "wal.log"
+        deltas = some_deltas(3, seed=4)
+        writer = DeltaLogWriter.create(path)
+        writer.append(deltas)
+        boundary = path.stat().st_size
+        writer.append([CliqueDelta(ADD, (70, 71, 72), seq=50)])
+        whole = path.read_bytes()
+        for cut in range(boundary + 1, len(whole)):
+            path.write_bytes(whole[:cut])
+            report = ReplayReport()
+            recovered = list(
+                replay_delta_log(path, recover_tail=True, report=report)
+            )
+            assert recovered == deltas
+            assert report.torn
+            assert report.valid_bytes == boundary
+
+    def test_open_for_append_truncates_tear(self, tmp_path):
+        path = tmp_path / "wal.log"
+        deltas = some_deltas(2, seed=5)
+        DeltaLogWriter.create(path).append(deltas)
+        boundary = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"\x17")  # lone varint byte: a torn record start
+        writer, replayed = DeltaLogWriter.open_for_append(path)
+        assert replayed == deltas
+        assert path.stat().st_size == boundary
+        writer.append([CliqueDelta(REMOVE, (1, 2), seq=77)])
+        assert list(replay_delta_log(path)) == deltas + [
+            CliqueDelta(REMOVE, (1, 2), seq=77)
+        ]
+
+
+class TestCorruptionFuzz:
+    """Flipped bits anywhere in the body are never silently absorbed."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_single_byte_flip_detected_or_torn(self, tmp_path, seed):
+        path = tmp_path / "wal.log"
+        deltas = some_deltas(8, seed=seed)
+        DeltaLogWriter.create(path).append(deltas)
+        whole = bytearray(path.read_bytes())
+        rng = random.Random(1000 + seed)
+        position = rng.randrange(len(WAL_MAGIC), len(whole))
+        whole[position] ^= 1 << rng.randrange(8)
+        path.write_bytes(bytes(whole))
+        # Outcomes: CRC mismatch (corruption) or a length-field flip that
+        # makes a record run past EOF (format error).  Silent success is
+        # only acceptable when replay still returns a strict prefix of the
+        # original deltas (the flip landed in the final record and turned
+        # it into a shorter-but-CRC-valid tail, which CRC32 makes
+        # astronomically unlikely — still, assert the contract).
+        try:
+            replayed = list(replay_delta_log(path))
+        except (CorruptDataError, StorageFormatError):
+            return
+        assert replayed == deltas[: len(replayed)]
+
+
+class TestAppendFailureRepair:
+    def test_injected_write_failure_repairs_tail(self, tmp_path):
+        path = tmp_path / "wal.log"
+        # after=2: the create() magic write and the first append pass,
+        # the second append fires.
+        plan = FaultPlan(
+            [FaultRule(operation="write", kind="io_error", after=2, path_contains="wal")],
+            seed=3,
+        )
+        writer = DeltaLogWriter.create(path, fault_plan=plan)
+        first = some_deltas(3, seed=6)
+        writer.append(first)
+        size_before = path.stat().st_size
+        with pytest.raises(StorageError):
+            writer.append(some_deltas(2, seed=7))
+        assert path.stat().st_size == size_before
+        assert list(replay_delta_log(path)) == first
+        # The rule disarms after one firing; the writer keeps working.
+        more = [CliqueDelta(ADD, (5, 6), seq=123)]
+        writer.append(more)
+        assert list(replay_delta_log(path)) == first + more
+
+    def test_torn_write_fault_leaves_recoverable_log(self, tmp_path):
+        path = tmp_path / "wal.log"
+        plan = FaultPlan(
+            [FaultRule(operation="write", kind="torn_write", after=2,
+                       path_contains="wal")],
+            seed=9,
+        )
+        writer = DeltaLogWriter.create(path, fault_plan=plan)
+        first = some_deltas(2, seed=8)
+        writer.append(first)
+        try:
+            writer.append(some_deltas(3, seed=9))
+        except StorageError:
+            pass
+        # Whatever the torn write left behind, recovery must return a
+        # prefix that starts with the acknowledged records.
+        report = ReplayReport()
+        recovered = list(replay_delta_log(path, recover_tail=True, report=report))
+        assert recovered[: len(first)] == first

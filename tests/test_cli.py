@@ -278,3 +278,137 @@ class TestServe:
         assert args.port == 7777
         assert args.cache_entries == 9
         assert args.timeout == 2.5
+
+
+class TestLiveCommand:
+    @pytest.fixture
+    def triangle_file(self, tmp_path):
+        path = tmp_path / "triangle.txt"
+        write_edge_list(path, [(0, 1), (1, 2), (0, 2)])
+        return path
+
+    def test_bootstrap_ingest_compact(self, triangle_file, tmp_path, capsys):
+        from repro.live import LiveCliqueStore
+
+        store_dir = tmp_path / "live"
+        stream = tmp_path / "stream.txt"
+        write_timestamped_edge_list(stream, [(0, 2, 3), (1, 3, 4)])
+        assert main([
+            "live", str(store_dir),
+            "--graph", str(triangle_file), "--stream", str(stream),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "created" in out
+        assert "stream ingested : 2 edge updates (2 inserts, 0 deletes)" in out
+        assert "compacted" in out
+        assert "final state" in out
+        with LiveCliqueStore.open(store_dir) as store:
+            assert store.live_cliques() == {(0, 1, 2), (2, 3), (3, 4)}
+            assert store.tail_length == 0  # folded by --compact-on-exit
+            store.verify()
+
+    def test_reopen_continues_from_prior_run(self, triangle_file, tmp_path,
+                                             capsys):
+        from repro.live import LiveCliqueStore
+
+        store_dir = tmp_path / "live"
+        first = tmp_path / "first.txt"
+        write_timestamped_edge_list(first, [(0, 2, 3), (1, 3, 4)])
+        assert main([
+            "live", str(store_dir),
+            "--graph", str(triangle_file), "--stream", str(first),
+        ]) == 0
+        # Second run reopens the store; --graph reseeds the maintainer
+        # with the current graph so delta computation stays correct.
+        current = tmp_path / "current.txt"
+        write_edge_list(
+            current, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]
+        )
+        second = tmp_path / "second.txt"
+        write_timestamped_edge_list(second, [(0, 2, 4)])
+        capsys.readouterr()
+        assert main([
+            "live", str(store_dir),
+            "--graph", str(current), "--stream", str(second),
+        ]) == 0
+        assert "opened" in capsys.readouterr().out
+        with LiveCliqueStore.open(store_dir) as store:
+            assert store.live_cliques() == {(0, 1, 2), (2, 3, 4)}
+
+    def test_mixed_stream_without_graph(self, tmp_path, capsys):
+        from repro.live import LiveCliqueStore
+
+        store_dir = tmp_path / "live"
+        stream = tmp_path / "stream.txt"
+        stream.write_text(
+            "# comment lines and blanks are skipped\n"
+            "\n"
+            "0 0 1\n"
+            "1 1 2\n"
+            "2 insert 0 2\n"
+            "3 delete 0 2\n"
+        )
+        assert main(["live", str(store_dir), "--stream", str(stream),
+                     "--no-compact-on-exit"]) == 0
+        out = capsys.readouterr().out
+        assert "3 inserts, 1 deletes" in out
+        assert "compacted" not in out
+        with LiveCliqueStore.open(store_dir) as store:
+            assert store.live_cliques() == {(0, 1), (1, 2)}
+            assert store.tail_length > 0  # tail survives --no-compact-on-exit
+
+    def test_malformed_stream_reports_error(self, tmp_path, capsys):
+        stream = tmp_path / "stream.txt"
+        stream.write_text("0 merge 1 2\n")
+        assert main(["live", str(tmp_path / "live"),
+                     "--stream", str(stream)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestVerifyIndexCommand:
+    def test_clean_frozen_index_passes(self, tmp_path, capsys):
+        from repro.index import build_index
+
+        build_index([frozenset({0, 1, 2}), frozenset({2, 3})],
+                    tmp_path / "idx")
+        assert main(["verify-index", str(tmp_path / "idx")]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "records_verified" in out
+
+    def test_corrupt_frozen_index_fails_nonzero(self, tmp_path, capsys):
+        from repro.index import build_index
+
+        build_index([frozenset({0, 1, 2}), frozenset({2, 3})],
+                    tmp_path / "idx")
+        victim = tmp_path / "idx" / "cliques.dat"
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        assert main(["verify-index", str(tmp_path / "idx")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_clean_live_store_passes(self, tmp_path, capsys):
+        from repro.live import LiveCliqueStore
+        from repro.live.deltas import ADD, CliqueDelta
+
+        with LiveCliqueStore.initialize(
+            tmp_path / "live", [(0, 1, 2)]
+        ) as store:
+            store.apply_deltas([CliqueDelta(ADD, (3, 4))])
+        assert main(["verify-index", str(tmp_path / "live")]) == 0
+        out = capsys.readouterr().out
+        assert "live store" in out
+        assert "OK" in out
+
+    def test_corrupt_live_store_fails_nonzero(self, tmp_path, capsys):
+        from repro.live import LiveCliqueStore
+
+        with LiveCliqueStore.initialize(tmp_path / "live", [(0, 1, 2)]):
+            pass
+        victim = tmp_path / "live" / "gen-000000" / "cliques.dat"
+        blob = bytearray(victim.read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        victim.write_bytes(bytes(blob))
+        assert main(["verify-index", str(tmp_path / "live")]) == 1
+        assert "error:" in capsys.readouterr().err
