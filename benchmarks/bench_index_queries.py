@@ -29,8 +29,6 @@ from __future__ import annotations
 
 import json
 import shutil
-import statistics
-import sys
 import tempfile
 import time
 from pathlib import Path
@@ -40,19 +38,15 @@ from repro.generators.communities import defective_clique_communities
 from repro.index import CliqueIndex, build_index
 from repro.service import CliqueQueryEngine
 
+try:  # pytest collection from the repository root
+    from benchmarks.common import quantiles
+except ImportError:  # executed directly: benchmarks/ itself is sys.path[0]
+    from common import quantiles
+
 NUM_VERTICES = 400
 SEED = 7
 QUERIES_PER_OP = 200
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_index.json"
-
-
-def _quantiles(samples: list[float]) -> dict[str, float]:
-    ordered = sorted(samples)
-    return {
-        "p50_us": statistics.median(ordered) * 1e6,
-        "p95_us": ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))] * 1e6,
-        "mean_us": statistics.fmean(ordered) * 1e6,
-    }
 
 
 def _workload(engine: CliqueQueryEngine, stats: dict) -> dict[str, dict]:
@@ -78,7 +72,7 @@ def _workload(engine: CliqueQueryEngine, stats: dict) -> dict[str, dict]:
             result = engine.query(op, **make_args(i))
             samples.append(time.perf_counter() - started)
             assert not result.degraded, f"{op} degraded during the benchmark"
-        summaries[op] = _quantiles(samples)
+        summaries[op] = quantiles(samples)
     return summaries
 
 

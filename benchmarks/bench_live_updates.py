@@ -28,7 +28,6 @@ from __future__ import annotations
 import json
 import random
 import shutil
-import statistics
 import tempfile
 import threading
 import time
@@ -39,6 +38,11 @@ from repro.faults import FaultPlan, FaultRule
 from repro.live import LiveCliqueStore, LiveIngestor
 from repro.service import CliqueQueryEngine
 
+try:  # pytest collection from the repository root
+    from benchmarks.common import quantiles, random_edge_stream
+except ImportError:  # executed directly: benchmarks/ itself is sys.path[0]
+    from common import quantiles, random_edge_stream
+
 NUM_VERTICES = 60
 NUM_EVENTS = 1_500
 DELETE_SHARE = 0.25
@@ -46,36 +50,6 @@ SEED = 11
 IDLE_SAMPLES = 400
 COMPACTION_WINDOW_SECONDS = 2.0
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_live.json"
-
-
-def _quantiles(samples: list[float]) -> dict[str, float]:
-    ordered = sorted(samples)
-    return {
-        "samples": len(ordered),
-        "p50_us": statistics.median(ordered) * 1e6,
-        "p95_us": ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))] * 1e6,
-        "mean_us": statistics.fmean(ordered) * 1e6,
-    }
-
-
-def _random_stream(rng: random.Random) -> list[tuple]:
-    edges: set[tuple[int, int]] = set()
-    events: list[tuple] = []
-    ts = 0
-    while len(events) < NUM_EVENTS:
-        if edges and rng.random() < DELETE_SHARE:
-            u, v = rng.choice(sorted(edges))
-            edges.discard((u, v))
-            events.append((ts, "delete", u, v))
-        else:
-            u, v = rng.sample(range(NUM_VERTICES), 2)
-            u, v = min(u, v), max(u, v)
-            if (u, v) in edges:
-                continue
-            edges.add((u, v))
-            events.append((ts, u, v))
-        ts += 1
-    return events
 
 
 def _sample_queries(engine: CliqueQueryEngine, rng: random.Random,
@@ -98,7 +72,7 @@ def main() -> int:
     directory = tmp / "live"
     try:
         rng = random.Random(SEED)
-        events = _random_stream(rng)
+        events = random_edge_stream(NUM_VERTICES, NUM_EVENTS, DELETE_SHARE, rng)
 
         store = LiveCliqueStore.initialize(directory)
         ingestor = LiveIngestor(HStarMaintainer(), store)
@@ -133,8 +107,8 @@ def main() -> int:
         store.verify()
         store.close()
 
-        idle_q = _quantiles(idle)
-        during_q = _quantiles(during)
+        idle_q = quantiles(idle, include_count=True)
+        during_q = quantiles(during, include_count=True)
         grace_us = 2_000.0
         non_blocking = during_q["p95_us"] <= 2 * idle_q["p95_us"] + grace_us
 

@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="worker processes for the parallel engine "
                                  "(1 = serial driver; output is identical "
                                  "for every worker count)")
+    enumerate_.add_argument("--task-grain", choices=("coarse", "fine"),
+                            default="fine",
+                            help="parallel scheduling granularity: 'fine' "
+                                 "(default) cuts smaller chunks and lets "
+                                 "workers split skewed subtrees back into "
+                                 "the queue (work stealing); 'coarse' is "
+                                 "the static oversubscribed split; the "
+                                 "clique stream is identical either way")
     enumerate_.add_argument("--canonical", action="store_true",
                             help="write the output file in canonical sorted "
                                  "order (byte-identical across runs and "
@@ -339,7 +347,8 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 args.checkpoint_dir,
                 config=ExtMCEConfig(
                     memory_budget_units=args.budget, trace_path=args.trace,
-                    workers=args.workers, kernel=args.kernel,
+                    workers=args.workers, task_grain=args.task_grain,
+                    kernel=args.kernel,
                     verify_checksums=args.verify_checksums,
                     max_retries=args.max_retries, fault_plan=fault_plan,
                     metrics_path=args.metrics_out,
@@ -360,6 +369,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 checkpoint=args.checkpoint_dir is not None,
                 trace_path=args.trace,
                 workers=args.workers,
+                task_grain=args.task_grain,
                 kernel=args.kernel,
                 verify_checksums=args.verify_checksums,
                 max_retries=args.max_retries,
@@ -404,7 +414,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
     print(f"recursions      : {algo.report.num_recursions}")
     print(f"graph scans     : {algo.report.sequential_scans}")
     if args.workers > 1:
-        print(f"workers         : {args.workers}")
+        print(f"workers         : {args.workers} (task grain: {args.task_grain})")
     if args.output:
         print(f"cliques written : {args.output}")
     if index_sink is not None:

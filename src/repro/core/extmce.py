@@ -128,6 +128,16 @@ class ExtMCEConfig:
         :class:`ExtMCE` ignores it; ``1`` means in-process execution even
         under the parallel driver.  Kept here (rather than on the driver)
         so checkpoints and :meth:`ExtMCE.resume` round-trip it.
+    task_grain:
+        Scheduling granularity of the parallel engine (``"coarse"`` or
+        ``"fine"``, see :mod:`repro.parallel.scheduler`).  ``"fine"``
+        (the default) cuts smaller task chunks and arms worker-side
+        splitting — a worker holding a skewed subtree hands its
+        unfinished tail back to the queue when the queue runs dry — so
+        stragglers cannot serialize a step.  ``"coarse"`` reproduces the
+        static oversubscribed chunking.  The clique stream is
+        byte-identical across grains (asserted by the differential
+        matrix); the serial driver ignores it.
     kernel:
         Enumeration kernel (``"set"`` or ``"bitset"``, see
         :mod:`repro.kernel`) used for tree construction and the M2/M3
@@ -167,6 +177,7 @@ class ExtMCEConfig:
     checkpoint: bool = False
     trace_path: str | Path | None = None
     workers: int = 1
+    task_grain: str = "fine"
     kernel: str = "bitset"
     verify_checksums: bool = True
     max_retries: int = 2

@@ -85,6 +85,17 @@ class CorruptDataError(StorageError):
     """
 
 
+class SharedMemoryError(StorageError):
+    """A shared-memory graph segment is missing, stale, or unattachable.
+
+    Raised by the parallel engine's zero-copy path
+    (:mod:`repro.parallel.shm`): a worker that cannot attach the
+    published CSR segment — or attaches a segment from a different
+    publication generation — must fail loudly so the chunk is retried
+    or recomputed inline, never silently read from the wrong graph.
+    """
+
+
 class InjectedFaultError(ReproError):
     """A deterministic fault-injection rule fired (see :mod:`repro.faults`).
 

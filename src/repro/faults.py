@@ -25,7 +25,16 @@ Operation sites and the fault kinds they honour::
     "pool_read"  BufferPool._page          io_error, corrupt, latency
     "chunk"      StepExecutor submission   worker_kill, worker_error,
                                            timeout, poison, latency
+    "shm"        StepExecutor submission   attach_fail, stale_segment
     "compaction" LiveCliqueStore.compact   io_error, latency
+
+The ``"shm"`` site fires once per chunk submission when the step's graph
+travels through a shared-memory segment (the path argument is the
+segment name): ``attach_fail`` makes the worker's attach raise, and
+``stale_segment`` makes the worker validate against the wrong
+publication generation — both surface as
+:class:`~repro.errors.SharedMemoryError` chunk errors, exercising the
+retry/inline path rather than any silent wrong-graph read.
 
 The ``"compaction"`` site fires once per compaction *stage* — the path
 argument is the stage name (``"rotate"``, ``"build"``, ``"commit"``,
@@ -54,7 +63,10 @@ STORAGE_KINDS = ("io_error", "short_read", "torn_write", "corrupt", "latency")
 #: Fault kinds understood by the parallel executor.
 EXECUTOR_KINDS = ("worker_kill", "worker_error", "timeout", "poison", "latency")
 
-_ALL_KINDS = tuple(dict.fromkeys(STORAGE_KINDS + EXECUTOR_KINDS))
+#: Fault kinds understood by the shared-memory graph path.
+SHM_KINDS = ("attach_fail", "stale_segment")
+
+_ALL_KINDS = tuple(dict.fromkeys(STORAGE_KINDS + EXECUTOR_KINDS + SHM_KINDS))
 
 
 @dataclass(frozen=True)
@@ -272,6 +284,7 @@ def corrupt_bytes(data: bytes, fraction: float) -> bytes:
 
 __all__ = [
     "EXECUTOR_KINDS",
+    "SHM_KINDS",
     "STORAGE_KINDS",
     "Fault",
     "FaultPlan",

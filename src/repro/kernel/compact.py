@@ -25,8 +25,20 @@ from __future__ import annotations
 from array import array
 from collections.abc import Iterable, Mapping
 
-from repro.errors import GraphError, VertexNotFoundError
+from repro.errors import (
+    GraphError,
+    SharedMemoryError,
+    StorageFormatError,
+    VertexNotFoundError,
+)
 from repro.graph.adjacency import AdjacencyGraph, Vertex
+
+#: First word of every packed CSR buffer ("HSTARCSR" as big-endian bytes).
+CSR_MAGIC = int.from_bytes(b"HSTARCSR", "big")
+
+#: Packed layout: ``[magic, generation, n, nnz]`` followed by
+#: ``labels[n]``, ``indptr[n + 1]``, ``indices[nnz]``, all int64 words.
+CSR_HEADER_WORDS = 4
 
 
 class CompactGraph:
@@ -150,6 +162,86 @@ class CompactGraph:
             indices if isinstance(indices, array) else array("q", indices),
         )
 
+    # ------------------------------------------------------------------
+    # Shared-buffer codec (the zero-copy worker payload path)
+    # ------------------------------------------------------------------
+    def packed_nbytes(self) -> int:
+        """Size in bytes of this graph's packed CSR image."""
+        return 8 * (
+            CSR_HEADER_WORDS + len(self.labels) + len(self.indptr) + len(self.indices)
+        )
+
+    def pack_into(self, buffer, generation: int = 0) -> int:
+        """Write the CSR image into ``buffer`` (any writable bytes-like).
+
+        Layout is the int64-word stream described by :data:`CSR_MAGIC` /
+        :data:`CSR_HEADER_WORDS`; ``generation`` is stamped into the
+        header so :meth:`unpack_from` can reject a stale segment.  The
+        buffer may be larger than :meth:`packed_nbytes` (shared-memory
+        segments are page-rounded); returns the bytes actually written.
+        """
+        try:
+            labels = array("q", self.labels)
+        except (TypeError, OverflowError) as error:
+            raise GraphError(
+                "packed CSR buffers require int64 vertex ids; "
+                "use the pickled payload for exotic labels"
+            ) from error
+        words = memoryview(buffer).cast("q")
+        try:
+            header = array(
+                "q", [CSR_MAGIC, generation, len(self.labels), len(self.indices)]
+            )
+            offset = 0
+            for chunk in (
+                header, labels, array("q", self.indptr), array("q", self.indices)
+            ):
+                words[offset : offset + len(chunk)] = memoryview(chunk)
+                offset += len(chunk)
+        finally:
+            words.release()  # do not pin the caller's mmap past the write
+        return offset * 8
+
+    @classmethod
+    def unpack_from(cls, buffer, generation: int | None = None) -> "CompactGraph":
+        """Rehydrate a graph from a packed CSR image, zero-copy.
+
+        ``indptr`` and ``indices`` stay ``memoryview`` slices over
+        ``buffer`` — nothing is copied but the label tuple — so for a
+        shared-memory segment every worker reads the same physical
+        pages.  The caller owns the buffer's lifetime and must keep it
+        mapped for as long as the returned graph is used.
+
+        Raises :class:`~repro.errors.StorageFormatError` when the buffer
+        does not hold a packed CSR image, and
+        :class:`~repro.errors.SharedMemoryError` when ``generation`` is
+        given and does not match the stamped one (a stale segment from an
+        earlier publication).
+        """
+        words = memoryview(buffer).cast("q")
+        try:
+            if len(words) < CSR_HEADER_WORDS or words[0] != CSR_MAGIC:
+                raise StorageFormatError("buffer does not hold a packed CSR graph")
+            stamped, n, nnz = words[1], words[2], words[3]
+            if generation is not None and stamped != generation:
+                raise SharedMemoryError(
+                    f"stale CSR segment: holds generation {stamped}, "
+                    f"expected {generation}"
+                )
+            if len(words) < CSR_HEADER_WORDS + 2 * n + 1 + nnz:
+                raise StorageFormatError(
+                    "packed CSR buffer truncated: header promises more words "
+                    "than the buffer holds"
+                )
+            base = CSR_HEADER_WORDS
+            labels = tuple(words[base : base + n])
+            indptr = words[base + n : base + 2 * n + 1]
+            indices = words[base + 2 * n + 1 : base + 2 * n + 1 + nnz]
+        except Exception:
+            words.release()  # a failed rehydrate must not pin the segment
+            raise
+        return cls(labels, indptr, indices)
+
     def _build_masks(self) -> list[int]:
         # Set bits in a bytearray first: per-neighbor work stays on small
         # ints, and one from_bytes call per vertex builds the big-int, so
@@ -218,4 +310,4 @@ class CompactGraph:
         )
 
 
-__all__ = ["CompactGraph"]
+__all__ = ["CSR_HEADER_WORDS", "CSR_MAGIC", "CompactGraph"]

@@ -7,14 +7,23 @@ arXiv:1807.09417), adapted to the paper's step-wise H*-graph recursion:
 * :mod:`repro.parallel.partition` — splits each step's work into
   per-vertex clique-tree subproblems and partition-aligned lifting
   batches;
-* :mod:`repro.parallel.executor` — runs chunks on a ``multiprocessing``
-  pool with per-worker trace files and chunk-granular fault recovery
-  (bounded retry, pool rebuild after worker death, inline degradation);
+* :mod:`repro.parallel.shm` — publishes each step's core-graph CSR
+  through one named shared-memory segment that workers attach
+  zero-copy (with crash-leftover sweeping);
+* :mod:`repro.parallel.scheduler` — :class:`ParallelEngine`, the
+  run-scoped owner of the persistent worker pool, the published
+  segment, and the task-grain policy (``coarse``/``fine``);
+* :mod:`repro.parallel.executor` — runs descriptor-addressed chunks on
+  the engine's pool with driver-mediated work stealing (split tails
+  requeue to idle workers), disk spooling for oversized results,
+  per-worker trace files and chunk-granular fault recovery (bounded
+  retry, pool rebuild after worker death, inline degradation);
 * :mod:`repro.parallel.merge` — reassembles worker results into the
-  exact stream the serial driver would produce (worker-count-invariant
-  by construction);
+  exact stream the serial driver would produce (worker-count- and
+  schedule-invariant by construction);
 * :mod:`repro.parallel.driver` — :class:`ParallelExtMCE`, the drop-in
-  driver wrapper wired to ``ExtMCEConfig.workers``.
+  driver wrapper wired to ``ExtMCEConfig.workers`` and
+  ``ExtMCEConfig.task_grain``.
 
 Quick start::
 
@@ -40,13 +49,27 @@ from repro.parallel.partition import (
     serialize_star,
     tree_tasks,
 )
+from repro.parallel.scheduler import (
+    GRAIN_POLICIES,
+    TASK_GRAINS,
+    ChunkPolicy,
+    GrainPolicy,
+    ParallelEngine,
+    validate_task_grain,
+)
+from repro.parallel.shm import sweep_stale_segments
 
 __all__ = [
+    "ChunkPolicy",
     "ExecutorStats",
+    "GRAIN_POLICIES",
+    "GrainPolicy",
     "LiftChunk",
     "LiftTask",
+    "ParallelEngine",
     "ParallelExtMCE",
     "StepExecutor",
+    "TASK_GRAINS",
     "TreeTask",
     "chunk_lift_tasks",
     "chunk_tree_tasks",
@@ -54,5 +77,7 @@ __all__ = [
     "merge_lift_results",
     "merge_tree_results",
     "serialize_star",
+    "sweep_stale_segments",
     "tree_tasks",
+    "validate_task_grain",
 ]

@@ -15,14 +15,21 @@ external-memory skeleton — and its correctness argument — untouched:
   directly; pages they read are folded back into the driver's I/O
   counters.
 
+The heavy machinery is run-scoped, not step-scoped: one
+:class:`~repro.parallel.scheduler.ParallelEngine` owns the persistent
+worker pool and publishes each step's core graph through a shared-memory
+segment (:mod:`repro.parallel.shm`), so steps pay only a segment pack
+and a handful of descriptor-sized ``apply_async`` calls — not a pool
+fork plus a pickled graph per worker.
+
 Everything order-sensitive stays serial in the driver: the global
 maximality hashtable (Section 4.3) is consulted and mutated only here,
 on a clique stream whose order is reconstructed by the merger to match
 the serial driver exactly.  Hence the headline guarantee, asserted by
 the test suite: *serial ExtMCE, ``workers=1``, and ``workers=4`` produce
-identical results in identical order*.
+identical results in identical order — at either task grain*.
 
-Worker telemetry: each worker writes its own trace file under the step
+Worker telemetry: each worker writes its own trace file under the run
 workdir; on run completion the per-worker streams are merged
 (:func:`repro.telemetry.merge_traces`) into the driver's main trace, so
 one JSONL file still tells the whole story.
@@ -41,28 +48,29 @@ from repro.core.clique_tree import assemble_clique_tree
 from repro.core.extmce import ExtMCE, ExtMCEConfig
 from repro.core.hstar import StarGraph
 from repro.parallel.executor import ExecutorStats, StepExecutor
-from repro.parallel.executor import _METRICS as executor_metrics
 from repro.parallel.merge import merge_lift_results, merge_tree_results
 from repro.parallel.partition import (
     chunk_lift_tasks,
     chunk_tree_tasks,
     lift_tasks,
-    serialize_star,
     tree_tasks,
 )
+from repro.parallel.scheduler import ParallelEngine
 from repro.storage.partitions import HnbPartitionStore
 
 Clique = frozenset
 
 
 class ParallelExtMCE(ExtMCE):
-    """ExtMCE with per-step worker-pool fan-out.
+    """ExtMCE with a persistent worker pool and per-step shm fan-out.
 
     Configure the worker count through
-    :attr:`~repro.core.extmce.ExtMCEConfig.workers`; ``workers=1`` (the
-    default) runs fully in-process and behaves exactly like the serial
-    driver.  All other knobs, the checkpoint/resume protocol, sinks and
-    reports are inherited unchanged.
+    :attr:`~repro.core.extmce.ExtMCEConfig.workers` and the scheduling
+    granularity through
+    :attr:`~repro.core.extmce.ExtMCEConfig.task_grain`; ``workers=1``
+    (the default) runs fully in-process and behaves exactly like the
+    serial driver.  All other knobs, the checkpoint/resume protocol,
+    sinks and reports are inherited unchanged.
 
     Examples
     --------
@@ -85,6 +93,7 @@ class ParallelExtMCE(ExtMCE):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
+        self._engine: ParallelEngine | None = None
         self._executor: StepExecutor | None = None
         self._worker_trace_dir: Path | None = None
         self._worker_metrics_dir: Path | None = None
@@ -92,9 +101,21 @@ class ParallelExtMCE(ExtMCE):
         #: Run-level accumulation of every step executor's recovery
         #: counters (retries, timeouts, rebuilds, inline fallbacks).
         self.executor_stats = ExecutorStats()
-        #: Pickled worker-payload size of the most recent parallel step;
-        #: the scaling bench reads this per worker-count/kernel row.
+        #: Pickled task-descriptor bytes shipped during the most recent
+        #: parallel step; the scaling bench reads this per row.  With
+        #: the shm path this is metadata, not graphs — the 10×-smaller
+        #: successor of the old per-worker pickled payload.
         self.last_payload_bytes = 0
+        #: Shared-memory bytes backing the most recent parallel step.
+        self.last_shm_bytes = 0
+        #: Run totals across all parallel steps.
+        self.payload_bytes_total = 0
+        self.shm_bytes_total = 0
+        self.tasks_split_total = 0
+        self.tasks_stolen_total = 0
+        self.spooled_chunks_total = 0
+        #: Crash-leftover segments removed by the engine's start sweep.
+        self.swept_segments: list[str] = []
 
     @property
     def workers(self) -> int:
@@ -102,32 +123,42 @@ class ParallelExtMCE(ExtMCE):
         return max(1, self._config.workers)
 
     # ------------------------------------------------------------------
-    # Step lifecycle: one executor (and one pool) per recursion step
+    # Engine lifecycle: one pool + one published segment per run
     # ------------------------------------------------------------------
+    def _ensure_engine(self, workdir: Path) -> ParallelEngine:
+        if self._engine is None:
+            if self._trace is not None:
+                self._worker_trace_dir = workdir / "worker_traces"
+            if metrics.enabled():
+                self._worker_metrics_dir = workdir / "worker_metrics"
+            self._engine = ParallelEngine(
+                self.workers,
+                task_grain=getattr(self._config, "task_grain", "fine"),
+                trace_dir=self._worker_trace_dir,
+                metrics_dir=self._worker_metrics_dir,
+                spool_dir=workdir / "worker_spool",
+            )
+            self.swept_segments = self._engine.swept_segments
+        return self._engine
+
     def _process_step(self, step, star, current, workdir, hashtable, step_start):
         if self.workers <= 1:
             yield from super()._process_step(
                 step, star, current, workdir, hashtable, step_start
             )
             return
-        if self._worker_trace_dir is None and self._trace is not None:
-            self._worker_trace_dir = workdir / "worker_traces"
-        if self._worker_metrics_dir is None and metrics.enabled():
-            self._worker_metrics_dir = workdir / "worker_metrics"
+        engine = self._ensure_engine(workdir)
         pool_started = time.perf_counter()
+        descriptor = engine.publish_star(star, self._config.kernel)
         with StepExecutor(
-            self.workers,
-            serialize_star(star, kernel=self._config.kernel),
-            trace_dir=self._worker_trace_dir,
+            engine,
+            descriptor,
             task_timeout=self.task_timeout_seconds,
             max_retries=self._config.max_retries,
             fault_plan=self._config.fault_plan,
             on_event=self._trace.emit if self._trace is not None else None,
-            metrics_dir=self._worker_metrics_dir,
         ) as executor:
             self._executor = executor
-            self.last_payload_bytes = executor.payload_bytes
-            executor_metrics().payload_bytes.inc(self.last_payload_bytes)
             try:
                 yield from super()._process_step(
                     step, star, current, workdir, hashtable, step_start
@@ -135,28 +166,47 @@ class ParallelExtMCE(ExtMCE):
             finally:
                 self._executor = None
                 self.executor_stats.merge(executor.stats)
+                self.last_payload_bytes = executor.payload_bytes
+                self.last_shm_bytes = executor.shm_bytes
+                self.payload_bytes_total += executor.payload_bytes
+                self.shm_bytes_total += executor.shm_bytes
+                self.tasks_split_total += executor.tasks_split
+                self.tasks_stolen_total += executor.tasks_stolen
+                self.spooled_chunks_total += executor.spooled_chunks
                 if executor.fell_back:
                     self.fallback_steps += 1
+                engine.retire_segment()
                 if self._trace is not None:
                     self._trace.emit(
                         "parallel_step_completed",
                         step=step,
                         workers=self.workers,
                         kernel=self._config.kernel,
+                        task_grain=engine.policy.name,
                         payload_bytes=self.last_payload_bytes,
+                        shm_bytes=self.last_shm_bytes,
+                        tasks_split=executor.tasks_split,
+                        tasks_stolen=executor.tasks_stolen,
+                        spooled_chunks=executor.spooled_chunks,
                         fell_back=executor.fell_back,
                         pool_elapsed=round(time.perf_counter() - pool_started, 6),
                         **executor.stats.to_dict(),
                     )
 
     def _drive(self, workdir: Path) -> Iterator[Clique]:
-        # Merge worker traces and metrics inside _drive's lifetime: the
-        # base class closes the main trace, writes the metrics snapshot,
-        # and may delete the workdir right after this generator finishes,
-        # so both fold-ins must happen first.
+        # Shut the engine down and merge worker traces and metrics inside
+        # _drive's lifetime: the base class closes the main trace, writes
+        # the metrics snapshot, and may delete the workdir right after
+        # this generator finishes, so all three must happen first.  The
+        # engine close also unlinks whatever segment is still published —
+        # the orderly half of the no-leaked-segments contract (the
+        # start-of-run sweep covers SIGKILL).
         try:
             yield from super()._drive(workdir)
         finally:
+            if self._engine is not None:
+                self._engine.close()
+                self._engine = None
             self._merge_worker_traces()
             self._merge_worker_metrics()
 
@@ -167,7 +217,10 @@ class ParallelExtMCE(ExtMCE):
         if self._executor is None or (step == 1 and self._first_step is not None):
             return super()._build_step_tree(step, star)
         tasks = tree_tasks(star)
-        chunks = chunk_tree_tasks(tasks, self.workers)
+        chunks = chunk_tree_tasks(
+            tasks, self.workers,
+            oversubscription=self._executor.engine.policy.oversubscription,
+        )
         results = self._executor.map_tree(chunks)
         star_cliques, core_maximal = merge_tree_results(tasks, results, star)
         tree = assemble_clique_tree(
@@ -190,7 +243,10 @@ class ParallelExtMCE(ExtMCE):
         """Phase-2 resolver: fan the spill partitions out to the pool."""
         assert self._executor is not None
         tasks = lift_tasks(ordered, store)
-        chunks = chunk_lift_tasks(tasks, store, self.workers)
+        chunks = chunk_lift_tasks(
+            tasks, store, self.workers,
+            oversubscription=self._executor.engine.policy.oversubscription,
+        )
         results = self._executor.map_lift(chunks)
         max_cliques_of, pages_read = merge_lift_results(tasks, results)
         io = store.io_stats

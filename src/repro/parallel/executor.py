@@ -1,44 +1,62 @@
-"""The worker pool: process management, serialization, per-chunk recovery.
+"""Step execution on the persistent pool: descriptors, stealing, recovery.
 
-One :class:`StepExecutor` lives for one recursion step (the worker-side
-state is the step's core graph, which changes every step).  It owns a
-``multiprocessing`` pool when ``workers > 1`` and recovers from failures
-at *chunk* granularity — the unit of loss is one chunk, never the step:
+One :class:`StepExecutor` lives for one recursion step, but the pool it
+uses belongs to the run-scoped
+:class:`~repro.parallel.scheduler.ParallelEngine` — workers stay warm
+across steps and receive the step's graph as a tiny *descriptor* (a
+shared-memory segment name + generation, or a pickled in-band payload
+when shm is unavailable) that they resolve through a per-process
+attachment cache.
 
-* a chunk that errors (worker raised, payload unpicklable) is retried up
-  to ``max_retries`` times on the pool, then recomputed inline;
+Scheduling is driver-mediated work stealing.  Chunks are submitted
+eagerly and harvested as they complete (not in submission order — the
+merge orders by task index, so completion order is free).  Under the
+``"fine"`` grain each chunk carries a split policy: a worker that has
+spent its time slice while the shared pending counter says the queue is
+dry stops, returns the finished prefix plus its unfinished tail, and the
+driver requeues the tail for whichever worker goes idle next.  Oversized
+result payloads are spooled to disk and only the file name travels back
+through the pool pipe.
+
+Recovery semantics are unchanged from the per-step-pool era — the unit
+of loss is one chunk, never the step:
+
+* a chunk that errors (worker raised, payload unpicklable, shm attach
+  failed) is retried up to ``max_retries`` times, then recomputed inline;
 * a chunk that times out marks the pool broken — ``multiprocessing.Pool``
-  never reports an abruptly dead worker, so the per-chunk
-  ``apply_async(...).get(timeout)`` *is* the death detector — the pool is
-  torn down and rebuilt (bounded), and only the unfinished chunks are
-  resubmitted;
-* when the pool cannot be (re)created at all, the executor degrades to
+  never reports an abruptly dead worker, so the per-chunk deadline *is*
+  the death detector — the engine's pool is rebuilt (bounded) and only
+  unfinished chunks are resubmitted;
+* when the pool cannot be (re)created, the executor degrades to
   in-process execution for everything still pending (``fell_back``).
 
-Tasks are pure functions of (payload, task), so recomputation is safe and
+Tasks are pure functions of (graph, task), so recomputation is safe and
 every recovery path yields results identical by construction; retries,
 rebuilds and inline fallbacks are counted in :class:`ExecutorStats` and
 surfaced through the ``on_event`` hook into the run's trace.
 
-An optional :class:`~repro.faults.FaultPlan` injects executor faults at
-submission time (operation ``"chunk"``): the driver wraps the submitted
-task with a directive the worker executes on arrival — kill yourself,
-raise, stall — so worker processes never need the plan object itself.
-Inline recomputation always runs the *raw* chunk: injection exercises the
-pool path, and degradation must converge to the correct answer.
+An optional :class:`~repro.faults.FaultPlan` injects faults at
+submission time (operations ``"chunk"`` and ``"shm"``): the driver wraps
+the submitted task with a directive the worker executes on arrival —
+kill yourself, raise, stall, fail the attach, validate a stale
+generation — so worker processes never hold the plan itself.  Inline
+recomputation always runs the *raw* chunk: injection exercises the pool
+path, and degradation must converge to the correct answer.
 
 Workers never share file handles with the driver: each worker process
-opens its own spill files (read-only) and its own trace file (append
-mode, flushed per event), which is what keeps parallel telemetry and
-partition I/O crash-safe.
+opens its own spill files (read-only), its own trace file (append mode,
+flushed per event), and its own spool files (write-temp-then-rename),
+which is what keeps parallel telemetry, partition I/O and result
+spooling crash-safe.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import pickle
 import signal
 import time
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from types import SimpleNamespace
@@ -46,8 +64,10 @@ from typing import TYPE_CHECKING, Callable
 
 from repro import metrics
 from repro.baselines.bron_kerbosch import tomita_maximal_cliques, tomita_subproblem
-from repro.errors import InjectedFaultError
+from repro.errors import InjectedFaultError, SharedMemoryError
 from repro.graph.adjacency import AdjacencyGraph
+from repro.parallel.scheduler import ChunkPolicy, ParallelEngine
+from repro.parallel.shm import attach_compact
 from repro.storage.pagestore import PAGE_SIZE_BYTES
 from repro.storage.partitions import read_partition_file
 
@@ -61,10 +81,13 @@ Clique = frozenset
 #: broken (their workers may have finished before the breakage).
 _SALVAGE_TIMEOUT_SECONDS = 0.05
 
-#: Executor metrics.  Chunk counts and latencies are observed in whatever
-#: process runs the chunk (worker registries are merged back into the
-#: driver's); the recovery counters mirror :class:`ExecutorStats` and are
-#: always driver-side.
+#: Idle-poll interval of the harvest loop when nothing is ready yet.
+_POLL_INTERVAL_SECONDS = 0.002
+
+#: Executor metrics.  Chunk counts, latencies and attach counts are
+#: observed in whatever process runs the chunk (worker registries are
+#: merged back into the driver's); the recovery and scheduling counters
+#: are always driver-side.
 _METRICS = metrics.bound(
     lambda registry: SimpleNamespace(
         chunks={
@@ -102,50 +125,142 @@ _METRICS = metrics.bound(
         ),
         payload_bytes=registry.counter(
             "repro_parallel_payload_bytes_total",
-            "pickled per-worker payload bytes shipped to pools",
+            "pickled task-descriptor bytes shipped through the pool",
+        ),
+        tasks_split=registry.counter(
+            "repro_parallel_tasks_split_total",
+            "chunks that returned an unfinished tail to the queue",
+        ),
+        tasks_stolen=registry.counter(
+            "repro_parallel_tasks_stolen_total",
+            "tasks requeued from split tails and run by another worker",
+        ),
+        queue_depth=registry.gauge(
+            "repro_parallel_queue_depth",
+            "chunks submitted or pending at the last scheduling decision",
+        ),
+        shm_attach=registry.counter(
+            "repro_parallel_shm_attach_total",
+            "worker attachments to shared-memory graph segments",
+        ),
+        spooled=registry.counter(
+            "repro_parallel_spooled_chunks_total",
+            "chunk results that travelled via the disk spool",
+        ),
+        spooled_bytes=registry.counter(
+            "repro_parallel_spooled_bytes_total",
+            "bytes of chunk results spooled to disk",
         ),
     )
 )
 
 
+class _GraphHandle:
+    """One resolved graph descriptor living in a worker's cache."""
+
+    __slots__ = ("token", "kernel", "compact", "graph", "shm")
+
+    def __init__(self, token, kernel, compact=None, graph=None, shm=None):
+        self.token = token
+        self.kernel = kernel
+        self.compact = compact
+        self.graph = graph
+        self.shm = shm
+
+    def release(self) -> None:
+        """Drop graph refs, then unmap the segment (order matters: the
+        CSR memoryviews pin the buffer until they are collected)."""
+        self.compact = None
+        self.graph = None
+        shm, self.shm = self.shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:  # a stray view still pins the buffer
+                pass
+
+
+def _load_graph(descriptor: dict) -> _GraphHandle:
+    """Resolve a descriptor into a usable graph (attach or rehydrate)."""
+    token = descriptor["token"]
+    kernel = descriptor.get("kernel", "set")
+    spec = descriptor.get("shm")
+    if spec is not None:
+        compact, shm = attach_compact(spec["name"], spec["generation"])
+        _METRICS().shm_attach.inc()
+        if kernel == "set":
+            # The set kernel wants dict-of-sets adjacency; copy out of
+            # the segment and release it immediately.
+            graph = compact.to_adjacency_graph()
+            del compact
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            return _GraphHandle(token, kernel, graph=graph)
+        return _GraphHandle(token, kernel, compact=compact, shm=shm)
+    payload = descriptor["inband"]
+    if kernel == "bitset":
+        from repro.kernel import CompactGraph
+
+        compact = CompactGraph.from_csr(
+            payload["labels"], payload["indptr"], payload["indices"]
+        )
+        return _GraphHandle(token, kernel, compact=compact)
+    graph = AdjacencyGraph.from_adjacency(
+        {v: neighbors for v, neighbors in payload["core_adjacency"].items()}
+    )
+    return _GraphHandle(token, kernel, graph=graph)
+
+
 class WorkerContext:
     """Per-process state installed by the pool initializer.
 
-    Holds the reconstructed core graph and (lazily) this worker's private
+    Holds the descriptor→graph attachment cache (one step's graph at a
+    time — a new token evicts the old attachment, unmapping its segment)
+    and, lazily, this worker's private
     :class:`~repro.telemetry.TraceWriter`.  The trace file is per-PID, so
     append-mode handles are never shared across processes; every event is
     flushed on emit, so a crashing worker still leaves a readable trace.
-
-    Two payload formats (see
-    :func:`repro.parallel.partition.serialize_star`): the ``"bitset"``
-    payload carries compact CSR arrays and rehydrates a
-    :class:`~repro.kernel.CompactGraph` without re-sorting anything; the
-    ``"set"`` payload carries the legacy dict-of-tuples adjacency and
-    rebuilds an :class:`AdjacencyGraph`.
     """
 
     def __init__(
         self,
-        payload: dict,
         trace_dir: str | None,
         metrics_dir: str | None = None,
+        pending=None,
     ) -> None:
-        self.kernel = payload.get("kernel", "set")
-        if self.kernel == "bitset":
-            from repro.kernel import CompactGraph
-
-            self.core_compact = CompactGraph.from_csr(
-                payload["labels"], payload["indptr"], payload["indices"]
-            )
-            self.core_graph = None
-        else:
-            self.core_compact = None
-            self.core_graph = AdjacencyGraph.from_adjacency(
-                {v: neighbors for v, neighbors in payload["core_adjacency"].items()}
-            )
+        self._handles: dict[str, _GraphHandle] = {}
         self._trace_dir = trace_dir
         self._trace = None
         self._metrics_dir = metrics_dir
+        self.pending = pending
+
+    def graph_for(self, descriptor: dict) -> _GraphHandle:
+        token = descriptor["token"]
+        handle = self._handles.get(token)
+        if handle is None:
+            for stale in self._handles.values():
+                stale.release()
+            self._handles.clear()
+            handle = _load_graph(descriptor)
+            self._handles[token] = handle
+        return handle
+
+    def release_graphs(self) -> None:
+        for handle in self._handles.values():
+            handle.release()
+        self._handles.clear()
+
+    def queue_is_dry(self) -> bool:
+        """Whether no submitted chunk is waiting for a worker."""
+        return self.pending is None or self.pending.value <= 0
+
+    def note_started(self) -> None:
+        """A chunk left the pool queue and started running here."""
+        if self.pending is not None:
+            with self.pending.get_lock():
+                self.pending.value -= 1
 
     def emit(self, event: str, **fields: object) -> None:
         if self._trace_dir is None:
@@ -184,7 +299,7 @@ _CONTEXT: WorkerContext | None = None
 
 
 def _init_worker(
-    payload: dict, trace_dir: str | None, metrics_dir: str | None = None
+    trace_dir: str | None, metrics_dir: str | None = None, pending=None
 ) -> None:
     global _CONTEXT
     if metrics_dir is not None:
@@ -200,13 +315,69 @@ def _init_worker(
         metrics.set_registry(registry)
     else:
         metrics.disable()
-    _CONTEXT = WorkerContext(payload, trace_dir, metrics_dir)
+    _CONTEXT = WorkerContext(trace_dir, metrics_dir, pending)
 
 
-def _run_tree_chunk(
-    chunk: "tuple[TreeTask, ...]",
-) -> list[tuple[int, tuple[tuple[int, ...], ...]]]:
-    """Solve one chunk of tree subproblems; results keyed by task index.
+def _solve_tree_task(handle: _GraphHandle, task: "TreeTask"):
+    if handle.kernel == "bitset":
+        from repro.kernel import maximal_cliques_bitset, subproblem_bitset
+
+        compact = handle.compact
+        if task.kind == "core":
+            return tuple(
+                tuple(sorted(clique))
+                for clique in subproblem_bitset(compact, task.vertex)
+            )
+        subset = compact.subset_mask(task.anchors)
+        return tuple(
+            tuple(sorted(clique))
+            for clique in maximal_cliques_bitset(compact, subset)
+        )
+    graph = handle.graph
+    if task.kind == "core":
+        return tuple(
+            tuple(sorted(clique)) for clique in tomita_subproblem(graph, task.vertex)
+        )
+    induced = graph.induced_subgraph(task.anchors)
+    return tuple(
+        tuple(sorted(clique)) for clique in tomita_maximal_cliques(induced)
+    )
+
+
+def _should_split(policy: ChunkPolicy, started: float, remaining: int) -> bool:
+    """Split iff the slice is spent, the queue is dry, and a tail exists."""
+    if policy.split_after_seconds is None or remaining < 1:
+        return False
+    if time.perf_counter() - started < policy.split_after_seconds:
+        return False
+    return _CONTEXT is not None and _CONTEXT.queue_is_dry()
+
+
+def _seal(phase: str, payload, remaining, policy: ChunkPolicy) -> dict:
+    """Wrap results in the envelope protocol, spooling oversized payloads.
+
+    The envelope is what travels back through the pool pipe:
+    ``{"results" | "spool", "remaining"}``.  Spooled payloads are written
+    atomically (temp + rename) so the driver either loads a complete
+    file or treats the chunk as failed and retries it.
+    """
+    envelope: dict = {"results": payload, "remaining": remaining, "spool": None}
+    if policy.spool_dir is not None:
+        data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(data) >= policy.spool_threshold:
+            name = f"chunk_{policy.chunk_id:08d}.pkl"
+            target = Path(policy.spool_dir) / name
+            tmp = target.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(data)
+            tmp.replace(target)
+            envelope["results"] = None
+            envelope["spool"] = name
+            envelope["spool_bytes"] = len(data)
+    return envelope
+
+
+def _run_tree_chunk(descriptor: dict, chunk, policy: ChunkPolicy) -> dict:
+    """Solve tree subproblems until done or split; results keyed by index.
 
     Clique vertex tuples are sorted, but the *list* order within a task
     preserves the pivoted enumeration order — the merger relies on task
@@ -214,71 +385,48 @@ def _run_tree_chunk(
     """
     assert _CONTEXT is not None, "worker used before initialization"
     results: list[tuple[int, tuple[tuple[int, ...], ...]]] = []
+    remaining: tuple = ()
     bundle = _METRICS()
     started = time.perf_counter()
     try:
-        if _CONTEXT.kernel == "bitset":
-            from repro.kernel import maximal_cliques_bitset, subproblem_bitset
-
-            compact = _CONTEXT.core_compact
-            for task in chunk:
-                if task.kind == "core":
-                    found = tuple(
-                        tuple(sorted(clique))
-                        for clique in subproblem_bitset(compact, task.vertex)
-                    )
-                else:
-                    subset = compact.subset_mask(task.anchors)
-                    found = tuple(
-                        tuple(sorted(clique))
-                        for clique in maximal_cliques_bitset(compact, subset)
-                    )
-                results.append((task.index, found))
-        else:
-            graph = _CONTEXT.core_graph
-            for task in chunk:
-                if task.kind == "core":
-                    found = tuple(
-                        tuple(sorted(clique))
-                        for clique in tomita_subproblem(graph, task.vertex)
-                    )
-                else:
-                    induced = graph.induced_subgraph(task.anchors)
-                    found = tuple(
-                        tuple(sorted(clique))
-                        for clique in tomita_maximal_cliques(induced)
-                    )
-                results.append((task.index, found))
+        handle = _CONTEXT.graph_for(descriptor)
+        for position, task in enumerate(chunk):
+            results.append((task.index, _solve_tree_task(handle, task)))
+            if _should_split(policy, started, len(chunk) - position - 1):
+                remaining = tuple(chunk[position + 1 :])
+                break
         bundle.chunks["tree"].inc()
         bundle.latency["tree"].observe(time.perf_counter() - started)
         _CONTEXT.emit(
             "tree_chunk_completed",
-            tasks=len(chunk),
+            tasks=len(results),
             cliques=sum(len(found) for _, found in results),
+            split_off=len(remaining),
         )
         _CONTEXT.flush_metrics()
     except Exception as error:
         _CONTEXT.emit("tree_chunk_failed", tasks=len(chunk), error=repr(error))
+        _CONTEXT.flush_metrics()
         raise
-    return results
+    return _seal("tree", results, remaining or None, policy)
 
 
-def _run_lift_chunk(
-    chunk: "LiftChunk",
-) -> tuple[list[tuple[int, tuple[tuple[int, ...], ...]]], int]:
-    """Resolve one chunk of ``HNB`` sets against the spill files.
+def _run_lift_chunk(descriptor: dict, chunk: "LiftChunk", policy: ChunkPolicy) -> dict:
+    """Resolve ``HNB`` sets against the spill files until done or split.
 
-    Returns the per-task ``maxCL`` lists plus the pages this worker read,
-    so the driver can fold worker I/O back into its metered totals.
+    The envelope payload is ``(per-task maxCL lists, pages read)`` so the
+    driver can fold worker I/O back into its metered totals.
     """
     assert _CONTEXT is not None, "worker used before initialization"
+    kernel = descriptor.get("kernel", "set")
     loaded: dict[int, dict[int, frozenset[int]]] = {}
     pages_read = 0
     results: list[tuple[int, tuple[tuple[int, ...], ...]]] = []
+    remaining = None
     bundle = _METRICS()
     started = time.perf_counter()
     try:
-        for task in chunk.tasks:
+        for position, task in enumerate(chunk.tasks):
             adjacency: dict[int, frozenset[int]] = {}
             for pindex in task.partition_indices:
                 if pindex not in loaded:
@@ -299,25 +447,35 @@ def _run_lift_chunk(
                     task.index,
                     tuple(
                         tuple(sorted(clique))
-                        for clique in tomita_maximal_cliques(
-                            induced, kernel=_CONTEXT.kernel
-                        )
+                        for clique in tomita_maximal_cliques(induced, kernel=kernel)
                     ),
                 )
             )
+            if _should_split(policy, started, len(chunk.tasks) - position - 1):
+                from repro.parallel.partition import LiftChunk as _LiftChunk
+
+                tail = chunk.tasks[position + 1 :]
+                needed = {p for task in tail for p in task.partition_indices}
+                remaining = _LiftChunk(
+                    tasks=tail,
+                    paths={p: chunk.paths[p] for p in sorted(needed)},
+                )
+                break
         bundle.chunks["lift"].inc()
         bundle.latency["lift"].observe(time.perf_counter() - started)
         _CONTEXT.emit(
             "lift_chunk_completed",
-            tasks=len(chunk.tasks),
+            tasks=len(results),
             partitions_loaded=len(loaded),
             pages_read=pages_read,
+            split_off=0 if remaining is None else len(remaining.tasks),
         )
         _CONTEXT.flush_metrics()
     except Exception as error:
         _CONTEXT.emit("lift_chunk_failed", tasks=len(chunk.tasks), error=repr(error))
+        _CONTEXT.flush_metrics()
         raise
-    return results, pages_read
+    return _seal("lift", (results, pages_read), remaining, policy)
 
 
 class _Poison:
@@ -333,11 +491,14 @@ class _Poison:
 def _dispatch_chunk(task):
     """Worker-side entry point: obey the fault directive, then run.
 
-    ``task`` is ``(directive, phase, chunk)``.  The directive is attached
-    driver-side by :meth:`StepExecutor._submit` so workers never hold a
-    :class:`~repro.faults.FaultPlan`; ``None`` means run normally.
+    ``task`` is ``(directive, phase, descriptor, chunk, policy)``.  The
+    directive is attached driver-side by :meth:`StepExecutor._submit` so
+    workers never hold a :class:`~repro.faults.FaultPlan`; ``None`` means
+    run normally.
     """
-    directive, phase, chunk = task
+    directive, phase, descriptor, chunk, policy = task
+    if _CONTEXT is not None:
+        _CONTEXT.note_started()
     if directive is not None:
         kind = directive[0]
         if kind == "worker_kill":
@@ -346,9 +507,24 @@ def _dispatch_chunk(task):
             raise InjectedFaultError("injected worker error")
         elif kind == "sleep":
             time.sleep(directive[1])
+        elif kind == "shm_attach_fail":
+            raise SharedMemoryError("injected shared-memory attach failure")
+        elif kind == "shm_stale":
+            spec = descriptor.get("shm")
+            if spec is None:
+                raise SharedMemoryError("injected stale shared-memory segment")
+            # Re-validate against a generation the segment cannot hold:
+            # exercises the real header check, raises SharedMemoryError.
+            doctored = {
+                "token": descriptor["token"] + "?stale",
+                "kernel": descriptor.get("kernel", "set"),
+                "shm": {**spec, "generation": spec["generation"] + 1},
+            }
+            assert _CONTEXT is not None
+            _CONTEXT.graph_for(doctored)
     if phase == "tree":
-        return _run_tree_chunk(chunk)
-    return _run_lift_chunk(chunk)
+        return _run_tree_chunk(descriptor, chunk, policy)
+    return _run_lift_chunk(descriptor, chunk, policy)
 
 
 @dataclass
@@ -359,7 +535,8 @@ class ExecutorStats:
     ``chunk_timeouts`` / ``chunk_errors`` classify the failures;
     ``pool_rebuilds`` counts pool teardown-and-recreate cycles;
     ``inline_chunks`` counts chunks that exhausted their retries and were
-    recomputed in-process.
+    recomputed in-process.  Scheduling activity (splits, steals, spools)
+    is *not* recovery and lives on the executor itself.
     """
 
     chunk_retries: int = 0
@@ -392,18 +569,41 @@ class ExecutorStats:
         return any(self.to_dict().values())
 
 
+class _Pending:
+    """One schedulable chunk: queue identity, payload, charged attempts."""
+
+    __slots__ = ("chunk_id", "chunk", "attempts", "stolen")
+
+    def __init__(self, chunk_id, chunk, attempts=0, stolen=False):
+        self.chunk_id = chunk_id
+        self.chunk = chunk
+        self.attempts = attempts
+        self.stolen = stolen
+
+
 class StepExecutor:
     """Run task chunks for one recursion step, in parallel if possible.
 
-    ``map_tree`` / ``map_lift`` return chunk results in submission order
-    regardless of completion order, so callers downstream see a
-    worker-count-independent stream — retries, pool rebuilds and inline
-    fallbacks never reorder or change results, only delay them.
+    ``map_tree`` / ``map_lift`` return one result payload per *executed*
+    chunk (splits included), unordered — callers merge by the global task
+    indices every result row carries, so the stream downstream is
+    worker-count- and schedule-independent: retries, splits, steals, pool
+    rebuilds and inline fallbacks never reorder or change results, only
+    delay them.
+
+    The first argument is either a live
+    :class:`~repro.parallel.scheduler.ParallelEngine` (the driver's,
+    shared across steps) or a worker count, in which case the executor
+    creates and owns a private engine — the construction path the unit
+    tests and ad-hoc callers use.  ``payload`` is likewise either a task
+    descriptor from :meth:`ParallelEngine.publish_star` or a raw
+    :func:`~repro.parallel.partition.serialize_star` dict, which is
+    wrapped as an in-band descriptor.
     """
 
     def __init__(
         self,
-        workers: int,
+        engine: "ParallelEngine | int",
         payload: dict,
         trace_dir: str | Path | None = None,
         task_timeout: float | None = None,
@@ -411,49 +611,64 @@ class StepExecutor:
         fault_plan: "FaultPlan | None" = None,
         on_event: Callable[..., None] | None = None,
         metrics_dir: str | Path | None = None,
+        spool_dir: str | Path | None = None,
+        spool_threshold: int | None = None,
     ) -> None:
-        self._workers = max(1, int(workers))
+        if isinstance(engine, ParallelEngine):
+            self._engine = engine
+            self._owns_engine = False
+        else:
+            self._engine = ParallelEngine(
+                int(engine),
+                trace_dir=trace_dir,
+                metrics_dir=metrics_dir,
+                spool_dir=spool_dir,
+            )
+            self._owns_engine = True
+        if "token" not in payload:
+            payload = {
+                "token": f"inband-step-{id(payload):x}",
+                "kernel": payload.get("kernel", "set"),
+                "inband": payload,
+            }
         self._payload = payload
-        self._trace_dir = str(trace_dir) if trace_dir is not None else None
-        self._metrics_dir = str(metrics_dir) if metrics_dir is not None else None
+        self._spool_threshold = spool_threshold
         self._task_timeout = task_timeout
         self._max_retries = max(0, int(max_retries))
         self._faults = fault_plan
         self._on_event = on_event
-        self._pool = None
         self._inline_context: WorkerContext | None = None
         # Lifetime cap on rebuilds: enough to outlast max_retries worth of
         # worker deaths, but bounded so a persistently hostile environment
         # degrades to inline execution instead of thrashing.
         self._max_rebuilds = max(3, self._max_retries + 1)
         self._rebuilds_used = 0
+        self._chunk_seq = 0
         self.stats = ExecutorStats()
-        self.fell_back = False
-        if self._workers > 1:
-            try:
-                self._pool = multiprocessing.Pool(
-                    processes=self._workers,
-                    initializer=_init_worker,
-                    initargs=(self._payload, self._trace_dir, self._metrics_dir),
-                )
-            except Exception:
-                self._pool = None
-                self.fell_back = True
+        #: Scheduling activity (not recovery — see ``ExecutorStats``).
+        self.tasks_split = 0
+        self.tasks_stolen = 0
+        self.spooled_chunks = 0
+        #: Accumulated pickled bytes of every task shipped to the pool —
+        #: with shm descriptors this is per-chunk metadata, not graphs.
+        self.payload_bytes = 0
+        self.fell_back = self._engine.workers > 1 and self._engine.pool is None
 
     @property
-    def payload_bytes(self) -> int:
-        """Pickled size of the per-worker payload — what each pool
-        process receives at initialization.  The benchmarks record this
-        for the CSR-vs-dict payload comparison."""
-        import pickle
+    def engine(self) -> ParallelEngine:
+        return self._engine
 
-        return len(pickle.dumps(self._payload))
+    @property
+    def shm_bytes(self) -> int:
+        """Bytes of the shared segment backing this step's descriptor."""
+        spec = self._payload.get("shm")
+        return 0 if spec is None else int(spec["nbytes"])
 
     # ------------------------------------------------------------------
     # Mapping
     # ------------------------------------------------------------------
     def map_tree(self, chunks):
-        """Run tree chunks; one result list per chunk, submission order."""
+        """Run tree chunks; one result list per executed chunk."""
         return self._map("tree", chunks)
 
     def map_lift(self, chunks):
@@ -463,51 +678,139 @@ class StepExecutor:
     def _map(self, phase, chunks):
         """Run every chunk to completion, whatever the pool does.
 
-        Round structure: submit all unfinished chunks, collect their
-        results in submission order, classify failures (retry, timeout →
-        pool rebuild, retries exhausted → inline), repeat until done.
-        The loop terminates because every failure either charges an
-        attempt against a chunk (bounded by ``max_retries`` before the
-        chunk goes inline) or consumes a pool rebuild (bounded by the
-        lifetime cap before the executor degrades to inline entirely).
+        Event-driven loop: submit everything pending, harvest whichever
+        handle completes first (split tails are requeued and picked up
+        by idle workers immediately), classify failures (retry, timeout
+        → pool rebuild, retries exhausted → inline).  The loop
+        terminates because every failure either charges an attempt
+        against a chunk (bounded by ``max_retries`` before the chunk
+        goes inline) or consumes a pool rebuild (bounded by the lifetime
+        cap before the executor degrades to inline entirely), and every
+        split strictly shrinks its chunk.
         """
-        chunks = list(chunks)
-        if not chunks:
+        pending: deque[_Pending] = deque(
+            _Pending(self._next_chunk_id(), chunk) for chunk in chunks
+        )
+        if not pending:
             return []
-        results: list = [None] * len(chunks)
-        done = [False] * len(chunks)
-        attempts = [0] * len(chunks)
-        while not all(done):
-            if self._pool is None:
-                for index, chunk in enumerate(chunks):
-                    if not done[index]:
-                        results[index] = self._run_chunk_inline(phase, chunk)
-                        done[index] = True
-                break
-            handles = []
+        collected: list = []
+        outstanding: dict[int, tuple] = {}  # chunk_id -> (handle, item, deadline)
+        bundle = _METRICS()
+        while pending or outstanding:
+            if self._engine.pool is None or self.fell_back:
+                self.fell_back = self.fell_back or self._engine.workers > 1
+                while pending:
+                    item = pending.popleft()
+                    collected.append(self._run_chunk_inline(phase, item.chunk))
+                continue  # outstanding is empty whenever the pool is gone
             submit_failed = False
-            for index, chunk in enumerate(chunks):
-                if done[index]:
-                    continue
-                handle = self._submit(phase, chunk)
+            while pending:
+                item = pending.popleft()
+                handle = self._submit(phase, item)
                 if handle is None:
+                    pending.appendleft(item)
                     submit_failed = True
                     break
-                handles.append((index, handle))
-            broken = self._collect(phase, handles, chunks, results, done, attempts)
-            if submit_failed or broken:
+                self._engine.add_pending(1)
+                deadline = (
+                    None
+                    if self._task_timeout is None
+                    else time.monotonic() + self._task_timeout
+                )
+                outstanding[item.chunk_id] = (handle, item, deadline)
+            bundle.queue_depth.set(len(outstanding) + len(pending))
+            if submit_failed:
+                self._salvage(phase, outstanding, pending, collected)
                 self._rebuild_pool()
-        return results
+                continue
+            progressed, broken = self._poll(phase, outstanding, pending, collected)
+            if broken:
+                self._salvage(phase, outstanding, pending, collected)
+                self._rebuild_pool()
+            elif not progressed:
+                time.sleep(_POLL_INTERVAL_SECONDS)
+        self._engine.reset_pending()
+        bundle.queue_depth.set(0)
+        return collected
 
-    def _submit(self, phase, chunk):
+    def _poll(self, phase, outstanding, pending, collected):
+        """One harvest pass; returns ``(progressed, pool_broken)``."""
+        progressed = False
+        now = time.monotonic()
+        for chunk_id in list(outstanding):
+            handle, item, deadline = outstanding[chunk_id]
+            if handle.ready():
+                del outstanding[chunk_id]
+                progressed = True
+                self._harvest(phase, item, handle, pending, collected)
+            elif deadline is not None and now >= deadline:
+                # The only way to learn a worker died mid-task: the pool
+                # never surfaces abrupt worker death, so the deadline is
+                # the death detector and it breaks the pool.
+                del outstanding[chunk_id]
+                self.stats.chunk_timeouts += 1
+                _METRICS().timeouts.inc()
+                self._emit("chunk_timeout", phase=phase, chunk_index=item.chunk_id)
+                self._fail(phase, item, pending, collected)
+                return progressed, True
+        return progressed, False
+
+    def _harvest(self, phase, item, handle, pending, collected):
+        """Unwrap one completed handle: envelope, spool, split tail."""
+        try:
+            envelope = handle.get(0)
+            payload = self._open_envelope(envelope)
+        except Exception as error:
+            self.stats.chunk_errors += 1
+            _METRICS().errors.inc()
+            self._emit(
+                "chunk_error", phase=phase, chunk_index=item.chunk_id,
+                error=repr(error),
+            )
+            self._fail(phase, item, pending, collected)
+            return
+        collected.append(payload)
+        remaining = envelope.get("remaining")
+        if remaining is not None:
+            stolen = (
+                len(remaining) if phase == "tree" else len(remaining.tasks)
+            )
+            self.tasks_split += 1
+            self.tasks_stolen += stolen
+            bundle = _METRICS()
+            bundle.tasks_split.inc()
+            bundle.tasks_stolen.inc(stolen)
+            self._emit(
+                "chunk_split", phase=phase, chunk_index=item.chunk_id,
+                tasks_stolen=stolen,
+            )
+            pending.append(_Pending(self._next_chunk_id(), remaining, stolen=True))
+
+    def _open_envelope(self, envelope):
+        """Extract the result payload, loading (and removing) spool files."""
+        name = envelope.get("spool")
+        if name is None:
+            return envelope["results"]
+        path = Path(self._engine.spool_dir) / name
+        data = path.read_bytes()
+        payload = pickle.loads(data)
+        path.unlink(missing_ok=True)
+        self.spooled_chunks += 1
+        bundle = _METRICS()
+        bundle.spooled.inc()
+        bundle.spooled_bytes.inc(len(data))
+        return payload
+
+    def _submit(self, phase, item):
         """Submit one chunk; returns ``None`` when the pool is unusable.
 
-        The fault plan is consulted here (operation ``"chunk"``), once per
-        submission — so a transient rule fires on the first attempt and
-        lets the retry through.
+        The fault plan is consulted here (operations ``"chunk"`` and —
+        when the graph travels through shared memory — ``"shm"``), once
+        per submission, so a transient rule fires on the first attempt
+        and lets the retry through.
         """
         directive = None
-        payload_chunk = chunk
+        payload_chunk = item.chunk
         if self._faults is not None:
             fault = self._faults.draw("chunk")
             if fault is not None:
@@ -516,110 +819,129 @@ class StepExecutor:
                 elif fault.kind == "worker_error":
                     directive = ("worker_error",)
                 elif fault.kind == "poison":
-                    payload_chunk = _Poison(chunk)
+                    payload_chunk = _Poison(item.chunk)
                 elif fault.kind in ("timeout", "latency"):
                     stall = fault.latency_seconds
                     if fault.kind == "timeout" and self._task_timeout is not None:
                         # Guarantee the stall outlasts the chunk deadline.
                         stall = max(stall, self._task_timeout * 4)
                     directive = ("sleep", stall)
-        try:
-            return self._pool.apply_async(
-                _dispatch_chunk, ((directive, phase, payload_chunk),)
+            if directive is None and self._payload.get("shm") is not None:
+                shm_fault = self._faults.draw(
+                    "shm", path=self._payload["shm"]["name"]
+                )
+                if shm_fault is not None:
+                    if shm_fault.kind == "attach_fail":
+                        directive = ("shm_attach_fail",)
+                    elif shm_fault.kind == "stale_segment":
+                        directive = ("shm_stale",)
+        policy = ChunkPolicy(
+            chunk_id=item.chunk_id,
+            split_after_seconds=self._engine.policy.split_after_seconds,
+            spool_dir=self._engine.spool_dir,
+        )
+        if self._spool_threshold is not None:
+            policy = ChunkPolicy(
+                chunk_id=policy.chunk_id,
+                split_after_seconds=policy.split_after_seconds,
+                spool_dir=policy.spool_dir,
+                spool_threshold=self._spool_threshold,
             )
+        task = (directive, phase, self._payload, payload_chunk, policy)
+        try:
+            shipped = len(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:  # injected poison payloads refuse to pickle
+            shipped = 0
+        try:
+            handle = self._engine.pool.apply_async(_dispatch_chunk, (task,))
         except Exception:
             return None
+        self.payload_bytes += shipped
+        _METRICS().payload_bytes.inc(shipped)
+        return handle
 
-    def _collect(self, phase, handles, chunks, results, done, attempts):
-        """Harvest submitted chunks; returns True if the pool is broken.
+    def _salvage(self, phase, outstanding, pending, collected):
+        """Give a broken pool's survivors one short grace window.
 
-        A timeout is the only way to learn a worker died mid-task
-        (``multiprocessing.Pool`` never surfaces abrupt worker death), so
-        it breaks the pool.  Chunks behind the breakage get one short
-        salvage window — their workers may have finished — and otherwise
-        go back to pending *without* being charged an attempt: they were
+        Chunks behind a breakage may have finished before it — harvest
+        whatever becomes ready within the window; everything else goes
+        back to pending *without* being charged an attempt: they were
         collateral, not the fault.
         """
-        broken = False
-        for index, handle in handles:
-            try:
-                results[index] = handle.get(
-                    _SALVAGE_TIMEOUT_SECONDS if broken else self._task_timeout
-                )
-                done[index] = True
-            except multiprocessing.TimeoutError:
-                if broken:
-                    continue
-                broken = True
-                self.stats.chunk_timeouts += 1
-                _METRICS().timeouts.inc()
-                self._emit("chunk_timeout", phase=phase, chunk_index=index)
-                self._fail(phase, index, chunks, results, done, attempts)
-            except Exception as error:
-                self.stats.chunk_errors += 1
-                _METRICS().errors.inc()
-                self._emit(
-                    "chunk_error", phase=phase, chunk_index=index, error=repr(error)
-                )
-                self._fail(phase, index, chunks, results, done, attempts)
-        return broken
+        deadline = time.monotonic() + _SALVAGE_TIMEOUT_SECONDS
+        while outstanding and time.monotonic() < deadline:
+            for chunk_id in list(outstanding):
+                handle, item, _ = outstanding[chunk_id]
+                if handle.ready():
+                    del outstanding[chunk_id]
+                    self._harvest(phase, item, handle, pending, collected)
+            if outstanding:
+                time.sleep(_POLL_INTERVAL_SECONDS)
+        for handle, item, _ in outstanding.values():
+            pending.append(item)
+        outstanding.clear()
 
-    def _fail(self, phase, index, chunks, results, done, attempts):
+    def _fail(self, phase, item, pending, collected):
         """Charge a failed attempt; retry on the pool or degrade inline."""
-        attempts[index] += 1
-        if attempts[index] > self._max_retries:
+        item.attempts += 1
+        if item.attempts > self._max_retries:
             self.stats.inline_chunks += 1
             _METRICS().inline.inc()
             self._emit(
                 "chunk_inline_fallback",
                 phase=phase,
-                chunk_index=index,
-                attempts=attempts[index],
+                chunk_index=item.chunk_id,
+                attempts=item.attempts,
             )
-            results[index] = self._run_chunk_inline(phase, chunks[index])
-            done[index] = True
+            collected.append(self._run_chunk_inline(phase, item.chunk))
         else:
             self.stats.chunk_retries += 1
             _METRICS().retries.inc()
             self._emit(
-                "chunk_retry", phase=phase, chunk_index=index, attempt=attempts[index]
+                "chunk_retry", phase=phase, chunk_index=item.chunk_id,
+                attempt=item.attempts,
             )
+            pending.append(item)
 
     def _rebuild_pool(self) -> None:
-        """Tear down the broken pool and build a fresh one (bounded)."""
-        self._terminate()
+        """Have the engine replace its broken pool (bounded per step)."""
         if self._rebuilds_used >= self._max_rebuilds:
+            self._engine.stop_pool(terminate=True)
             self.fell_back = True
             self._emit("executor_degraded", reason="pool rebuild limit reached")
             return
         self._rebuilds_used += 1
-        try:
-            self._pool = multiprocessing.Pool(
-                processes=self._workers,
-                initializer=_init_worker,
-                initargs=(self._payload, self._trace_dir, self._metrics_dir),
-            )
+        if self._engine.rebuild_pool():
             self.stats.pool_rebuilds += 1
             _METRICS().rebuilds.inc()
             self._emit("pool_rebuild", rebuilds=self._rebuilds_used)
-        except Exception:
-            self._pool = None
+        else:
             self.fell_back = True
             self._emit("executor_degraded", reason="pool recreation failed")
 
     def _run_chunk_inline(self, phase, chunk):
-        """Recompute one raw chunk in-process (no fault directives)."""
+        """Recompute one raw chunk in-process (no fault directives).
+
+        The inline context resolves the same descriptor the workers see
+        — attaching the shared segment in-driver when one is published —
+        and never splits or spools (``ChunkPolicy`` defaults).
+        """
         global _CONTEXT
         if self._inline_context is None:
-            self._inline_context = WorkerContext(self._payload, self._trace_dir)
+            self._inline_context = WorkerContext(self._engine.trace_dir)
         previous = _CONTEXT
         _CONTEXT = self._inline_context
+        policy = ChunkPolicy(chunk_id=self._next_chunk_id())
         try:
             if phase == "tree":
-                return _run_tree_chunk(chunk)
-            return _run_lift_chunk(chunk)
+                return _run_tree_chunk(self._payload, chunk, policy)["results"]
+            return _run_lift_chunk(self._payload, chunk, policy)["results"]
         finally:
             _CONTEXT = previous
+
+    def _next_chunk_id(self) -> int:
+        self._chunk_seq += 1
+        return self._chunk_seq
 
     def _emit(self, event: str, **fields: object) -> None:
         if self._on_event is not None:
@@ -629,25 +951,21 @@ class StepExecutor:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down (idempotent); workers exit and the OS
-        closes their trace handles — every event was already flushed."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-
-    def _terminate(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Release step-scoped state; shuts the engine down only when
+        this executor created it (shared engines outlive their steps)."""
+        if self._inline_context is not None:
+            self._inline_context.release_graphs()
+            self._inline_context = None
+        if self._owns_engine:
+            self._engine.close()
 
     def __enter__(self) -> "StepExecutor":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        if exc_info and exc_info[0] is not None:
-            self._terminate()
+        if exc_info and exc_info[0] is not None and self._owns_engine:
+            self._engine.close(terminate=True)
+            self._inline_context = None
         else:
             self.close()
 

@@ -102,17 +102,25 @@ def tree_tasks(star: StarGraph) -> list[TreeTask]:
     return tasks
 
 
-def chunk_tree_tasks(tasks: list[TreeTask], workers: int) -> list[tuple[TreeTask, ...]]:
-    """Stripe tree tasks round-robin into ``OVERSUBSCRIPTION * workers``
+def chunk_tree_tasks(
+    tasks: list[TreeTask],
+    workers: int,
+    oversubscription: int = OVERSUBSCRIPTION,
+) -> list[tuple[TreeTask, ...]]:
+    """Stripe tree tasks round-robin into ``oversubscription * workers``
     chunks.
 
     Striping (rather than contiguous slicing) spreads the expensive
     low-id core subproblems — whose subtrees are largest because they own
     every clique their vertex minimizes — across chunks.
+    ``oversubscription`` comes from the engine's
+    :class:`~repro.parallel.scheduler.GrainPolicy`: the fine grain cuts
+    more, smaller chunks so the work-stealing scheduler has something to
+    steal.
     """
     if not tasks:
         return []
-    num_chunks = min(len(tasks), OVERSUBSCRIPTION * max(1, workers))
+    num_chunks = min(len(tasks), max(1, oversubscription) * max(1, workers))
     chunks: list[list[TreeTask]] = [[] for _ in range(num_chunks)]
     for position, task in enumerate(tasks):
         chunks[position % num_chunks].append(task)
@@ -143,6 +151,7 @@ def chunk_lift_tasks(
     tasks: list[LiftTask],
     store: "HnbPartitionStore",
     workers: int,
+    oversubscription: int = OVERSUBSCRIPTION,
 ) -> list[LiftChunk]:
     """Slice lift tasks contiguously into balanced chunks.
 
@@ -153,7 +162,7 @@ def chunk_lift_tasks(
     if not tasks:
         return []
     paths = [str(path) for path in store.partition_paths()]
-    num_chunks = min(len(tasks), OVERSUBSCRIPTION * max(1, workers))
+    num_chunks = min(len(tasks), max(1, oversubscription) * max(1, workers))
     total_cost = sum(1 + len(task.shared) for task in tasks)
     target = max(1, total_cost // num_chunks)
     chunks: list[LiftChunk] = []
@@ -193,6 +202,12 @@ def _seal_lift_chunk(tasks: list[LiftTask], paths: list[str]) -> LiftChunk:
 
 def serialize_star(star: StarGraph, kernel: str = "bitset") -> dict:
     """A picklable snapshot of the parts of a star graph workers need.
+
+    This is the *in-band fallback* wire format: the primary path
+    publishes the core CSR through a shared-memory segment
+    (:meth:`~repro.parallel.scheduler.ParallelEngine.publish_star`) and
+    ships only a descriptor.  The pickled payload remains for hosts
+    without usable shared memory and for labels the int64 codec rejects.
 
     Only the *core* adjacency travels: core tasks run inside ``G_H`` and
     anchor tasks inside induced subgraphs of it.  Periphery neighbor

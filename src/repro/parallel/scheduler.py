@@ -1,0 +1,307 @@
+"""The persistent parallel engine: one pool and one graph segment per run.
+
+The old executor rebuilt a ``multiprocessing.Pool`` *per recursion step*
+and shipped every worker a pickled copy of the step's core graph at pool
+initialization — fixed costs that swamped the parallelism
+(``BENCH_parallel.json`` recorded 0.5× "speedups").  The
+:class:`ParallelEngine` inverts both:
+
+* **one pool per run** — workers fork once, stay warm across steps, and
+  receive work through plain ``apply_async`` calls;
+* **one shared-memory segment per step** — the driver publishes the
+  step's :class:`~repro.kernel.CompactGraph` CSR once
+  (:mod:`repro.parallel.shm`), and tasks carry only a tiny *descriptor*
+  (segment name + generation + kernel) that workers resolve against a
+  per-process attachment cache.
+
+Task granularity is a policy, not a constant: ``"coarse"`` reproduces
+the old static oversubscribed chunking, ``"fine"`` cuts smaller chunks
+*and* arms the worker-side split protocol — a worker that has already
+spent its time slice on a chunk while the shared pending counter says
+the queue is dry returns its unfinished tail to the driver, which
+requeues it for whichever worker is idle (work stealing with the driver
+as the queue).  Both grains produce byte-identical streams: the merge
+orders by task index, never by schedule.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro import metrics
+from repro.errors import GraphError, ReproError
+from repro.parallel import shm as shm_mod
+from repro.parallel.partition import serialize_star
+
+#: Supported task-granularity policies.
+TASK_GRAINS = ("coarse", "fine")
+
+#: Results bigger than this are spooled to disk instead of travelling
+#: through the pool's result pipe (see ``ChunkPolicy.spool_threshold``).
+SPOOL_THRESHOLD_BYTES = 1 << 20
+
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        shm_bytes=registry.counter(
+            "repro_parallel_shm_bytes_total",
+            "bytes published through shared-memory graph segments",
+        ),
+        segments=registry.counter(
+            "repro_parallel_shm_segments_total",
+            "shared-memory graph segments published",
+        ),
+        swept=registry.counter(
+            "repro_parallel_shm_segments_swept_total",
+            "stale crash-leftover segments removed at engine start",
+        ),
+        inband=registry.counter(
+            "repro_parallel_inband_payloads_total",
+            "steps that fell back to the pickled in-band graph payload",
+        ),
+    )
+)
+
+
+def validate_task_grain(grain: str) -> str:
+    """Return ``grain`` if supported, else raise ``ReproError``."""
+    if grain not in TASK_GRAINS:
+        raise ReproError(
+            f"unknown task grain {grain!r}; choose from {TASK_GRAINS}"
+        )
+    return grain
+
+
+@dataclass(frozen=True)
+class GrainPolicy:
+    """How one task-grain setting decomposes and rebalances work.
+
+    ``oversubscription`` scales the initial chunk count (chunks per
+    worker); ``split_after_seconds`` is the worker-side time slice after
+    which a chunk holding ≥ 2 unfinished tasks may hand its tail back to
+    the driver — ``None`` disarms splitting entirely.
+    """
+
+    name: str
+    oversubscription: int
+    split_after_seconds: float | None
+
+
+GRAIN_POLICIES = {
+    "coarse": GrainPolicy("coarse", oversubscription=4, split_after_seconds=None),
+    "fine": GrainPolicy("fine", oversubscription=8, split_after_seconds=0.05),
+}
+
+
+@dataclass(frozen=True)
+class ChunkPolicy:
+    """Per-submission execution policy shipped alongside each chunk.
+
+    Everything a worker needs to decide splitting and spooling without
+    holding any engine state: the chunk's queue identity, the split time
+    slice (``None`` = never split), and where/when to spool oversized
+    result payloads.
+    """
+
+    chunk_id: int
+    split_after_seconds: float | None = None
+    spool_dir: str | None = None
+    spool_threshold: int = SPOOL_THRESHOLD_BYTES
+
+
+class ParallelEngine:
+    """Run-scoped pool + segment owner shared by every step's executor.
+
+    Construction sweeps crash-leftover segments, creates the worker pool
+    eagerly (``workers > 1``), and allocates the shared pending counter
+    the split protocol reads.  :meth:`close` is idempotent and always
+    unlinks whatever segment is still published — the driver calls it
+    from the ``finally`` of the run generator, and the start-of-run
+    sweep covers the paths where even that never executes.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        task_grain: str = "fine",
+        trace_dir: str | Path | None = None,
+        metrics_dir: str | Path | None = None,
+        spool_dir: str | Path | None = None,
+        sweep: bool = True,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.policy = GRAIN_POLICIES[validate_task_grain(task_grain)]
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        self.metrics_dir = str(metrics_dir) if metrics_dir is not None else None
+        self.spool_dir = str(spool_dir) if spool_dir is not None else None
+        for directory in (self.trace_dir, self.metrics_dir, self.spool_dir):
+            if directory is not None:
+                Path(directory).mkdir(parents=True, exist_ok=True)
+        self.swept_segments: list[str] = (
+            shm_mod.sweep_stale_segments() if sweep else []
+        )
+        if self.swept_segments:
+            _METRICS().swept.inc(len(self.swept_segments))
+        self._segment: shm_mod.StarSegment | None = None
+        self._generation = 0
+        self._descriptor_seq = 0
+        self.shm_bytes_total = 0
+        self.inband_payloads = 0
+        self._pool = None
+        self._pending = None
+        self._closed = False
+        if self.workers > 1:
+            self._pending = multiprocessing.Value("l", 0)
+            self._pool = self._create_pool()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self):
+        """The live pool, or ``None`` (workers == 1, or creation failed)."""
+        return self._pool
+
+    def _create_pool(self):
+        from repro.parallel.executor import _init_worker
+
+        try:
+            # Start the shared-memory resource tracker *before* forking:
+            # workers must inherit the driver's tracker fd, or each one
+            # lazily spawns a private tracker whose register-on-attach is
+            # never balanced by the driver's unregister-on-unlink and
+            # warns about "leaked" (already unlinked) segments at exit.
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        try:
+            return multiprocessing.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.trace_dir, self.metrics_dir, self._pending),
+            )
+        except Exception:
+            return None
+
+    def rebuild_pool(self) -> bool:
+        """Tear down a broken pool and start fresh; True on success."""
+        self.stop_pool(terminate=True)
+        self.reset_pending()
+        self._pool = self._create_pool()
+        return self._pool is not None
+
+    def stop_pool(self, terminate: bool = False) -> None:
+        """Shut the pool down without ending the engine (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if terminate:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+
+    # ------------------------------------------------------------------
+    # Pending-task counter (the split protocol's "is the queue dry" signal)
+    # ------------------------------------------------------------------
+    def add_pending(self, count: int) -> None:
+        """Record ``count`` chunks newly sitting in the pool queue."""
+        if self._pending is not None:
+            with self._pending.get_lock():
+                self._pending.value += count
+
+    def reset_pending(self, value: int = 0) -> None:
+        if self._pending is not None:
+            with self._pending.get_lock():
+                self._pending.value = value
+
+    # ------------------------------------------------------------------
+    # Graph publication
+    # ------------------------------------------------------------------
+    def publish_star(self, star, kernel: str) -> dict:
+        """Publish a step's core graph; returns the task descriptor.
+
+        Zero-copy path: pack ``star.core_compact()`` into a fresh
+        segment (retiring the previous step's).  Any failure — no shared
+        memory on this host, labels the int64 codec rejects — degrades
+        to the pickled in-band payload, identical to the legacy wire
+        format, so enumeration never depends on shm availability.
+        """
+        self.retire_segment()
+        self._generation += 1
+        self._descriptor_seq += 1
+        try:
+            segment = shm_mod.export_star(star.core_compact(), self._generation)
+        except (ReproError, GraphError, OSError, ValueError):
+            self.inband_payloads += 1
+            _METRICS().inband.inc()
+            return {
+                "token": f"inband-{self._descriptor_seq}",
+                "kernel": kernel,
+                "inband": serialize_star(star, kernel=kernel),
+            }
+        self._segment = segment
+        self.shm_bytes_total += segment.nbytes
+        bundle = _METRICS()
+        bundle.shm_bytes.inc(segment.nbytes)
+        bundle.segments.inc()
+        return {
+            "token": segment.name,
+            "kernel": kernel,
+            "shm": {
+                "name": segment.name,
+                "generation": segment.generation,
+                "nbytes": segment.nbytes,
+            },
+        }
+
+    def retire_segment(self) -> None:
+        """Unlink the currently published segment (idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            segment.unlink()
+
+    @property
+    def current_segment(self) -> shm_mod.StarSegment | None:
+        return self._segment
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, terminate: bool = False) -> None:
+        """Stop the pool, unlink the segment, drop the spool directory."""
+        if self._closed:
+            return
+        self._closed = True
+        self.stop_pool(terminate=terminate)
+        self.retire_segment()
+        if self.spool_dir is not None:
+            shutil.rmtree(self.spool_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(terminate=exc_info and exc_info[0] is not None)
+
+    def __del__(self) -> None:  # last-ditch cleanup; sweep covers the rest
+        try:
+            self.close(terminate=True)
+        except Exception:
+            pass
+
+
+__all__ = [
+    "GRAIN_POLICIES",
+    "ChunkPolicy",
+    "GrainPolicy",
+    "ParallelEngine",
+    "SPOOL_THRESHOLD_BYTES",
+    "TASK_GRAINS",
+    "validate_task_grain",
+]

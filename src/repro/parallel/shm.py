@@ -1,0 +1,190 @@
+"""Shared-memory publication of the per-step core graph.
+
+One named ``multiprocessing.shared_memory`` segment per recursion step
+holds the :class:`~repro.kernel.CompactGraph` CSR image (see the codec in
+:mod:`repro.kernel.compact`): the driver packs it once, workers attach
+zero-copy and read the same physical pages, and the task descriptors
+shipped through the pool shrink to a segment name plus a generation
+stamp.  This replaces the pickled per-worker graph payload that made the
+old engine slower than serial.
+
+Naming and cleanup protocol
+---------------------------
+Segment names are ``repro-shm-<creator pid>-<seq>-<nonce>``.  Embedding
+the creator's pid makes crash leftovers attributable: a segment whose
+creator is gone is garbage by definition, and
+:func:`sweep_stale_segments` (run at engine start) removes exactly
+those.  On orderly shutdown the driver unlinks its own segments; the
+sweep is the safety net for the SIGKILL path where no ``finally`` ever
+runs.
+
+CPython's ``resource_tracker`` interplay: under the ``fork`` start
+method every process in the tree shares one tracker daemon whose cache
+is a per-name set, so the driver's create and each worker's attach all
+register the same name idempotently, and the driver's ``unlink`` sends
+the single balancing unregister.  Nothing here unregisters manually —
+a second unregister for the same name crashes the tracker loop — and
+the tracker doubles as a second line of crash cleanup behind
+:func:`sweep_stale_segments`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import secrets
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+from repro.errors import SharedMemoryError, StorageFormatError
+from repro.kernel.compact import CompactGraph
+
+#: Prefix of every segment this engine creates (the sweep glob).
+SEGMENT_PREFIX = "repro-shm-"
+
+#: Where POSIX shared memory appears as files on Linux.
+_SHM_DIR = "/dev/shm"
+
+_NAME_PATTERN = re.compile(
+    re.escape(SEGMENT_PREFIX) + r"(?P<pid>\d+)-\d+-[0-9a-f]+$"
+)
+
+_SEQUENCE = 0
+
+
+def _next_name() -> str:
+    global _SEQUENCE
+    _SEQUENCE += 1
+    return f"{SEGMENT_PREFIX}{os.getpid()}-{_SEQUENCE}-{secrets.token_hex(3)}"
+
+
+@dataclass
+class StarSegment:
+    """A published core graph: one shared-memory segment, driver-owned."""
+
+    name: str
+    nbytes: int
+    generation: int
+    _shm: shared_memory.SharedMemory = field(repr=False)
+    _closed: bool = field(default=False, repr=False)
+
+    def close(self) -> None:
+        """Unmap the driver's view (idempotent; does not unlink)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._shm.close()
+            except BufferError:  # a live CompactGraph view still holds it
+                self._closed = False
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (idempotent)."""
+        self.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def export_star(compact: CompactGraph, generation: int) -> StarSegment:
+    """Pack ``compact`` into a fresh named segment and return it.
+
+    Raises ``OSError`` when shared memory is unavailable (no ``/dev/shm``,
+    exhausted quota) and :class:`~repro.errors.GraphError` for labels the
+    int64 codec cannot hold — callers fall back to the pickled in-band
+    payload on either.
+    """
+    nbytes = max(compact.packed_nbytes(), 8)
+    name = _next_name()
+    shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+    try:
+        compact.pack_into(shm.buf, generation)
+    except Exception:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+    return StarSegment(name=name, nbytes=nbytes, generation=generation, _shm=shm)
+
+
+def attach_compact(
+    name: str, generation: int
+) -> tuple[CompactGraph, shared_memory.SharedMemory]:
+    """Attach a published segment and rehydrate its graph, zero-copy.
+
+    The returned graph's CSR arrays are views over the segment; the
+    caller must keep the returned handle open (and drop the graph before
+    closing it).  Missing segments, foreign buffers and generation
+    mismatches all raise :class:`~repro.errors.SharedMemoryError` so the
+    executor's chunk-recovery machinery treats them like any other chunk
+    failure.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError) as error:
+        raise SharedMemoryError(
+            f"cannot attach shared-memory segment {name!r}: {error}"
+        ) from error
+    try:
+        compact = CompactGraph.unpack_from(shm.buf, generation)
+    except (SharedMemoryError, StorageFormatError):
+        shm.close()
+        raise
+    except Exception as error:
+        shm.close()
+        raise SharedMemoryError(
+            f"segment {name!r} does not hold a readable CSR image: {error}"
+        ) from error
+    return compact, shm
+
+
+def sweep_stale_segments() -> list[str]:
+    """Remove ``repro-shm-*`` segments whose creator process is gone.
+
+    Crash leftovers only: a segment is swept iff its embedded creator
+    pid no longer exists (or is unsignalable and not ours).  Live
+    engines in other processes keep their segments.  Returns the names
+    removed; silently returns ``[]`` on hosts without a ``/dev/shm``
+    file view.
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    swept: list[str] = []
+    for entry in entries:
+        match = _NAME_PATTERN.match(entry)
+        if match is None:
+            continue
+        pid = int(match.group("pid"))
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, entry))
+            swept.append(entry)
+        except OSError:
+            continue
+    return swept
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    except OSError:
+        return True
+    return True
+
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "StarSegment",
+    "attach_compact",
+    "export_star",
+    "sweep_stale_segments",
+]

@@ -40,6 +40,7 @@ def run_enumeration(
     *,
     kernel: str = "bitset",
     workers: int = 1,
+    task_grain: str = "fine",
     verify_checksums: bool = True,
     trace: bool = False,
 ) -> RunResult:
@@ -60,6 +61,7 @@ def run_enumeration(
         config = ExtMCEConfig(
             workdir=workdir,
             workers=workers,
+            task_grain=task_grain,
             kernel=kernel,
             verify_checksums=verify_checksums,
             metrics_path=workdir / "metrics.json",

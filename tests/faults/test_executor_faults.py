@@ -130,6 +130,53 @@ class TestPoisonPayload:
         assert errors and all("chunk_index" in f for f in errors)
 
 
+class TestShmFaults:
+    """The "shm" site: attach failures and stale segments are chunk errors."""
+
+    def _run_on_shm(self, star, plan, events):
+        from repro.parallel.scheduler import ParallelEngine
+
+        with ParallelEngine(2) as engine:
+            descriptor = engine.publish_star(star, "set")
+            assert "shm" in descriptor, "shm publication should succeed on Linux"
+            with StepExecutor(
+                engine, descriptor, fault_plan=plan, on_event=events
+            ) as executor:
+                star_cliques, _ = run_tree(executor, star)
+                stats = executor.stats
+                fell_back = executor.fell_back
+        return star_cliques, stats, fell_back
+
+    def test_attach_failure_is_retried(self, star, events):
+        plan = FaultPlan([FaultRule("shm", "attach_fail")])
+        star_cliques, stats, fell_back = self._run_on_shm(star, plan, events)
+        assert stats.chunk_errors == 1
+        assert stats.chunk_retries == 1
+        assert stats.inline_chunks == 0
+        assert not fell_back
+        assert cliques_of(star_cliques) == expected_cliques(star)
+        names = [name for name, _ in events.log]
+        assert "chunk_error" in names and "chunk_retry" in names
+
+    def test_stale_segment_is_retried(self, star, events):
+        plan = FaultPlan([FaultRule("shm", "stale_segment")])
+        star_cliques, stats, fell_back = self._run_on_shm(star, plan, events)
+        assert stats.chunk_errors == 1
+        assert stats.chunk_retries == 1
+        assert not fell_back
+        assert cliques_of(star_cliques) == expected_cliques(star)
+
+    def test_shm_faults_never_fire_on_inband_payloads(self, star, events):
+        plan = FaultPlan([FaultRule("shm", "attach_fail", max_firings=None)])
+        with StepExecutor(
+            2, serialize_star(star), fault_plan=plan, on_event=events
+        ) as executor:
+            star_cliques, _ = run_tree(executor, star)
+            assert not executor.stats.any_recovery
+        assert cliques_of(star_cliques) == expected_cliques(star)
+        assert events.log == []
+
+
 class TestTelemetryShape:
     def test_no_faults_no_events(self, star, events):
         with StepExecutor(

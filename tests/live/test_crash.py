@@ -47,6 +47,7 @@ COMPACTION_CHILD = textwrap.dedent(
 
 APPEND_CHILD = textwrap.dedent(
     """
+    import os
     import sys
 
     from repro.live.deltas import ADD, CliqueDelta
@@ -59,8 +60,11 @@ APPEND_CHILD = textwrap.dedent(
     vertex = 1000
     while True:
         store.apply_deltas([CliqueDelta(ADD, (vertex, vertex + 1))])
-        with open(directory + "/ACKED", "w") as acked:
+        # Publish the marker atomically: a SIGKILL between truncate and
+        # write would otherwise leave an empty ACKED for the parent.
+        with open(directory + "/ACKED.tmp", "w") as acked:
             acked.write(str(vertex))
+        os.replace(directory + "/ACKED.tmp", directory + "/ACKED")
         vertex += 2
     """
 )
