@@ -140,6 +140,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="buffer-pool page cache capacity per index file")
     serve.add_argument("--timeout", type=float, default=None,
                        help="default per-query timeout in seconds")
+    serve.add_argument("--max-in-flight", type=int, default=64,
+                       help="admission limit: requests past this many "
+                            "concurrently executing queries are shed with a "
+                            "typed overloaded reply")
+    serve.add_argument("--max-request-bytes", type=int, default=1 << 20,
+                       help="request lines longer than this are rejected with "
+                            "a typed error instead of buffered")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="SIGTERM grace: seconds to wait for in-flight "
+                            "requests before closing")
     serve.add_argument("--metrics-out", type=Path,
                        help="write a metrics snapshot here on shutdown")
 
@@ -176,6 +186,21 @@ def build_parser() -> argparse.ArgumentParser:
                       action=argparse.BooleanOptionalAction, default=True,
                       help="fold any remaining delta tail into a fresh "
                            "generation before exiting")
+    live.add_argument("--max-in-flight", type=int, default=64,
+                      help="admission limit: requests past this many "
+                           "concurrently executing queries are shed with a "
+                           "typed overloaded reply")
+    live.add_argument("--max-request-bytes", type=int, default=1 << 20,
+                      help="request lines longer than this are rejected with "
+                           "a typed error instead of buffered")
+    live.add_argument("--drain-timeout", type=float, default=10.0,
+                      help="SIGTERM grace: seconds to wait for in-flight "
+                           "requests before flushing the WAL and closing")
+    live.add_argument("--supervise", action=argparse.BooleanOptionalAction,
+                      default=True,
+                      help="run the watchdog that restarts dead ingest / "
+                           "compaction workers through WAL replay (serving "
+                           "mode only)")
     live.add_argument("--metrics-out", type=Path,
                       help="write a metrics snapshot here on shutdown")
 
@@ -460,7 +485,26 @@ def _cmd_maintain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_drain_signals(stop_event) -> None:
+    """Route SIGTERM/SIGINT into ``stop_event`` for a graceful drain.
+
+    The serve loop runs on a background thread precisely so the main
+    thread is free to sit in ``stop_event.wait()`` — a signal handler
+    that called ``server.shutdown()`` directly from the thread running
+    ``serve_forever`` would deadlock against it.
+    """
+    import signal
+
+    def _on_signal(_signum, _frame):
+        stop_event.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
     from repro.index import CliqueIndex
     from repro.service import CliqueQueryEngine, CliqueQueryServer
 
@@ -475,20 +519,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_entries=args.cache_entries,
             timeout_seconds=args.timeout,
         )
-        server = CliqueQueryServer(engine, host=args.host, port=args.port)
+        server = CliqueQueryServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_in_flight=args.max_in_flight,
+            max_request_bytes=args.max_request_bytes,
+            drain_timeout_seconds=args.drain_timeout,
+        )
         host, port = server.address
         print(f"index           : {args.index} "
               f"({stats['num_cliques']} cliques, "
               f"{stats['num_vertices']} vertices)")
         print(f"listening on    : {host}:{port}")
+        print(f"admission       : {args.max_in_flight} in flight, "
+              f"{args.max_request_bytes} B/request, "
+              f"drain {args.drain_timeout:.0f}s")
         print("protocol        : one JSON request per line; "
               'e.g. {"id": 1, "op": "cliques_containing", "args": {"v": 0}}')
+        stop = threading.Event()
+        _install_drain_signals(stop)
+        server.start()
         try:
-            server.serve_forever()
+            stop.wait()
         except KeyboardInterrupt:
-            print("\nshutting down")
-        finally:
-            server.server_close()
+            pass
+        print("draining        : stopped accepting, finishing in-flight")
+        completed = server.drain(args.drain_timeout)
+        print(f"drained         : {'clean' if completed else 'timed out'}")
     if args.metrics_out is not None:
         from repro import metrics
 
@@ -531,8 +589,10 @@ def _read_update_stream(path: Path):
 
 
 def _cmd_live(args: argparse.Namespace) -> int:
+    import threading
+
     from repro.live import LIVE_MANIFEST_FILENAME, LiveCliqueStore, LiveIngestor
-    from repro.live.ingest import bootstrap_live_store
+    from repro.live.ingest import bootstrap_live_store, maintainer_from_store
     from repro.service import CliqueQueryEngine, CliqueQueryServer
 
     if args.metrics_out is not None:
@@ -560,37 +620,95 @@ def _cmd_live(args: argparse.Namespace) -> int:
           f"generation {store.generation or '-'}, "
           f"{store.num_cliques} cliques, tail {store.tail_length})")
     server = None
+    supervisor = None
+    drained = False
     try:
         if args.serve:
+            from repro.live import LiveSupervisor
+
             engine = CliqueQueryEngine(
                 store,
                 cache_entries=args.cache_entries,
                 timeout_seconds=args.timeout,
             )
-            server = CliqueQueryServer(engine, host=args.host, port=args.port)
+            if args.supervise:
+                supervisor = LiveSupervisor(
+                    store,
+                    lambda: LiveIngestor(maintainer_from_store(store), store),
+                    compactor_tail_threshold=args.compact_threshold,
+                ).start()
+            server = CliqueQueryServer(
+                engine,
+                host=args.host,
+                port=args.port,
+                max_in_flight=args.max_in_flight,
+                max_request_bytes=args.max_request_bytes,
+                drain_timeout_seconds=args.drain_timeout,
+                supervisor=supervisor,
+            )
             host, port = server.address
             server.start()
-            print(f"listening on    : {host}:{port}")
+            # Arm the drain signals before ingestion: an operator's
+            # SIGTERM must drain cleanly no matter when it lands.
+            stop = threading.Event()
+            _install_drain_signals(stop)
+            print(f"listening on    : {host}:{port}"
+                  + (" (supervised)" if supervisor is not None else ""))
             print("protocol        : one JSON request per line; subscriptions "
                   'via {"op": "subscribe", "args": {"v": 0}}')
         if args.stream is not None:
-            applied = ingestor.ingest(_read_update_stream(args.stream))
-            report = ingestor.report
-            print(f"stream ingested : {applied} edge updates "
-                  f"({report.insertions} inserts, {report.deletions} deletes) "
-                  f"in {report.seconds:.2f} s "
-                  f"({report.updates_per_second:.0f} updates/s)")
-            print(f"clique deltas   : {report.deltas_emitted} "
-                  f"(+{report.cliques_added} / -{report.cliques_removed}); "
-                  f"tail {store.tail_length}, seq {store.last_seq}")
+            if supervisor is not None:
+                # Feed the supervised worker: each event is durably
+                # applied (WAL-first) before it counts as acked, and the
+                # watchdog restarts the worker if it dies mid-stream.
+                started = time.perf_counter()
+                submitted = 0
+                unsubmitted = 0
+                for event in _read_update_stream(args.stream):
+                    if supervisor.submit(event, timeout=60.0):
+                        submitted += 1
+                    else:
+                        unsubmitted += 1
+                        if "ingest" in supervisor.gave_up:
+                            # The watchdog abandoned ingest after its
+                            # crash-loop budget; stop feeding a pipeline
+                            # that cannot ack.  Serving continues in the
+                            # degraded state health/ready report.
+                            print("stream ABANDONED: ingest worker gave up; "
+                                  "remaining events skipped (degraded)")
+                            break
+                supervisor.wait_idle(timeout=300.0)
+                elapsed = time.perf_counter() - started
+                dropped = supervisor.dropped_events
+                print(f"stream ingested : {submitted} edge updates in "
+                      f"{elapsed:.2f} s ({supervisor.acked_events} acked"
+                      + (f", {dropped} poison dropped" if dropped else "")
+                      + (f", {unsubmitted} unsubmitted" if unsubmitted else "")
+                      + f"); tail {store.tail_length}, seq {store.last_seq}")
+            else:
+                applied = ingestor.ingest(_read_update_stream(args.stream))
+                report = ingestor.report
+                print(f"stream ingested : {applied} edge updates "
+                      f"({report.insertions} inserts, {report.deletions} deletes) "
+                      f"in {report.seconds:.2f} s "
+                      f"({report.updates_per_second:.0f} updates/s)")
+                print(f"clique deltas   : {report.deltas_emitted} "
+                      f"(+{report.cliques_added} / -{report.cliques_removed}); "
+                      f"tail {store.tail_length}, seq {store.last_seq}")
         if args.serve:
             try:
-                while True:
-                    time.sleep(3600)
+                stop.wait()
             except KeyboardInterrupt:
-                print("\nshutting down")
+                pass
+            print("draining        : stopped accepting, finishing in-flight")
+            completed = server.drain(args.drain_timeout)
+            drained = True
+            print(f"drained         : {'clean' if completed else 'timed out'}; "
+                  f"WAL flushed at seq {store.last_seq}")
     finally:
-        if server is not None:
+        if supervisor is not None:
+            supervisor.stop()
+        if server is not None and not drained:
             server.stop()
         if args.compact_on_exit and store.tail_length:
             generation = store.compact()

@@ -123,3 +123,36 @@ class QueryTimeoutError(ServiceError):
 
 class ServiceProtocolError(ServiceError):
     """A request or response violated the JSON-lines wire protocol."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service could not be reached or stopped responding.
+
+    Raised by :class:`~repro.service.client.CliqueQueryClient` for
+    connect failures, connect/read timeouts, and mid-exchange resets —
+    the transport-level failures a retry against a recovered (or
+    different) server may fix — instead of hanging on a dead peer.
+    """
+
+
+class ServerOverloadedError(ServiceUnavailableError):
+    """The server shed this request under admission control.
+
+    Carries the server's ``retry_after_ms`` hint; the client's backoff
+    honours it.  Shedding means the server is alive and answering, so
+    this does not count toward the circuit breaker's failure streak.
+    """
+
+    def __init__(self, message: str, retry_after_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+class CircuitOpenError(ServiceUnavailableError):
+    """The client's circuit breaker is open for this endpoint.
+
+    Raised without touching the network: after enough consecutive
+    transport failures the breaker fails fast until its half-open timer
+    lets a probe through (see
+    :class:`~repro.service.client.CircuitBreaker`).
+    """

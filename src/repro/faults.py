@@ -27,6 +27,8 @@ Operation sites and the fault kinds they honour::
                                            timeout, poison, latency
     "shm"        StepExecutor submission   attach_fail, stale_segment
     "compaction" LiveCliqueStore.compact   io_error, latency
+    "net"        CliqueQueryServer         conn_reset, slow_write,
+                                           partial_line, accept_stall
 
 The ``"shm"`` site fires once per chunk submission when the step's graph
 travels through a shared-memory segment (the path argument is the
@@ -41,6 +43,19 @@ argument is the stage name (``"rotate"``, ``"build"``, ``"commit"``,
 ``"cleanup"``) so ``path_contains`` pins a fault to one point of the
 protocol.  Live-store WAL appends go through PageStore, so the existing
 ``"write"`` site (with ``path_contains="wal"``) covers log faults.
+
+The ``"net"`` site models the network being a network.  The serving
+tier consults it at two points: once per accepted connection (the path
+argument is ``"accept"``) where ``accept_stall`` delays the handler
+before the first read, and once per response write (the path argument
+is ``"write:<peer>"``) where ``conn_reset`` closes the socket with an
+RST instead of replying, ``partial_line`` writes a prefix of the
+response line and then resets, and ``slow_write`` trickles the response
+out byte-ranges-with-sleeps (a server-side slow-loris) but completes
+it.  Surviving connections keep the one-reply-per-request contract;
+reset ones surface client-side as
+:class:`~repro.errors.ServiceUnavailableError` and feed the retry /
+circuit-breaker machinery.
 
 The failure-model contract the plan exists to enforce: under *every*
 schedule expressible here, a run either completes with a clique stream
@@ -66,7 +81,12 @@ EXECUTOR_KINDS = ("worker_kill", "worker_error", "timeout", "poison", "latency")
 #: Fault kinds understood by the shared-memory graph path.
 SHM_KINDS = ("attach_fail", "stale_segment")
 
-_ALL_KINDS = tuple(dict.fromkeys(STORAGE_KINDS + EXECUTOR_KINDS + SHM_KINDS))
+#: Fault kinds understood by the serving tier's network site.
+NET_KINDS = ("conn_reset", "slow_write", "partial_line", "accept_stall")
+
+_ALL_KINDS = tuple(
+    dict.fromkeys(STORAGE_KINDS + EXECUTOR_KINDS + SHM_KINDS + NET_KINDS)
+)
 
 
 @dataclass(frozen=True)
@@ -284,6 +304,7 @@ def corrupt_bytes(data: bytes, fraction: float) -> bytes:
 
 __all__ = [
     "EXECUTOR_KINDS",
+    "NET_KINDS",
     "SHM_KINDS",
     "STORAGE_KINDS",
     "Fault",

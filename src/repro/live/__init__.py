@@ -15,7 +15,10 @@ flag postings stale.  This package closes the loop:
   in with an atomic manifest commit;
 * :mod:`repro.live.ingest` — stream ingestion driving
   :class:`~repro.dynamic.maintainer.HStarMaintainer` and mirroring every
-  applied update into the store.
+  applied update into the store;
+* :mod:`repro.live.supervisor` — a watchdog restarting dead ingest /
+  compaction workers through WAL replay, with crash-loop backoff and a
+  ``degraded`` flag the serving tier's ``health`` probe surfaces.
 
 ``docs/LIVE.md`` documents the on-disk layout, the compaction lifecycle,
 and the subscription protocol.
@@ -28,7 +31,13 @@ from repro.live.deltas import (
     delete_edge_deltas,
     insert_edge_deltas,
 )
-from repro.live.ingest import IngestReport, LiveIngestor, bootstrap_live_store
+from repro.live.ingest import (
+    IngestReport,
+    LiveIngestor,
+    bootstrap_live_store,
+    maintainer_from_store,
+)
+from repro.live.supervisor import LiveSupervisor, SupervisedIngestor
 from repro.live.store import (
     LIVE_MANIFEST_FILENAME,
     LIVE_MANIFEST_SCHEMA,
@@ -52,7 +61,10 @@ __all__ = [
     "delete_edge_deltas",
     "IngestReport",
     "LiveIngestor",
+    "LiveSupervisor",
+    "SupervisedIngestor",
     "bootstrap_live_store",
+    "maintainer_from_store",
     "LIVE_MANIFEST_FILENAME",
     "LIVE_MANIFEST_SCHEMA",
     "LiveCliqueStore",

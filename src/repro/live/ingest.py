@@ -138,6 +138,71 @@ class LiveIngestor:
         """Apply one edge deletion end to end."""
         self._maintainer.delete_edge(u, v)
 
+    def apply_event(self, event: tuple) -> None:
+        """Apply one stream event (the unit :meth:`ingest` loops over)."""
+        if len(event) == 3:
+            _, u, v = event
+            self._maintainer.insert_edge(u, v)
+        elif len(event) == 4:
+            _, op, u, v = event
+            if op == "insert":
+                self._maintainer.insert_edge(u, v)
+            elif op == "delete":
+                self._maintainer.delete_edge(u, v)
+            else:
+                raise GraphError(f"unknown stream operation {op!r}")
+        else:
+            raise GraphError(
+                f"stream events are (ts, u, v) or (ts, op, u, v); got {event!r}"
+            )
+
+    def reapply_event(self, event: tuple) -> None:
+        """Idempotently re-apply an event a crashed worker may have half-done.
+
+        The hazard: the maintainer mutates its graph *before* the update
+        hook logs the store deltas, so a worker that died in between
+        leaves the edge in the graph with the clique set not yet updated
+        — and a naive retry is a no-op, because the maintainer never
+        fires the hook for an edge it already holds.  This path closes
+        that window: when the graph already reflects the event, the
+        deltas are recomputed from the post-update adjacency and applied
+        with ``idempotent=True`` (already-applied ones drop out); when it
+        does not, the event simply applies normally.  Either way the
+        store converges to exactly-once effects from at-least-once
+        delivery.
+        """
+        if len(event) == 3:
+            op, u, v = "insert", event[1], event[2]
+        elif len(event) == 4:
+            _, op, u, v = event
+            if op not in ("insert", "delete"):
+                raise GraphError(f"unknown stream operation {op!r}")
+        else:
+            raise GraphError(
+                f"stream events are (ts, u, v) or (ts, op, u, v); got {event!r}"
+            )
+        graph = self._maintainer.graph
+        present = u in graph and v in graph and graph.has_edge(u, v)
+        if op == "insert":
+            if not present:
+                self._maintainer.insert_edge(u, v)
+                return
+            deltas = insert_edge_deltas(graph, u, v, self._lookup)
+        else:
+            if present:
+                self._maintainer.delete_edge(u, v)
+                return
+            if u not in graph or v not in graph:
+                return  # the deletion fully landed before the crash
+            deltas = delete_edge_deltas(graph, u, v, self._lookup)
+        stamped = self._store.apply_deltas(deltas, idempotent=True)
+        self.report.deltas_emitted += len(stamped)
+        for delta in stamped:
+            if delta.kind == "add":
+                self.report.cliques_added += 1
+            else:
+                self.report.cliques_removed += 1
+
     def ingest(self, events: Iterable[tuple]) -> int:
         """Replay a timestamped event stream; returns edges applied.
 
@@ -150,23 +215,30 @@ class LiveIngestor:
         before = self.report.edges_applied
         started = time.perf_counter()
         for event in events:
-            if len(event) == 3:
-                _, u, v = event
-                self._maintainer.insert_edge(u, v)
-            elif len(event) == 4:
-                _, op, u, v = event
-                if op == "insert":
-                    self._maintainer.insert_edge(u, v)
-                elif op == "delete":
-                    self._maintainer.delete_edge(u, v)
-                else:
-                    raise GraphError(f"unknown stream operation {op!r}")
-            else:
-                raise GraphError(
-                    f"stream events are (ts, u, v) or (ts, op, u, v); got {event!r}"
-                )
+            self.apply_event(event)
         self.report.seconds += time.perf_counter() - started
         return self.report.edges_applied - before
+
+
+def maintainer_from_store(store: LiveCliqueStore) -> HStarMaintainer:
+    """A maintainer whose graph mirrors the store's current clique set.
+
+    The supervisor's restart factory: after a WAL resync the store is
+    the source of truth, and since every edge lies in some maximal
+    clique (and every isolated vertex is a size-1 clique), the live
+    cliques reconstruct the exact graph.
+    """
+    from repro.graph.adjacency import AdjacencyGraph
+
+    graph = AdjacencyGraph()
+    for clique in store.live_cliques():
+        for v in clique:
+            if v not in graph:
+                graph.add_vertex(v)
+        for i, u in enumerate(clique):
+            for v in clique[i + 1:]:
+                graph.add_edge(u, v)
+    return HStarMaintainer(graph)
 
 
 def bootstrap_live_store(

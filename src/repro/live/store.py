@@ -395,19 +395,44 @@ class LiveCliqueStore:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
-    def apply_deltas(self, deltas: Iterable[CliqueDelta]) -> list[CliqueDelta]:
+    def apply_deltas(
+        self, deltas: Iterable[CliqueDelta], idempotent: bool = False
+    ) -> list[CliqueDelta]:
         """Durably log and apply a batch of deltas; returns them stamped.
 
         WAL-first: the batch is sequence-stamped and fsynced before the
         overlay mutates, so an acknowledged batch survives a crash and a
         failed append changes nothing in memory.
+
+        With ``idempotent=True``, adds for already-live cliques and
+        removes for unknown ones are silently dropped *before* the WAL
+        append (so the log never carries no-op records) instead of
+        raising :class:`~repro.errors.StorageError`.  This is the
+        supervisor's re-apply mode: after a crashed ingest worker is
+        restarted through :meth:`resync`, recomputed deltas may overlap
+        what the WAL already holds, and replaying them must converge
+        rather than fail.
         """
         events: list[SubscriptionEvent] = []
         callbacks: list[tuple[Callable, SubscriptionEvent]] = []
         with self._lock:
             self._check_writable()
+            effective = list(deltas)
+            if idempotent:
+                kept = []
+                pending: dict[tuple[int, ...], bool] = {}  # intra-batch liveness
+                for delta in effective:
+                    vertices = tuple(delta.vertices)
+                    live = pending.get(
+                        vertices, self._live_id_of(vertices) is not None
+                    )
+                    if (delta.kind == ADD) == live:
+                        continue  # add of a live clique / remove of a dead one
+                    pending[vertices] = delta.kind == ADD
+                    kept.append(delta)
+                effective = kept
             stamped = []
-            for delta in deltas:
+            for delta in effective:
                 stamped.append(delta.stamped(self._next_seq + len(stamped)))
             if not stamped:
                 return []
@@ -677,6 +702,69 @@ class LiveCliqueStore:
         with self._lock:
             return any(v in self._overlaid for v in vertices)
 
+    def flush_wal(self) -> None:
+        """Force the WAL durable now.
+
+        Graceful drain calls this before the process exits, so an
+        acknowledged update survives SIGTERM even on a store opened with
+        ``fsync=False`` for ingest throughput.
+        """
+        with self._lock:
+            if self._wal is not None and not self._closed:
+                self._wal.sync()
+
+    def resync(self) -> int:
+        """Rebuild the in-memory state from disk; returns the tail length.
+
+        The supervisor's recovery primitive: after an ingest worker died
+        mid-call, the in-memory overlay may be mid-batch, but the disk is
+        authoritative — WAL-first writes mean exactly the acknowledged
+        batches are logged.  Dropping the overlay and replaying the
+        manifest + WALs restores exactly that state.  Subscriptions,
+        apply hooks, and the background compactor survive the resync.
+        """
+        with self._lock:
+            self._check_writable()
+            if self._base is not None:
+                # A degraded cold-path reader may still hold a scan
+                # generator over the old base; retire instead of closing.
+                self._retired.append(self._base)
+                self._base = None
+            self._wal = None  # PageStore holds no fd; dropping it is a close
+            self._tombstones = set()
+            self._added = {}
+            self._added_ids = {}
+            self._overlay_postings = {}
+            self._overlaid = set()
+            self._tail = []
+            self._next_seq = 1
+            self._next_id = 0
+            self._load()
+            tail = len(self._tail)
+        hooks = [(hook, ("compact", self.generation)) for hook in self._apply_hooks]
+        # The resync renumbered nothing but the overlay ids may differ;
+        # treat it like a compaction swap so caches drop wholesale.
+        for hook, payload in hooks:
+            hook(*payload)
+        return tail
+
+    def health(self) -> dict:
+        """Cheap liveness facts (feeds the server's ``health`` probe)."""
+        with self._lock:
+            compactor = self._compactor
+            return {
+                "closed": self._closed,
+                "generation_number": self._generation_number,
+                "tail_deltas": len(self._tail),
+                "last_seq": self._next_seq - 1,
+                "wal_files": len(self._wal_names),
+                "compactor_alive": bool(
+                    compactor is not None and compactor.is_alive()
+                ),
+                "compactions": compactor.compactions if compactor is not None else 0,
+                "compaction_errors": compactor.errors if compactor is not None else 0,
+            }
+
     def verify(self) -> dict:
         """Audit the base generation and the overlay's cross-consistency."""
         with self._lock:
@@ -917,6 +1005,10 @@ class _BackgroundCompactor:
     def start(self) -> None:
         self._thread.start()
 
+    def is_alive(self) -> bool:
+        """Whether the compactor thread is still running (supervision)."""
+        return self._thread.is_alive()
+
     def poke(self) -> None:
         """Ask the compactor to re-check the tail immediately."""
         self._wake.set()
@@ -936,7 +1028,10 @@ class _BackgroundCompactor:
                 if self._store.tail_length >= self.tail_threshold:
                     if self._store.compact() is not None:
                         self.compactions += 1
-            except BaseException as exc:
+            except Exception as exc:
+                # Exception, not BaseException: a raised SystemExit (the
+                # chaos harness's thread kill) must terminate the thread
+                # so the supervisor can observe the death and restart it.
                 self.errors += 1
                 if self._on_error is not None:
                     self._on_error(exc)

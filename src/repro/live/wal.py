@@ -279,11 +279,19 @@ class DeltaLogWriter:
                 handle.flush()
                 os.fsync(handle.fileno())
 
-    def _sync(self) -> None:
-        if not self._fsync:
-            return
+    def sync(self) -> None:
+        """Force an fsync now, even when per-append fsync is disabled.
+
+        Graceful drain calls this so an operator SIGTERM never races a
+        store opened with ``fsync=False`` for throughput.
+        """
         fd = os.open(self._path, os.O_RDWR)
         try:
             os.fsync(fd)
         finally:
             os.close(fd)
+
+    def _sync(self) -> None:
+        if not self._fsync:
+            return
+        self.sync()

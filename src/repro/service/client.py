@@ -1,28 +1,96 @@
-"""Blocking JSON-lines client for :class:`CliqueQueryServer`.
+"""Resilient JSON-lines client for :class:`CliqueQueryServer`.
 
 One socket, one request/response exchange at a time — the simplest
-correct client for the line protocol.  Server-side errors come back as
-:class:`~repro.errors.ServiceError` (or
+correct client for the line protocol — wrapped in the failure handling
+any client of a real service needs:
+
+* **Connect and read timeouts** — a dead or unresponsive peer raises
+  :class:`~repro.errors.ServiceUnavailableError` instead of blocking
+  forever (the bug this module used to have).
+* **Jittered exponential backoff retry** — transport failures on
+  *idempotent query operations* are retried against a fresh connection,
+  sleeping ``base * multiplier^attempt`` with ±50% jitter; a server
+  ``overloaded`` reply becomes :class:`~repro.errors.ServerOverloadedError`
+  and its ``retry_after_ms`` hint overrides the computed backoff.
+  Non-idempotent operations (``subscribe``/``unsubscribe``) and protocol
+  errors are never retried.
+* **Circuit breaker** — after ``failure_threshold`` consecutive
+  transport failures the breaker opens and requests fail fast with
+  :class:`~repro.errors.CircuitOpenError` (no network touch) until the
+  ``reset_timeout`` lets a single half-open probe through; a successful
+  probe closes the breaker, a failed one reopens it.  Overload sheds do
+  not count toward the streak — a shedding server is alive.
+
+Server-side errors come back as :class:`~repro.errors.ServiceError` (or
 :class:`~repro.errors.QueryTimeoutError` when the server reports a
-deadline miss); transport and framing problems raise
+deadline miss); framing violations raise
 :class:`~repro.errors.ServiceProtocolError`.
 
 When the server fronts a live store, the client can also
 :meth:`~CliqueQueryClient.subscribe` to change notifications.  Pushed
 event lines carry no ``"id"`` key; the client routes them into an event
-queue as they arrive — whether that happens while blocked inside
-:meth:`~CliqueQueryClient.next_event` or interleaved with a pending
-request's response — so no line is ever misread as the wrong kind.
+queue as they arrive, so no line is ever misread as the wrong kind.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import threading
+import time
 from collections import deque
 from dataclasses import dataclass
+from types import SimpleNamespace
 
-from repro.errors import QueryTimeoutError, ServiceError, ServiceProtocolError
+from repro import metrics
+from repro.errors import (
+    CircuitOpenError,
+    QueryTimeoutError,
+    ServerOverloadedError,
+    ServiceError,
+    ServiceProtocolError,
+    ServiceUnavailableError,
+)
+
+#: Operations safe to retry: pure reads, plus the admission-exempt probes.
+IDEMPOTENT_OPERATIONS = frozenset(
+    {
+        "cliques_containing",
+        "cliques_containing_edge",
+        "clique",
+        "membership",
+        "top_k_largest",
+        "stats",
+        "health",
+        "ready",
+    }
+)
+
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        retries=registry.counter(
+            "repro_client_retries_total", "request attempts beyond the first"
+        ),
+        backoff_seconds=registry.counter(
+            "repro_client_backoff_seconds_total", "total time slept backing off"
+        ),
+        unavailable=registry.counter(
+            "repro_client_unavailable_total",
+            "transport-level failures (connect, timeout, reset)",
+        ),
+        overloaded=registry.counter(
+            "repro_client_overloaded_total", "requests shed by the server"
+        ),
+        breaker_opens=registry.counter(
+            "repro_client_breaker_opens_total", "circuit breaker trips"
+        ),
+        breaker_fast_fails=registry.counter(
+            "repro_client_breaker_fast_fails_total",
+            "requests failed fast by an open breaker",
+        ),
+    )
+)
 
 
 @dataclass(frozen=True)
@@ -35,26 +103,173 @@ class Response:
     elapsed_ms: float
 
 
-class CliqueQueryClient:
-    """Talk to a running clique query server."""
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for idempotent requests.
+
+    ``max_attempts`` counts total tries (1 = no retries).  Sleep before
+    attempt ``n`` (n ≥ 1) is ``base * multiplier^(n-1)`` capped at
+    ``max_sleep``, scaled by a uniform jitter in ``[1-jitter, 1+jitter]``
+    — the decorrelation that keeps a thundering herd from re-arriving in
+    lockstep.  A server ``retry_after_ms`` hint replaces the computed
+    base for that attempt (jitter still applies).
+    """
+
+    max_attempts: int = 3
+    base_sleep: float = 0.05
+    max_sleep: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def sleep_before(self, attempt: int, hint_ms: float | None = None) -> float:
+        """Backoff before retry ``attempt`` (1-based), in seconds."""
+        if hint_ms is not None:
+            base = hint_ms / 1000.0
+        else:
+            base = self.base_sleep * (self.multiplier ** (attempt - 1))
+        base = min(base, self.max_sleep)
+        if self.jitter <= 0.0:
+            return base
+        return base * random.uniform(1.0 - self.jitter, 1.0 + self.jitter)
+
+
+class CircuitBreaker:
+    """Per-endpoint breaker: closed → open → half-open → closed.
+
+    Thread-safe.  ``failure_threshold`` *consecutive* failures open the
+    circuit; while open, :meth:`before_request` raises
+    :class:`~repro.errors.CircuitOpenError` without touching the
+    network.  After ``reset_timeout_seconds`` one caller wins the
+    half-open probe slot; its success closes the breaker, its failure
+    reopens it (restarting the timer).
+    """
 
     def __init__(
-        self, host: str, port: int, timeout_seconds: float | None = 30.0
+        self, failure_threshold: int = 5, reset_timeout_seconds: float = 1.0
     ) -> None:
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.reset_timeout_seconds = float(reset_timeout_seconds)
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"``."""
+        with self._lock:
+            return self._state
+
+    def before_request(self) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` when open."""
+        with self._lock:
+            if self._state == "closed":
+                return
+            elapsed = time.monotonic() - self._opened_at
+            if elapsed >= self.reset_timeout_seconds and not self._probing:
+                # This caller wins the single half-open probe slot.
+                self._state = "half_open"
+                self._probing = True
+                return
+            _METRICS().breaker_fast_fails.inc()
+            raise CircuitOpenError(
+                f"circuit open after {self._failures} consecutive failures; "
+                f"retry in {max(0.0, self.reset_timeout_seconds - elapsed):.2f}s"
+            )
+
+    def record_success(self) -> None:
+        """A request got through: close the circuit, clear the streak."""
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A transport failure: extend the streak, maybe trip the breaker."""
+        with self._lock:
+            self._failures += 1
+            was_open = self._state != "closed"
+            if was_open or self._failures >= self.failure_threshold:
+                if self._state != "open":
+                    _METRICS().breaker_opens.inc()
+                self._state = "open"
+                self._opened_at = time.monotonic()
+                self._probing = False
+
+
+class CliqueQueryClient:
+    """Talk to a running clique query server, surviving its bad days."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_seconds: float | None = 30.0,
+        *,
+        connect_timeout_seconds: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        self._host = host
+        self._port = port
         self._timeout = timeout_seconds
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout_seconds)
-        except OSError as exc:
-            raise ServiceProtocolError(
-                f"cannot connect to clique service at {host}:{port}: {exc}"
-            ) from exc
+        self._connect_timeout = (
+            connect_timeout_seconds
+            if connect_timeout_seconds is not None
+            else timeout_seconds
+        )
+        self._retry = retry_policy if retry_policy is not None else RetryPolicy()
+        self._breaker = breaker if breaker is not None else CircuitBreaker()
+        self._sock: socket.socket | None = None
         self._buffer = bytearray()
         self._events: deque[dict] = deque()
         self._next_id = 0
+        self._connect()
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """This endpoint's circuit breaker (share it across clients to pool)."""
+        return self._breaker
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._breaker.before_request()
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            self._sock = None
+            self._breaker.record_failure()
+            _METRICS().unavailable.inc()
+            raise ServiceUnavailableError(
+                f"cannot connect to clique service at {self._host}:{self._port}: {exc}"
+            ) from exc
+        # No record_success yet: a half-open probe only closes the
+        # breaker once a full request round-trip comes back.
+        self._buffer.clear()
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self._buffer.clear()
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is None:
+            self._connect()
+        assert self._sock is not None
+        return self._sock
 
     def close(self) -> None:
         """Close the connection."""
-        self._sock.close()
+        self._drop_connection()
 
     def __enter__(self) -> "CliqueQueryClient":
         return self
@@ -72,15 +287,16 @@ class CliqueQueryClient:
         line leaves the partial bytes in ``_buffer`` instead of losing
         them inside a file object's internals.
         """
+        sock = self._ensure_connected()
         while True:
             newline = self._buffer.find(b"\n")
             if newline >= 0:
                 line = bytes(self._buffer[: newline + 1])
                 del self._buffer[: newline + 1]
                 return line
-            self._sock.settimeout(timeout)
+            sock.settimeout(timeout)
             try:
-                chunk = self._sock.recv(65536)
+                chunk = sock.recv(65536)
             except TimeoutError:
                 return None
             if not chunk:
@@ -99,39 +315,87 @@ class CliqueQueryClient:
     # ------------------------------------------------------------------
     # Protocol
     # ------------------------------------------------------------------
-    def request(
-        self, op: str, timeout: float | None = None, **args
-    ) -> Response:
-        """Send one request and block for its response.
+    def request(self, op: str, timeout: float | None = None, **args) -> Response:
+        """Send one request, retrying transport failures when safe.
 
-        Subscription events arriving while the response is in flight are
-        queued for :meth:`next_event`, never dropped.
+        Idempotent query operations retry under the client's
+        :class:`RetryPolicy` (reconnecting between attempts); others get
+        exactly one try.  Raises
+        :class:`~repro.errors.ServiceUnavailableError` when every
+        attempt failed at the transport,
+        :class:`~repro.errors.ServerOverloadedError` when the server
+        kept shedding, and :class:`~repro.errors.CircuitOpenError` when
+        the breaker fails fast.
         """
+        attempts = self._retry.max_attempts if op in IDEMPOTENT_OPERATIONS else 1
+        bundle = _METRICS()
+        last: ServiceUnavailableError | None = None
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                hint = (
+                    last.retry_after_ms
+                    if isinstance(last, ServerOverloadedError)
+                    else None
+                )
+                pause = self._retry.sleep_before(attempt - 1, hint_ms=hint)
+                bundle.retries.inc()
+                bundle.backoff_seconds.inc(pause)
+                time.sleep(pause)
+            try:
+                return self._request_once(op, timeout, args)
+            except ServerOverloadedError as exc:
+                # The server is alive and answering — no breaker hit,
+                # and the connection is still good.
+                bundle.overloaded.inc()
+                last = exc
+            except CircuitOpenError:
+                raise
+            except ServiceUnavailableError as exc:
+                bundle.unavailable.inc()
+                self._breaker.record_failure()
+                self._drop_connection()
+                last = exc
+        assert last is not None
+        raise last
+
+    def _request_once(self, op: str, timeout: float | None, args: dict) -> Response:
+        if self._sock is None:
+            self._connect()  # breaker-gated; raises on open circuit
+        else:
+            self._breaker.before_request()
+        sock = self._ensure_connected()
         self._next_id += 1
         payload: dict = {"id": self._next_id, "op": op, "args": args}
         if timeout is not None:
             payload["timeout"] = timeout
         try:
-            self._sock.settimeout(self._timeout)
-            self._sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+            sock.settimeout(self._timeout)
+            sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
         except OSError as exc:
-            raise ServiceProtocolError(f"transport failure during {op}: {exc}") from exc
+            raise ServiceUnavailableError(
+                f"transport failure sending {op}: {exc}"
+            ) from exc
         while True:
             try:
                 line = self._read_line(self._timeout)
             except OSError as exc:
-                raise ServiceProtocolError(
+                raise ServiceUnavailableError(
                     f"transport failure during {op}: {exc}"
                 ) from exc
             if line is None:
-                raise ServiceProtocolError(f"timed out waiting for {op} response")
+                raise ServiceUnavailableError(
+                    f"timed out after {self._timeout}s waiting for {op} response"
+                )
             if not line:
-                raise ServiceProtocolError(f"server closed the connection during {op}")
+                raise ServiceUnavailableError(
+                    f"server closed the connection during {op}"
+                )
             message = self._parse_line(line)
             if "id" not in message:
                 self._events.append(message)
                 continue
             break
+        self._breaker.record_success()
         if message.get("id") != self._next_id:
             raise ServiceProtocolError(
                 f"response id {message.get('id')!r} does not match request "
@@ -139,6 +403,15 @@ class CliqueQueryClient:
             )
         if not message.get("ok"):
             error = str(message.get("error", "unknown server error"))
+            if message.get("overloaded"):
+                raise ServerOverloadedError(
+                    error,
+                    retry_after_ms=(
+                        float(message["retry_after_ms"])
+                        if message.get("retry_after_ms") is not None
+                        else None
+                    ),
+                )
             if message.get("timeout"):
                 raise QueryTimeoutError(error)
             raise ServiceError(error)
@@ -174,6 +447,14 @@ class CliqueQueryClient:
         """Index statistics."""
         return self.request("stats", **kw)
 
+    def health(self, **kw) -> dict:
+        """The server's ``health`` probe payload (admission-exempt)."""
+        return dict(self.request("health", **kw).result)  # type: ignore[arg-type]
+
+    def ready(self, **kw) -> bool:
+        """Whether the server reports itself ready for new traffic."""
+        return bool(dict(self.request("ready", **kw).result).get("ready"))  # type: ignore[arg-type]
+
     # Change subscriptions ----------------------------------------------
     def subscribe(self, v: int, **kw) -> int:
         """Subscribe to cliques containing ``v`` appearing or dying.
@@ -200,13 +481,13 @@ class CliqueQueryClient:
         try:
             line = self._read_line(effective)
         except OSError as exc:
-            raise ServiceProtocolError(
+            raise ServiceUnavailableError(
                 f"transport failure while waiting for events: {exc}"
             ) from exc
         if line is None:
             return None
         if not line:
-            raise ServiceProtocolError(
+            raise ServiceUnavailableError(
                 "server closed the connection while waiting for events"
             )
         message = self._parse_line(line)

@@ -468,6 +468,27 @@ class CliqueQueryEngine:
         raise ServiceError(f"unhandled operation {op!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cheap liveness facts for the server's ``health`` probe.
+
+        Never touches the data files: everything here comes from
+        in-memory state (plus the live store's own :meth:`health` when
+        it offers one), so the probe stays answerable under the exact
+        I/O faults that would fail a real query.
+        """
+        payload = {
+            "live": self._live,
+            "cached_postings": len(self._postings_cache),
+            "generation": self._generation_token(),
+        }
+        store_health = getattr(self._index, "health", None)
+        if callable(store_health):
+            payload["store"] = store_health()
+        return payload
+
+    # ------------------------------------------------------------------
     # Change subscriptions (live stores only)
     # ------------------------------------------------------------------
     def subscribe(self, vertex: int, callback) -> int:

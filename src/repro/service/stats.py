@@ -14,7 +14,14 @@ from __future__ import annotations
 from repro.metrics import counter_value
 
 #: Prefixes that mark a snapshot as coming from an index/service run.
-FAMILY_PREFIXES = ("repro_index_", "repro_service_", "repro_server_", "repro_live_")
+FAMILY_PREFIXES = (
+    "repro_index_",
+    "repro_service_",
+    "repro_server_",
+    "repro_live_",
+    "repro_client_",
+    "repro_supervisor_",
+)
 
 
 def has_query_metrics(snapshot: dict) -> bool:
@@ -92,8 +99,22 @@ def summarize_query_metrics(snapshot: dict) -> str | None:
         ("bufferpool page misses", "repro_bufferpool_misses_total"),
         ("server connections", "repro_server_connections_total"),
         ("server requests", "repro_server_requests_total"),
+        ("requests shed (overload/drain)", "repro_server_shed_total"),
+        ("oversized requests rejected", "repro_server_oversized_requests_total"),
+        ("slow-consumer disconnects", "repro_server_slow_consumer_disconnects_total"),
+        ("injected net faults fired", "repro_server_net_faults_total"),
+        ("graceful drains", "repro_server_drains_total"),
         ("subscriptions accepted", "repro_server_subscriptions_total"),
         ("subscription events pushed", "repro_server_events_pushed_total"),
+        ("client retries", "repro_client_retries_total"),
+        ("client transport failures", "repro_client_unavailable_total"),
+        ("client overload sheds seen", "repro_client_overloaded_total"),
+        ("circuit breaker trips", "repro_client_breaker_opens_total"),
+        ("breaker fast-fails", "repro_client_breaker_fast_fails_total"),
+        ("supervisor worker deaths", "repro_supervisor_worker_deaths_total"),
+        ("supervisor restarts", "repro_supervisor_restarts_total"),
+        ("supervisor reapplied events", "repro_supervisor_reapplied_events_total"),
+        ("supervisor dropped poison events", "repro_supervisor_dropped_events_total"),
         ("live deltas applied", "repro_live_deltas_applied_total"),
         ("live WAL records", "repro_live_wal_records_total"),
         ("live compactions", "repro_live_compactions_total"),

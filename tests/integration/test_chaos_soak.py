@@ -1,0 +1,312 @@
+"""Chaos soak: the full serving tier under concurrent overload, injected
+connection resets, worker deaths, and a killed compactor — plus the
+operator path: SIGTERM → graceful drain → clean exit → verifiable store.
+
+The in-process soak runs readers (retrying clients), a writer stream
+(through the supervisor), a network fault plan resetting connections
+mid-reply, two injected ingest-worker deaths and one compactor death at
+once, and then reconciles: the final clique set must equal an
+uninterrupted run's, every acked update must survive, and no reader may
+ever observe a wrong or duplicate answer — typed errors are the only
+acceptable failure mode.  The subprocess half sends a real SIGTERM to
+``repro-mce live --serve`` and requires exit code 0 with a store that
+passes ``repro-mce verify-index``.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import metrics
+from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+from repro.errors import ReproError, ServiceUnavailableError
+from repro.faults import FaultPlan, FaultRule
+from repro.live import LiveCliqueStore, LiveIngestor, LiveSupervisor
+from repro.live.ingest import maintainer_from_store
+from repro.service import (
+    CliqueQueryClient,
+    CliqueQueryEngine,
+    CliqueQueryServer,
+    RetryPolicy,
+)
+
+from tests.helpers import seeded_gnp
+
+#: Soak dimensions — small enough for CI, busy enough to collide.
+NUM_READERS = 6
+READS_PER_READER = 30
+SOAK_SEED = 23
+
+
+def _seed_cliques():
+    graph = seeded_gnp(24, 0.3, seed=SOAK_SEED)
+    return graph, sorted(tuple(sorted(c)) for c in set(tomita_maximal_cliques(graph)))
+
+
+def _stream_events():
+    """A deterministic mixed stream on vertices disjoint from the seed."""
+    events = []
+    ts = 0
+    for n in range(20):
+        u, v = 100 + n, 100 + (n * 7 + 3) % 25
+        if u == v:
+            v += 1
+        events.append((ts, u, v))
+        ts += 1
+    for n in range(0, 20, 5):
+        u, v = 100 + n, 100 + (n * 7 + 3) % 25
+        if u == v:
+            v += 1
+        events.append((ts, "delete", u, v))
+        ts += 1
+    return events
+
+
+class _SlowEngine(CliqueQueryEngine):
+    """A per-query delay so concurrent readers actually collide."""
+
+    def query(self, op, timeout_seconds=None, **args):
+        time.sleep(0.004)
+        return super().query(op, timeout_seconds=timeout_seconds, **args)
+
+
+@pytest.fixture()
+def fresh_registry():
+    previous = metrics.get_registry()
+    registry = metrics.MetricsRegistry()
+    metrics.set_registry(registry)
+    yield registry
+    metrics.set_registry(previous)
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnhandledThreadExceptionWarning")
+def test_chaos_soak_serves_correctly_through_overload_and_failures(
+    tmp_path, fresh_registry
+):
+    graph, seed_cliques = _seed_cliques()
+    events = _stream_events()
+
+    # The oracle: the same seed + stream, uninterrupted.
+    reference_store = LiveCliqueStore.initialize(tmp_path / "reference", seed_cliques)
+    try:
+        LiveIngestor(maintainer_from_store(reference_store), reference_store).ingest(
+            events
+        )
+        reference = reference_store.live_cliques()
+    finally:
+        reference_store.close()
+
+    store = LiveCliqueStore.initialize(tmp_path / "live", seed_cliques)
+    kills = {"remaining": 2}
+
+    def chaos_hook(event):
+        # Kill the ingest worker at two points of the stream.
+        if kills["remaining"] and len(event) == 3 and event[1] in (105, 113):
+            kills["remaining"] -= 1
+            raise RuntimeError(f"chaos kill at {event!r}")
+
+    plan = FaultPlan(
+        [
+            FaultRule(
+                operation="net", kind="conn_reset", probability=0.08,
+                max_firings=None, path_contains="write",
+            ),
+        ],
+        seed=SOAK_SEED,
+    )
+    store.start_compactor(tail_threshold=24)
+    supervisor = LiveSupervisor(
+        store,
+        lambda: LiveIngestor(maintainer_from_store(store), store),
+        poll_interval_seconds=0.02,
+        backoff_base_seconds=0.01,
+        compactor_tail_threshold=24,
+        fail_hook=chaos_hook,
+    ).start()
+    engine = _SlowEngine(store)
+    server = CliqueQueryServer(
+        engine,
+        max_in_flight=4,
+        retry_after_ms=20.0,
+        fault_plan=plan,
+        supervisor=supervisor,
+    ).start()
+    host, port = server.address
+
+    # Kill the compactor once, mid-soak; the supervisor must revive it.
+    original_compact = store.compact
+
+    def lethal_compact(*a, **kw):
+        store.compact = original_compact
+        raise SystemExit("chaos compactor death")
+
+    store.compact = lethal_compact
+
+    protocol_violations: list[str] = []
+    typed_errors = [0]
+    successes = [0]
+    counter_lock = threading.Lock()
+    stop_readers = threading.Event()
+
+    def reader(worker_id):
+        client = CliqueQueryClient(
+            host, port, timeout_seconds=15.0,
+            retry_policy=RetryPolicy(max_attempts=4, base_sleep=0.01, max_sleep=0.2),
+        )
+        try:
+            for n in range(READS_PER_READER):
+                if stop_readers.is_set():
+                    return
+                vertex = (worker_id * 5 + n) % 24
+                try:
+                    # Invariants that hold at *every* moment of the soak.
+                    ids = client.cliques_containing(vertex).result
+                    if not ids:
+                        protocol_violations.append(
+                            f"vertex {vertex} in no clique"
+                        )
+                    top = client.top_k_largest(3).result
+                    sizes = [len(c) for c in top]
+                    if sizes != sorted(sizes, reverse=True):
+                        protocol_violations.append(f"unsorted top-k {sizes}")
+                    if client.stats().result["num_cliques"] <= 0:
+                        protocol_violations.append("empty stats")
+                    with counter_lock:
+                        successes[0] += 3
+                except (ServiceUnavailableError, ReproError):
+                    with counter_lock:
+                        typed_errors[0] += 1
+                except Exception as exc:  # wrong/duplicate/torn answers
+                    protocol_violations.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            client.close()
+
+    def prober():
+        """Hammer without retries until an explicit shed reply is seen."""
+        deadline = time.monotonic() + 20.0
+        while time.monotonic() < deadline and not stop_readers.is_set():
+            try:
+                with socket.create_connection((host, port), timeout=5.0) as sock:
+                    sock.sendall(b'{"id": 1, "op": "stats", "args": {}}\n')
+                    line = sock.makefile("rb").readline()
+                if line.endswith(b"\n"):
+                    reply = json.loads(line)
+                    if reply.get("overloaded"):
+                        shed_replies.append(reply)
+                        return
+            except OSError:
+                continue
+
+    shed_replies: list[dict] = []
+    threads = [
+        threading.Thread(target=reader, args=(n,)) for n in range(NUM_READERS)
+    ]
+    threads.append(threading.Thread(target=prober))
+    for thread in threads:
+        thread.start()
+    try:
+        for event in events:
+            assert supervisor.submit(event, timeout=60.0)
+            time.sleep(0.01)  # interleave writes with the reader storm
+        assert supervisor.wait_idle(120.0)
+    finally:
+        for thread in threads:
+            thread.join(timeout=60.0)
+        stop_readers.set()
+
+    try:
+        # --- reconciliation: nothing lost, nothing wrong -------------
+        assert protocol_violations == [], protocol_violations[:5]
+        assert successes[0] > 0, "the soak never completed a single read"
+        assert supervisor.acked_events == len(events)
+        assert supervisor.restarts["ingest"] >= 1, "chaos never bit"
+        assert kills["remaining"] == 0
+        assert not supervisor.degraded
+        assert store.live_cliques() == reference
+        store.verify()
+        # The shed path really fired, and carried the backoff hint.
+        assert shed_replies, "overload was never provoked"
+        assert shed_replies[0]["retry_after_ms"] == 20.0
+        snapshot = fresh_registry.snapshot()
+        assert metrics.counter_value(snapshot, "repro_server_shed_total") >= 1
+        assert metrics.counter_value(
+            snapshot, "repro_supervisor_worker_deaths_total"
+        ) >= 2
+        # The compactor died (SystemExit) and was restarted.
+        assert supervisor.restarts["compactor"] >= 1
+        health = server.health_payload()
+        assert health["status"] == "ok"
+        assert health["supervisor"]["degraded"] is False
+    finally:
+        supervisor.stop()
+        server.stop()
+        store.close()
+
+
+@pytest.mark.slow
+def test_sigterm_drains_flushes_and_leaves_a_verifiable_store(tmp_path):
+    graph, _ = _seed_cliques()
+    edges = tmp_path / "edges.txt"
+    edges.write_text(
+        "".join(f"{u} {v}\n" for u, v in graph.edges())
+    )
+    stream = tmp_path / "stream.txt"
+    stream.write_text(
+        "".join(
+            f"{e[0]} {e[1]} {e[2]}\n" if len(e) == 3
+            else f"{e[0]} {e[1]} {e[2]} {e[3]}\n"
+            for e in _stream_events()
+        )
+    )
+    store_dir = tmp_path / "store"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "live", str(store_dir),
+            "--graph", str(edges), "--stream", str(stream), "--serve",
+            "--drain-timeout", "10",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        # Wait for the server to come up (ingest happens before serve).
+        output_lines: list[str] = []
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            output_lines.append(line)
+            if "listening on" in line:
+                break
+        assert any("listening on" in line for line in output_lines), output_lines
+        process.send_signal(signal.SIGTERM)
+        remaining = process.communicate(timeout=60.0)[0]
+        output = "".join(output_lines) + remaining
+        assert process.returncode == 0, output
+        assert "drained" in output and "clean" in output, output
+        assert "WAL flushed" in output, output
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30.0)
+    verify = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "verify-index", str(store_dir)],
+        capture_output=True,
+        env=env,
+        text=True,
+        timeout=120.0,
+    )
+    assert verify.returncode == 0, verify.stdout + verify.stderr

@@ -20,7 +20,7 @@ import pytest
 
 from repro import metrics
 from repro.baselines.bron_kerbosch import tomita_maximal_cliques
-from repro.errors import QueryTimeoutError, ServiceError, ServiceProtocolError
+from repro.errors import QueryTimeoutError, ServiceError, ServiceUnavailableError
 from repro.faults import FaultPlan, FaultRule
 from repro.index import CliqueIndex, build_index
 from repro.service import CliqueQueryClient, CliqueQueryEngine, CliqueQueryServer
@@ -125,13 +125,13 @@ class TestWireProtocol:
             server.stop()
             index.close()
 
-    def test_connecting_to_a_dead_port_is_a_protocol_error(self, corpus):
+    def test_connecting_to_a_dead_port_raises_unavailable(self, corpus):
         _graph, _cliques, directory = corpus
         index, server = _serving(directory)
         host, port = server.address
         server.stop()
         index.close()
-        with pytest.raises(ServiceProtocolError):
+        with pytest.raises(ServiceUnavailableError):
             CliqueQueryClient(host, port, timeout_seconds=0.5)
 
 
