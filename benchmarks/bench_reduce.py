@@ -1,0 +1,214 @@
+"""Smoke benchmark: graph reduction must earn its keep, exactly.
+
+Two acceptance bars, checked on every CI run:
+
+1. **It bites.**  On the community workload the reduction pass targets —
+   dense near-clique blocks wrapped in a preferential low-degree fringe
+   — ``reduction="full"`` must remove **at least 30 %** of the vertices
+   or edges before the H*-machinery starts, and the delivered clique
+   stream must be exactly the unreduced one (same set, no divergence).
+
+2. **It is free when useless.**  On a workload with nothing to remove
+   (every degree above the peel cap, twins broken by background edges)
+   the end-to-end enumeration with ``reduction="full"`` must cost
+   **under 5 %** more wall time than ``reduction="off"``, best-of-N
+   both sides.
+
+Results go to ``BENCH_reduce.json`` at the repository root.
+
+Run directly (as CI does)::
+
+    PYTHONPATH=src python benchmarks/bench_reduce.py
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import DiskGraph, ExtMCE, ExtMCEConfig
+from repro.core.result import render_clique_lines
+from repro.generators import (
+    defective_clique_communities,
+    fringed_clique_communities,
+)
+from repro.reduce import reduce_graph
+
+REDUCTION_FLOOR = 0.30
+OVERHEAD_BUDGET = 0.05
+REPEATS = 3
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_reduce.json"
+
+
+def community_graph():
+    """The reduction target: clique communities plus a peelable fringe."""
+    return fringed_clique_communities(
+        400, seed=5, core_fraction=0.7,
+        community_min=14, community_max=20, defects=5,
+    )
+
+
+def noop_graph():
+    """Nothing to reduce: degrees beat the peel cap, background kills twins."""
+    return defective_clique_communities(
+        120, seed=7, community_min=20, community_max=28,
+        defects=5, background_edges=2,
+    )
+
+
+def enumerate_once(graph, workdir: Path, reduction: str) -> tuple[float, list]:
+    """One full enumeration; returns (wall seconds, clique stream)."""
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+    disk = DiskGraph.create(workdir / "graph.bin", graph)
+    algo = ExtMCE(disk, ExtMCEConfig(workdir=workdir, reduction=reduction))
+    started = time.perf_counter()
+    stream = list(algo.enumerate_cliques())
+    return time.perf_counter() - started, stream
+
+
+def paired_best(n: int, graph, workdir: Path) -> tuple[float, float]:
+    """Best-of-``n`` walls for off and full, interleaved back-to-back.
+
+    Alternating the two configurations inside one loop means slow drift
+    (CPU frequency, page cache warmth) hits both sides equally instead
+    of biasing whichever side ran last.
+    """
+    enumerate_once(graph, workdir / "warm", "off")  # warm-up, discarded
+    off = full = float("inf")
+    for _ in range(n):
+        off = min(off, enumerate_once(graph, workdir / "off", "off")[0])
+        full = min(full, enumerate_once(graph, workdir / "full", "full")[0])
+    return off, full
+
+
+def canonical(stream) -> bytes:
+    return render_clique_lines(sorted(stream)).encode("ascii")
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="bench_reduce_"))
+    failures = []
+    try:
+        # ------------------------------------------------------------------
+        # 1. The community workload: reduction bites, stream is exact
+        # ------------------------------------------------------------------
+        graph = community_graph()
+        shrink = {
+            level: reduce_graph(graph, level).map
+            for level in ("prune", "full")
+        }
+        vertex_cut = shrink["full"].vertices_removed / graph.num_vertices
+        edge_cut = shrink["full"].edges_removed / graph.num_edges
+
+        off_seconds, off_stream = enumerate_once(graph, tmp / "off", "off")
+        runs = {"off": {"seconds": off_seconds, "cliques": len(off_stream)}}
+        for level in ("prune", "full"):
+            seconds, stream = enumerate_once(graph, tmp / level, level)
+            diverged = canonical(stream) != canonical(off_stream)
+            runs[level] = {
+                "seconds": seconds,
+                "cliques": len(stream),
+                "diverged": diverged,
+            }
+            if diverged:
+                failures.append(f"{level}: clique stream diverged from off")
+        if max(vertex_cut, edge_cut) < REDUCTION_FLOOR:
+            failures.append(
+                f"full reduction removed only {vertex_cut:.1%} vertices / "
+                f"{edge_cut:.1%} edges (floor {REDUCTION_FLOOR:.0%})"
+            )
+
+        # ------------------------------------------------------------------
+        # 2. The no-op workload: reduction must be near-free
+        # ------------------------------------------------------------------
+        dense = noop_graph()
+        noop_map = reduce_graph(dense, "full").map
+        if not noop_map.is_identity:
+            failures.append(
+                "no-op workload was reducible: "
+                f"{noop_map.vertices_removed} vertices removed"
+            )
+        off_wall, full_wall = paired_best(REPEATS, dense, tmp / "noop")
+        overhead = full_wall / off_wall - 1.0
+        if overhead >= OVERHEAD_BUDGET:
+            failures.append(
+                f"no-op overhead {overhead:.1%} exceeds "
+                f"budget {OVERHEAD_BUDGET:.0%}"
+            )
+
+        document = {
+            "bench": "reduce",
+            "headline": {
+                "vertex_reduction": vertex_cut,
+                "edge_reduction": edge_cut,
+                "noop_overhead": overhead,
+                "stream_exact": not any(
+                    runs[level].get("diverged") for level in ("prune", "full")
+                ),
+            },
+            "community": {
+                "graph": {
+                    "model": "fringed_clique_communities",
+                    "n": graph.num_vertices,
+                    "edges": graph.num_edges,
+                },
+                "lower_bound": shrink["full"].lower_bound,
+                "levels": {
+                    level: {
+                        "vertices_removed": rmap.vertices_removed,
+                        "edges_removed": rmap.edges_removed,
+                        "peeled": len(rmap.peeled),
+                        "folded": len(rmap.folds),
+                        "direct_cliques": len(rmap.direct),
+                    }
+                    for level, rmap in shrink.items()
+                },
+                "runs": runs,
+            },
+            "noop": {
+                "graph": {
+                    "model": "defective_clique_communities",
+                    "n": dense.num_vertices,
+                    "edges": dense.num_edges,
+                },
+                "off_seconds": off_wall,
+                "full_seconds": full_wall,
+                "overhead": overhead,
+                "repeats": REPEATS,
+            },
+        }
+        RESULT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+        print("graph reduction smoke benchmark")
+        print(f"  community graph      : {graph.num_vertices} vertices, "
+              f"{graph.num_edges} edges")
+        print(f"  full reduction       : {vertex_cut:.1%} vertices, "
+              f"{edge_cut:.1%} edges removed (floor {REDUCTION_FLOOR:.0%})")
+        for level in ("off", "prune", "full"):
+            entry = runs[level]
+            print(f"  enumerate {level:5s}      : {entry['seconds'] * 1e3:8.1f} ms, "
+                  f"{entry['cliques']} cliques")
+        print(f"  no-op graph          : {dense.num_vertices} vertices, "
+              f"{dense.num_edges} edges")
+        print(f"  no-op walls (best/{REPEATS}) : off {off_wall * 1e3:.1f} ms, "
+              f"full {full_wall * 1e3:.1f} ms "
+              f"({overhead:+.2%}, budget {OVERHEAD_BUDGET:.0%})")
+        print(f"  results              : {RESULT_PATH.name}")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print("PASS")
+        return 0
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

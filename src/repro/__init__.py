@@ -73,6 +73,7 @@ from repro.errors import (
     InjectedFaultError,
     MemoryBudgetExceeded,
     QueryTimeoutError,
+    ReductionError,
     ReproError,
     ServiceError,
     ServiceProtocolError,
@@ -108,6 +109,7 @@ from repro.storage import (
     edge_list_to_disk_graph,
 )
 from repro.parallel import ParallelExtMCE
+from repro.reduce import Reduction, ReductionMap, reduce_graph
 from repro.service import (
     CliqueQueryClient,
     CliqueQueryEngine,
@@ -154,6 +156,9 @@ __all__ = [
     "ParallelExtMCE",
     "QueryTimeoutError",
     "RandomAccessDiskGraph",
+    "Reduction",
+    "ReductionError",
+    "ReductionMap",
     "ReproError",
     "ServiceError",
     "ServiceProtocolError",
@@ -186,6 +191,7 @@ __all__ = [
     "maximum_clique",
     "merge_traces",
     "parallel_bron_kerbosch_maximal_cliques",
+    "reduce_graph",
     "subproblem_bitset",
     "summarize_trace",
     "tomita_maximal_cliques",

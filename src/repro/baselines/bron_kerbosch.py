@@ -136,6 +136,7 @@ def tomita_maximal_cliques(
     graph: AdjacencyGraph,
     memory: "MemoryModel | None" = None,
     kernel: str = "set",
+    reduction: str = "off",
 ) -> Iterator[Clique]:
     """Enumerate all maximal cliques with Tomita-style max-pivoting.
 
@@ -154,9 +155,26 @@ def tomita_maximal_cliques(
     path — its per-frame set sizes are what the Figure 3(b) accounting
     models, and the bitset collector's transient output buffer would
     falsify them.
+
+    ``reduction`` (``"off"``/``"prune"``/``"full"``) applies the exact
+    :mod:`repro.reduce` preprocessing first and enumerates the reduced
+    graph, lifting the stream back through the reconstruction map — the
+    same *set* of cliques, enumerated over a smaller graph.
     """
     from repro.kernel import validate_kernel
 
+    if reduction != "off":
+        from repro.reduce import reduce_graph, validate_reduction
+
+        validate_reduction(reduction)
+        reduced = reduce_graph(graph, reduction)
+        inner: Iterator[Clique] = (
+            tomita_maximal_cliques(reduced.reduced, memory=memory, kernel=kernel)
+            if reduced.reduced.num_vertices
+            else iter(())
+        )
+        yield from reduced.map.reconstruct(inner)
+        return
     if validate_kernel(kernel) == "bitset" and memory is None:
         from repro.kernel import CompactGraph, maximal_cliques_bitset
 

@@ -108,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
                                  "adjacency masks, default) or 'set' "
                                  "(frozenset reference); the clique stream "
                                  "is identical either way")
+    enumerate_.add_argument("--reduction", choices=("off", "prune", "full"),
+                            default="off",
+                            help="exact graph reduction before enumeration "
+                                 "(repro.reduce): 'prune' peels low-degree "
+                                 "vertices against a greedy clique lower "
+                                 "bound, 'full' adds true-twin folding; the "
+                                 "clique set is identical at every level")
     enumerate_.add_argument("--max-retries", type=int, default=2,
                             help="per-chunk resubmissions before the parallel "
                                  "engine recomputes a failing chunk inline")
@@ -373,7 +380,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 config=ExtMCEConfig(
                     memory_budget_units=args.budget, trace_path=args.trace,
                     workers=args.workers, task_grain=args.task_grain,
-                    kernel=args.kernel,
+                    kernel=args.kernel, reduction=args.reduction,
                     verify_checksums=args.verify_checksums,
                     max_retries=args.max_retries, fault_plan=fault_plan,
                     metrics_path=args.metrics_out,
@@ -396,6 +403,7 @@ def _cmd_enumerate(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 task_grain=args.task_grain,
                 kernel=args.kernel,
+                reduction=args.reduction,
                 verify_checksums=args.verify_checksums,
                 max_retries=args.max_retries,
                 fault_plan=fault_plan,

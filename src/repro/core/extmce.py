@@ -154,11 +154,22 @@ class ExtMCEConfig:
         Per-chunk resubmission budget of the parallel executor before a
         failing chunk degrades to inline recomputation (see
         :class:`repro.parallel.executor.StepExecutor`).
+    reduction:
+        Exact graph-reduction preprocessing (:mod:`repro.reduce`):
+        ``"off"`` (default), ``"prune"`` (low-degree peeling against a
+        greedy max-clique lower bound), or ``"full"`` (peeling plus
+        true-twin folding).  The reduced graph is what H*/L* extraction,
+        the kernels, and the parallel CSR payloads see; a reconstruction
+        map re-emits the pruned-away cliques, so the final stream is the
+        same set of maximal cliques at every level (asserted by the
+        differential matrix).  Checkpointed runs persist the map in the
+        workdir; :meth:`resume` reloads it.
     fault_plan:
         Deterministic fault-injection schedule for the parallel
-        executor's ``"chunk"`` site (see :mod:`repro.faults`); storage
-        faults are configured on the :class:`DiskGraph` itself.  ``None``
-        (production) injects nothing.
+        executor's ``"chunk"`` site (see :mod:`repro.faults`) and the
+        reduction map's ``"reduce"`` site; storage faults are configured
+        on the :class:`DiskGraph` itself.  ``None`` (production) injects
+        nothing.
     metrics_path:
         Write a :mod:`repro.metrics` snapshot (JSON at this path, plus
         the Prometheus text exposition at ``<path>.prom``) when the run
@@ -179,6 +190,7 @@ class ExtMCEConfig:
     workers: int = 1
     task_grain: str = "fine"
     kernel: str = "bitset"
+    reduction: str = "off"
     verify_checksums: bool = True
     max_retries: int = 2
     fault_plan: "FaultPlan | None" = None
@@ -257,8 +269,15 @@ class ExtMCE:
         self._memory = memory if memory is not None else MemoryModel()
         self._first_step = first_step
         self._resume_state: CheckpointState | None = None
+        self._reduced_input: DiskGraph | None = None
         if self._config.checkpoint and self._config.workdir is None:
             raise GraphError("checkpointing requires an explicit workdir")
+        from repro.reduce import validate_reduction
+
+        try:
+            validate_reduction(self._config.reduction)
+        except ValueError as exc:
+            raise GraphError(str(exc)) from exc
         if not self._config.verify_checksums:
             # Propagates to every residual via DiskGraph.rewrite_without.
             disk_graph.verify_checksums = False
@@ -346,7 +365,7 @@ class ExtMCE:
         else:
             self._trace = None
         try:
-            yield from self._drive(workdir)
+            yield from self._drive_maybe_reduced(workdir)
             if self._trace is not None:
                 self._trace.emit(
                     "run_completed",
@@ -361,6 +380,11 @@ class ExtMCE:
             self.report.pages_read = io.pages_read
             self.report.pages_written = io.pages_written
             self.report.sequential_scans = io.sequential_scans
+            if self._reduced_input is not None:
+                reduced_io = self._reduced_input.io_stats
+                self.report.pages_read += reduced_io.pages_read
+                self.report.pages_written += reduced_io.pages_written
+                self.report.sequential_scans += reduced_io.sequential_scans
             if self._trace is not None:
                 self._trace.close()
             if self._config.metrics_path is not None and metrics.enabled():
@@ -371,10 +395,110 @@ class ExtMCE:
                 shutil.rmtree(workdir, ignore_errors=True)
 
     # ------------------------------------------------------------------
+    # Reduction preprocessing (repro.reduce)
+    # ------------------------------------------------------------------
+    def _drive_maybe_reduced(self, workdir: Path) -> Iterator[Clique]:
+        """Dispatch to the plain recursion or wrap it in a reduction.
+
+        A fresh reduced run peels/folds the input, persists the
+        reconstruction map next to the checkpoint, drives the recursion
+        over the *reduced* disk graph, and lifts the stream back through
+        the map (direct emissions first, canonical order).  A resumed
+        run recognises itself by the persisted map — its residual graph
+        already lives in reduced vertex space and its direct emissions
+        were delivered before the first checkpoint, so only the stream
+        wrapper is reinstalled.
+        """
+        from repro.reduce import (
+            REDUCTION_MAP_FILENAME,
+            load_reduction_map,
+            reduce_graph,
+            save_reduction_map,
+        )
+
+        map_path = workdir / REDUCTION_MAP_FILENAME
+        if self._resume_state is not None:
+            if map_path.exists():
+                rmap = load_reduction_map(map_path, fault_plan=self._config.fault_plan)
+                yield from self._wrap_reduced(
+                    rmap, self._drive(workdir), emit_direct=False
+                )
+            elif self._config.reduction != "off":
+                raise GraphError(
+                    "cannot resume with reduction enabled: no reduction map in "
+                    f"{workdir} — the interrupted run was not reduced"
+                )
+            else:
+                yield from self._drive(workdir)
+            return
+        if self._config.reduction == "off":
+            yield from self._drive(workdir)
+            return
+        registry = metrics.get_registry()
+        with registry.timer(
+            "repro_reduce_phase_seconds", "reduction phase wall time",
+            labels={"phase": "load"},
+        ):
+            adjacency = self._input.to_adjacency_graph()
+        reduction = reduce_graph(adjacency, self._config.reduction)
+        if self._config.checkpoint:
+            save_reduction_map(
+                reduction.map, map_path, fault_plan=self._config.fault_plan
+            )
+        with registry.timer(
+            "repro_reduce_phase_seconds", "reduction phase wall time",
+            labels={"phase": "rewrite"},
+        ):
+            self._reduced_input = DiskGraph.create(
+                workdir / "reduced_input.bin",
+                reduction.reduced,
+                fault_plan=self._input.fault_plan,
+                verify_checksums=self._config.verify_checksums,
+            )
+        if self._trace is not None:
+            self._trace.emit(
+                "reduction_applied",
+                level=self._config.reduction,
+                lower_bound=reduction.map.lower_bound,
+                vertices_removed=reduction.map.vertices_removed,
+                edges_removed=reduction.map.edges_removed,
+                direct_cliques=len(reduction.map.direct),
+            )
+        yield from self._wrap_reduced(
+            reduction.map,
+            self._drive(workdir, source=self._reduced_input),
+            emit_direct=True,
+        )
+
+    def _wrap_reduced(self, rmap, inner: Iterator[Clique], emit_direct: bool):
+        """Reconstruction wrapper that keeps ``report.total_cliques`` exact.
+
+        Direct emissions are counted in, stream suppressions counted
+        out, *before* the recursion advances past them — so a checkpoint
+        written after any step records the number of cliques actually
+        delivered to the consumer, which is what resume truncation
+        relies on.
+        """
+
+        def on_direct(_clique):
+            self.report.total_cliques += 1
+
+        def on_suppressed(_clique):
+            self.report.total_cliques -= 1
+
+        yield from rmap.reconstruct(
+            inner,
+            emit_direct=emit_direct,
+            on_direct=on_direct,
+            on_suppressed=on_suppressed,
+        )
+
+    # ------------------------------------------------------------------
     # The recursion
     # ------------------------------------------------------------------
-    def _drive(self, workdir: Path) -> Iterator[Clique]:
-        current = self._input
+    def _drive(self, workdir: Path, source: DiskGraph | None = None) -> Iterator[Clique]:
+        origin = self._input if source is None else source
+        current = origin
         hashtable: set[Clique] = set()
         target_size = 0
         step = 0
@@ -464,10 +588,10 @@ class ExtMCE:
                         step=step,
                         cliques_emitted=self.report.total_cliques,
                     )
-            if current is not self._input:
+            if current is not origin:
                 current.delete()
             current = residual
-        if current is not self._input:
+        if current is not origin:
             current.delete()
         if self._config.checkpoint:
             clear_checkpoint(workdir)

@@ -104,6 +104,17 @@ class InjectedFaultError(ReproError):
     """
 
 
+class ReductionError(ReproError):
+    """The graph-reduction reconstruction map is damaged or inconsistent.
+
+    Raised by :mod:`repro.reduce` when a persisted reconstruction map
+    fails its CRC32, its structural replay validation, or an expansion
+    invariant at emission time.  The contract mirrors the storage layer:
+    a damaged map must become a typed error, never a wrong clique in the
+    output stream.
+    """
+
+
 class EstimationError(ReproError):
     """The clique-tree size estimator was invoked on an unusable input."""
 

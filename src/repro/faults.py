@@ -29,6 +29,7 @@ Operation sites and the fault kinds they honour::
     "compaction" LiveCliqueStore.compact   io_error, latency
     "net"        CliqueQueryServer         conn_reset, slow_write,
                                            partial_line, accept_stall
+    "reduce"     reduction-map save/load   io_error, corrupt, latency
 
 The ``"shm"`` site fires once per chunk submission when the step's graph
 travels through a shared-memory segment (the path argument is the
@@ -43,6 +44,14 @@ argument is the stage name (``"rotate"``, ``"build"``, ``"commit"``,
 ``"cleanup"``) so ``path_contains`` pins a fault to one point of the
 protocol.  Live-store WAL appends go through PageStore, so the existing
 ``"write"`` site (with ``path_contains="wal"``) covers log faults.
+
+The ``"reduce"`` site covers the graph-reduction preprocessing pass
+(:mod:`repro.reduce`): it is consulted once when the reconstruction map
+is persisted into the workdir and once when a resumed run loads it back
+(the path argument is the map file path).  ``corrupt`` flips one byte of
+the serialized map — the CRC32 turns that into a typed
+:class:`~repro.errors.ReductionError` at load time instead of a wrong
+clique — while ``io_error`` and ``latency`` model the filesystem.
 
 The ``"net"`` site models the network being a network.  The serving
 tier consults it at two points: once per accepted connection (the path
@@ -84,8 +93,11 @@ SHM_KINDS = ("attach_fail", "stale_segment")
 #: Fault kinds understood by the serving tier's network site.
 NET_KINDS = ("conn_reset", "slow_write", "partial_line", "accept_stall")
 
+#: Fault kinds understood by the reduction-map persistence site.
+REDUCE_KINDS = ("io_error", "corrupt", "latency")
+
 _ALL_KINDS = tuple(
-    dict.fromkeys(STORAGE_KINDS + EXECUTOR_KINDS + SHM_KINDS + NET_KINDS)
+    dict.fromkeys(STORAGE_KINDS + EXECUTOR_KINDS + SHM_KINDS + NET_KINDS + REDUCE_KINDS)
 )
 
 
@@ -305,6 +317,7 @@ def corrupt_bytes(data: bytes, fraction: float) -> bytes:
 __all__ = [
     "EXECUTOR_KINDS",
     "NET_KINDS",
+    "REDUCE_KINDS",
     "SHM_KINDS",
     "STORAGE_KINDS",
     "Fault",

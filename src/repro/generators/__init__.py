@@ -8,7 +8,10 @@ distribution (Section 3.2) — plus enough triadic closure that maximal
 cliques of non-trivial size exist, as they do in the real networks.
 """
 
-from repro.generators.communities import defective_clique_communities
+from repro.generators.communities import (
+    defective_clique_communities,
+    fringed_clique_communities,
+)
 from repro.generators.datasets import (
     DATASETS,
     DatasetSpec,
@@ -32,6 +35,7 @@ __all__ = [
     "barabasi_albert_graph",
     "defective_clique_communities",
     "edge_stream",
+    "fringed_clique_communities",
     "generate_dataset",
     "list_datasets",
     "powerlaw_cluster_graph",

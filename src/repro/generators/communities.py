@@ -73,4 +73,52 @@ def defective_clique_communities(
     return graph
 
 
-__all__ = ["defective_clique_communities"]
+def fringed_clique_communities(
+    num_vertices: int,
+    seed: int,
+    core_fraction: float = 0.55,
+    community_min: int = 10,
+    community_max: int = 16,
+    defects: int = 2,
+    fringe_degree_max: int = 2,
+) -> AdjacencyGraph:
+    """Near-clique communities plus a preferential low-degree fringe.
+
+    The regime the reduction pass (:mod:`repro.reduce`) targets — and
+    the shape of the paper's real networks: a dense community core where
+    the clique mass lives, surrounded by a large fringe of degree-1/2
+    vertices attached preferentially (hubs accumulate leaves), with no
+    cross-block background inside the core so true twins survive there.
+    Roughly ``1 - core_fraction`` of the vertices are peelable fringe
+    and the defect-free parts of each block fold as twins.
+    """
+    if not 0.0 < core_fraction <= 1.0:
+        raise GraphError("core_fraction must be in (0, 1]")
+    if fringe_degree_max < 1:
+        raise GraphError("fringe_degree_max must be at least 1")
+    core_vertices = min(num_vertices, max(3, int(num_vertices * core_fraction)))
+    graph = defective_clique_communities(
+        core_vertices,
+        seed,
+        community_min=community_min,
+        community_max=community_max,
+        defects=defects,
+        background_edges=0,
+    )
+    rng = random.Random(seed + 1)
+    urn = list(range(core_vertices))
+    for v in range(core_vertices, num_vertices):
+        graph.add_vertex(v)
+        attachments: set[int] = set()
+        for _ in range(rng.randint(1, fringe_degree_max)):
+            u = rng.choice(urn)
+            if u != v:
+                attachments.add(u)
+        for u in sorted(attachments):
+            graph.add_edge(u, v)
+            urn.append(u)
+        urn.append(v)
+    return graph
+
+
+__all__ = ["defective_clique_communities", "fringed_clique_communities"]

@@ -48,7 +48,7 @@ from collections.abc import Iterator
 from types import SimpleNamespace
 
 from repro import metrics
-from repro.errors import VertexNotFoundError
+from repro.errors import GraphError, VertexNotFoundError
 from repro.kernel.compact import CompactGraph
 
 Clique = frozenset
@@ -89,6 +89,7 @@ def iter_bits(mask: int) -> Iterator[int]:
 def maximal_cliques_bitset(
     graph: CompactGraph,
     subset_mask: int | None = None,
+    reduction: str = "off",
 ) -> Iterator[Clique]:
     """Enumerate maximal cliques with max-pivoting over bitmasks.
 
@@ -98,7 +99,30 @@ def maximal_cliques_bitset(
     inside the subset, so the full graph's adjacency masks apply
     unchanged.  The stream equals running the set-based enumerator on
     ``induced_subgraph(subset)`` — same cliques, same order.
+
+    ``reduction`` (``"off"``/``"prune"``/``"full"``) applies the exact
+    :mod:`repro.reduce` preprocessing before the CSR repack: the reduced
+    adjacency graph is what gets packed and enumerated, and the stream
+    is lifted back through the reconstruction map.  Incompatible with
+    ``subset_mask`` (the mask addresses the unreduced index space).
     """
+    if reduction != "off":
+        from repro.reduce import reduce_graph, validate_reduction
+
+        validate_reduction(reduction)
+        if subset_mask is not None:
+            raise GraphError(
+                "reduction cannot be combined with subset_mask: the mask "
+                "addresses compact indices of the unreduced graph"
+            )
+        reduced = reduce_graph(graph.to_adjacency_graph(), reduction)
+        inner: Iterator[Clique] = (
+            maximal_cliques_bitset(CompactGraph.from_adjacency(reduced.reduced))
+            if reduced.reduced.num_vertices
+            else iter(())
+        )
+        yield from reduced.map.reconstruct(inner)
+        return
     candidates = graph.full_mask if subset_mask is None else subset_mask
     bundle = _METRICS()
     bundle.subproblems.inc()

@@ -56,6 +56,7 @@ from repro.parallel.partition import (
     tree_tasks,
 )
 from repro.parallel.scheduler import ParallelEngine
+from repro.storage.diskgraph import DiskGraph
 from repro.storage.partitions import HnbPartitionStore
 
 Clique = frozenset
@@ -193,7 +194,9 @@ class ParallelExtMCE(ExtMCE):
                         **executor.stats.to_dict(),
                     )
 
-    def _drive(self, workdir: Path) -> Iterator[Clique]:
+    def _drive(
+        self, workdir: Path, source: DiskGraph | None = None
+    ) -> Iterator[Clique]:
         # Shut the engine down and merge worker traces and metrics inside
         # _drive's lifetime: the base class closes the main trace, writes
         # the metrics snapshot, and may delete the workdir right after
@@ -202,7 +205,7 @@ class ParallelExtMCE(ExtMCE):
         # the orderly half of the no-leaked-segments contract (the
         # start-of-run sweep covers SIGKILL).
         try:
-            yield from super()._drive(workdir)
+            yield from super()._drive(workdir, source=source)
         finally:
             if self._engine is not None:
                 self._engine.close()

@@ -1,0 +1,43 @@
+"""repro.reduce — exact graph reduction ahead of the enumeration stack.
+
+Degree/k-core peeling against a greedy max-clique lower bound, plus
+true-twin (vertex-domination) folding, with a durable reconstruction map
+that re-emits every pruned-away maximal clique — so the clique stream is
+the same with reduction on or off while every downstream stage (H*/L*
+extraction, both kernels, CSR packing, parallel shared-memory payloads)
+carries a smaller graph.  Threaded behind ``ExtMCEConfig.reduction``,
+``--reduction`` on the CLI, and ``reduction=`` keywords on the in-memory
+enumerators.  See ``docs/REDUCTION.md``.
+"""
+
+from repro.reduce.core import (
+    LEVELS,
+    PEEL_DEGREE_LIMIT,
+    Reduction,
+    clique_lower_bound,
+    peel_cap,
+    reduce_graph,
+    validate_reduction,
+)
+from repro.reduce.map import (
+    REDUCTION_MAP_FILENAME,
+    FoldRecord,
+    ReductionMap,
+    load_reduction_map,
+    save_reduction_map,
+)
+
+__all__ = [
+    "LEVELS",
+    "PEEL_DEGREE_LIMIT",
+    "REDUCTION_MAP_FILENAME",
+    "FoldRecord",
+    "Reduction",
+    "ReductionMap",
+    "clique_lower_bound",
+    "load_reduction_map",
+    "peel_cap",
+    "reduce_graph",
+    "save_reduction_map",
+    "validate_reduction",
+]

@@ -1,0 +1,312 @@
+"""Exact graph reduction: low-degree peeling and true-twin folding.
+
+Two rules shrink the graph before any H*/L* machinery runs, each paired
+with a record that makes the removal *exact* — the final clique stream
+is the same set of maximal cliques whether reduction ran or not:
+
+**Peeling (level ``"prune"``).**  Vertices whose current degree is at
+most a cap derived from a cheap max-clique lower bound are removed one
+at a time, lowest degree first.  Peeling ``v`` enumerates the maximal
+cliques of its (tiny, at most cap-sized) live neighborhood: each such
+clique ``D`` yields the *direct emission* ``{v} ∪ D`` — a clique no
+later enumeration can see, emitted from the map — and the *suppression
+entry* ``D`` — a clique that may later look maximal to the engine even
+though ``v`` extended it in the original graph.  Iterated to fixpoint,
+this removes exactly the vertices outside the ``(cap+1)``-core, i.e. the
+degree/k-core pruning of the reduction literature, made stream-exact.
+
+**Folding (level ``"full"``).**  After peeling, vertices with identical
+*closed* neighborhoods (true twins — mutual vertex domination) are
+interchangeable in every maximal clique, so each twin class keeps only
+its smallest member; a :class:`~repro.reduce.map.FoldRecord` restores
+the others at emission time.  Rounds repeat until no twins remain
+(folding can create new twins).  Dense near-clique communities collapse
+to a few representatives; the engine, the CSR packer and the parallel
+shared-memory payloads all see only those.
+
+The phase order — *all* peels, then *all* folds — is what keeps
+reconstruction cheap and provably exact: no vertex is peeled after a
+fold, so every engine clique is lifted through the folds first and then
+checked once against one global suppression set (see
+:mod:`repro.reduce.map` for the replay argument).
+
+The peel cap is ``max(2, min(lower_bound - 1, 8))``: a vertex of degree
+``d < lower_bound`` cannot be in a *larger* clique than the one already
+found, so its neighborhood is worth closing out locally — but the local
+enumeration is worst-case ``3^{d/3}``, so the cap is also clamped to a
+constant that keeps the peel phase linear in practice.  The lower bound
+is a greedy clique grown from the highest-core vertex (core numbers from
+:mod:`repro.graph.cores`), capped by ``degeneracy + 1``, the classical
+upper bound on the clique number.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+from repro import metrics
+from repro.core.result import canonical_clique_order
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.cores import core_numbers
+from repro.reduce.map import Clique, FoldRecord, ReductionMap
+
+#: Recognised reduction levels, in increasing aggressiveness.
+LEVELS = ("off", "prune", "full")
+
+#: Hard clamp on the peel cap: the largest neighborhood the peel rule
+#: will enumerate locally.  ``3^(8/3)`` ≈ 19 subproblems, so peeling
+#: stays linear even when the lower bound is enormous.
+PEEL_DEGREE_LIMIT = 8
+
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        runs={
+            level: registry.counter(
+                "repro_reduce_runs_total",
+                "reduction passes executed, by level",
+                labels={"level": level},
+            )
+            for level in ("prune", "full")
+        },
+        vertices={
+            rule: registry.counter(
+                "repro_reduce_vertices_removed_total",
+                "vertices removed by the reduction rules",
+                labels={"rule": rule},
+            )
+            for rule in ("peel", "fold")
+        },
+        edges={
+            rule: registry.counter(
+                "repro_reduce_edges_removed_total",
+                "edges removed by the reduction rules",
+                labels={"rule": rule},
+            )
+            for rule in ("peel", "fold")
+        },
+        peel_suppressed=registry.counter(
+            "repro_reduce_peel_suppressed_total",
+            "peel-time direct candidates suppressed by earlier entries",
+        ),
+        lower_bound=registry.gauge(
+            "repro_reduce_lower_bound",
+            "greedy max-clique lower bound the peel cap was derived from",
+        ),
+    )
+)
+
+
+def validate_reduction(level: str) -> str:
+    """Return ``level`` if it names a known reduction level."""
+    if level not in LEVELS:
+        raise ValueError(f"unknown reduction level {level!r}; choose from {LEVELS}")
+    return level
+
+
+@dataclass
+class Reduction:
+    """A reduced graph plus the map that makes the reduction exact."""
+
+    reduced: AdjacencyGraph
+    map: ReductionMap
+
+
+def clique_lower_bound(graph: AdjacencyGraph) -> int:
+    """A cheap max-clique lower bound: greedy growth from the deepest core.
+
+    The seed is the vertex with the highest core number (ties: higher
+    degree, then smaller id); each extension step picks the common
+    neighbor with the highest core number under the same tie-break.  The
+    result is a real clique, so its size lower-bounds the clique number;
+    it is additionally clamped by ``degeneracy + 1``, the matching upper
+    bound, purely as a defensive invariant.
+    """
+    if graph.num_vertices == 0:
+        return 0
+    cores = core_numbers(graph)
+    degeneracy = max(cores.values(), default=0)
+
+    def rank(v):
+        return (-cores[v], -graph.degree(v), v)
+
+    seed = min(graph.vertices(), key=rank)
+    clique = {seed}
+    candidates = set(graph.neighbors(seed))
+    while candidates:
+        best = min(candidates, key=rank)
+        clique.add(best)
+        candidates &= graph.neighbors(best)
+    return min(len(clique), degeneracy + 1)
+
+
+def peel_cap(lower_bound: int, limit: int = PEEL_DEGREE_LIMIT) -> int:
+    """The degree cap the peel rule removes under (see module docstring)."""
+    return max(2, min(lower_bound - 1, limit))
+
+
+def _peel_phase(
+    work: AdjacencyGraph,
+    cap: int,
+    suppressions: set[Clique],
+    direct: list[Clique],
+) -> tuple[list[int], int, int]:
+    """Peel every vertex of (cascading) degree ≤ cap out of ``work``.
+
+    Returns the peel order, the number of edges removed, and the number
+    of direct candidates suppressed by earlier entries.  Lowest current
+    degree first (ties: smallest id) keeps the pass deterministic; the
+    lazy heap re-pushes a neighbor whenever its degree drops.
+    """
+    from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+
+    peeled: list[int] = []
+    edges_removed = 0
+    candidates_suppressed = 0
+    heap = [(work.degree(v), v) for v in sorted(work.vertices())]
+    heapq.heapify(heap)
+    while heap:
+        degree, vertex = heapq.heappop(heap)
+        if vertex not in work or work.degree(vertex) != degree:
+            continue  # stale entry; a fresher (lower-degree) one exists
+        if degree > cap:
+            break  # true minimum degree exceeds the cap: fixpoint reached
+        neighbors = sorted(work.neighbors(vertex))
+        if neighbors:
+            local = list(tomita_maximal_cliques(work.induced_subgraph(neighbors)))
+        else:
+            local = [frozenset()]
+        for entry in local:
+            candidate = frozenset(entry | {vertex})
+            # A peeled vertex of an *earlier* step may extend this clique
+            # in the original graph; exactly then it appears as an entry.
+            if candidate in suppressions:
+                candidates_suppressed += 1
+            else:
+                direct.append(candidate)
+        for entry in local:
+            if entry:
+                suppressions.add(frozenset(entry))
+        edges_removed += degree
+        work.remove_vertex(vertex)
+        peeled.append(vertex)
+        for u in neighbors:
+            heapq.heappush(heap, (work.degree(u), u))
+    return peeled, edges_removed, candidates_suppressed
+
+
+def _fold_phase(work: AdjacencyGraph, folds: list[FoldRecord]) -> int:
+    """Collapse true-twin classes onto their smallest member, to fixpoint.
+
+    Equal closed neighborhoods imply adjacency, so every class is a
+    clique of interchangeable vertices; removing the non-representatives
+    of one class strips the same vertices from every other class's
+    neighborhoods, which is why all classes of a round fold safely
+    before neighborhoods are recomputed.  Returns edges removed.
+    """
+    edges_removed = 0
+    while True:
+        classes: dict[frozenset, list] = {}
+        for v in sorted(work.vertices()):
+            classes.setdefault(frozenset(work.neighbors(v) | {v}), []).append(v)
+        twin_classes = sorted(members for members in classes.values() if len(members) > 1)
+        if not twin_classes:
+            return edges_removed
+        for members in twin_classes:
+            representative = members[0]
+            for vertex in members[1:]:
+                folds.append(FoldRecord(vertex=vertex, representative=representative))
+                edges_removed += work.degree(vertex)
+                work.remove_vertex(vertex)
+
+
+def reduce_graph(
+    graph: AdjacencyGraph,
+    level: str = "full",
+    *,
+    peel_limit: int = PEEL_DEGREE_LIMIT,
+) -> Reduction:
+    """Apply the reduction rules of ``level`` to a copy of ``graph``.
+
+    Returns the reduced graph and the :class:`~repro.reduce.map.
+    ReductionMap` that lifts its clique stream back to the original
+    graph's.  ``level="off"`` returns the (copied) input with an
+    identity map.  Vertices must be hashable and mutually orderable
+    (ints, in every on-disk pipeline).
+    """
+    validate_reduction(level)
+    registry = metrics.get_registry()
+    bundle = _METRICS()
+    work = graph.copy()
+    original_vertices = graph.num_vertices
+    original_edges = graph.num_edges
+    if level == "off":
+        identity = ReductionMap(
+            level="off",
+            lower_bound=0,
+            peeled=(),
+            folds=(),
+            suppressions=(),
+            direct=(),
+            original_vertices=original_vertices,
+            original_edges=original_edges,
+            reduced_vertices=original_vertices,
+            reduced_edges=original_edges,
+        )
+        return Reduction(reduced=work, map=identity)
+    bundle.runs[level].inc()
+    with registry.timer(
+        "repro_reduce_phase_seconds", "reduction phase wall time",
+        labels={"phase": "lower_bound"},
+    ):
+        lower_bound = clique_lower_bound(work)
+    bundle.lower_bound.set(lower_bound)
+    cap = peel_cap(lower_bound, peel_limit)
+    suppressions: set[Clique] = set()
+    direct: list[Clique] = []
+    with registry.timer(
+        "repro_reduce_phase_seconds", "reduction phase wall time",
+        labels={"phase": "peel"},
+    ):
+        peeled, peel_edges, candidates_suppressed = _peel_phase(
+            work, cap, suppressions, direct
+        )
+    folds: list[FoldRecord] = []
+    fold_edges = 0
+    if level == "full":
+        with registry.timer(
+            "repro_reduce_phase_seconds", "reduction phase wall time",
+            labels={"phase": "fold"},
+        ):
+            fold_edges = _fold_phase(work, folds)
+    bundle.vertices["peel"].inc(len(peeled))
+    bundle.vertices["fold"].inc(len(folds))
+    bundle.edges["peel"].inc(peel_edges)
+    bundle.edges["fold"].inc(fold_edges)
+    bundle.peel_suppressed.inc(candidates_suppressed)
+    rmap = ReductionMap(
+        level=level,
+        lower_bound=lower_bound,
+        peeled=peeled,
+        folds=folds,
+        suppressions=suppressions,
+        direct=[frozenset(c) for c in canonical_clique_order(direct)],
+        original_vertices=original_vertices,
+        original_edges=original_edges,
+        reduced_vertices=work.num_vertices,
+        reduced_edges=work.num_edges,
+        direct_suppressed=candidates_suppressed,
+    )
+    return Reduction(reduced=work, map=rmap)
+
+
+__all__ = [
+    "LEVELS",
+    "PEEL_DEGREE_LIMIT",
+    "Reduction",
+    "clique_lower_bound",
+    "peel_cap",
+    "reduce_graph",
+    "validate_reduction",
+]

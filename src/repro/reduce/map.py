@@ -1,0 +1,389 @@
+"""The reduction reconstruction map: exact replay of removed structure.
+
+Reduction (:mod:`repro.reduce.core`) removes vertices from the input
+graph in two phases — low-degree *peeling*, then true-twin *folding* —
+and records, for each removal, exactly what the enumeration engine can
+no longer see.  This module holds that record, its durable CRC32'd JSON
+form, and :meth:`ReductionMap.reconstruct`, the stream wrapper that
+turns the engine's maximal cliques of the reduced graph back into the
+maximal cliques of the original graph.
+
+The replay logic mirrors the removal phases in reverse:
+
+1. **Fold expansion.**  Fold records are processed newest-first; a
+   clique containing a record's surviving representative gains the
+   folded twin.  Because twins share closed neighborhoods at fold time,
+   this lifts every maximal clique of the folded graph to the unique
+   maximal clique of the peeled graph it stands for (chains of folds
+   compose through the reverse order).
+2. **Suppression.**  A lifted clique that equals a *suppression entry* —
+   a maximal clique of some peeled vertex's neighborhood, recorded at
+   peel time — is extendable by that peeled vertex in the original
+   graph, hence not maximal there; it is dropped.  All peels happen
+   before all folds, so one global entry set suffices: every lifted
+   clique is checked against it exactly once.
+3. **Direct emissions.**  Maximal cliques that contain a peeled vertex
+   were emitted at peel time (they are stored in the map, already
+   suppression-filtered) and are replayed ahead of the engine stream in
+   canonical order.
+
+Damage model: the persisted map carries a CRC32 over its canonical
+serialization and a structural replay validation (no vertex removed
+twice, representatives alive at fold time, level/count consistency), so
+a corrupted or tampered file surfaces as a typed
+:class:`~repro.errors.ReductionError` — never as a wrong clique.  The
+``"reduce"`` fault site of :mod:`repro.faults` injects exactly those
+failure modes in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+from types import SimpleNamespace
+
+from repro import metrics
+from repro.errors import ReductionError, StorageIOError
+from repro.faults import FaultPlan, corrupt_bytes
+
+Clique = frozenset
+
+#: Filename of the persisted map inside a checkpointed run's workdir.
+REDUCTION_MAP_FILENAME = "reduction_map.json"
+
+#: Format version; bump on layout changes so stale files fail loudly.
+_VERSION = 1
+
+#: Reconstruction-side totals.  The differential harness reconciles
+#: ``repro_mce_cliques_emitted_total + direct - suppressed`` against the
+#: final stream length for every reduced configuration.
+_METRICS = metrics.bound(
+    lambda registry: SimpleNamespace(
+        direct=registry.counter(
+            "repro_reduce_cliques_direct_total",
+            "pruned-away maximal cliques re-emitted from the reconstruction map",
+        ),
+        suppressed=registry.counter(
+            "repro_reduce_cliques_suppressed_total",
+            "engine cliques dropped as non-maximal in the original graph",
+        ),
+    )
+)
+
+
+@dataclass(frozen=True)
+class FoldRecord:
+    """One vertex-domination fold: ``vertex`` collapsed onto its twin."""
+
+    vertex: int
+    representative: int
+
+
+def _document_crc(payload: dict) -> int:
+    """CRC32 over the canonical serialization of the map document."""
+    return zlib.crc32(json.dumps(payload, sort_keys=True).encode("utf-8"))
+
+
+class ReductionMap:
+    """Everything needed to replay a reduction exactly.
+
+    Instances are immutable after construction and validate themselves:
+    building one from an inconsistent record set (directly, or via
+    :meth:`from_spec` on a damaged file) raises
+    :class:`~repro.errors.ReductionError`.
+    """
+
+    def __init__(
+        self,
+        *,
+        level: str,
+        lower_bound: int,
+        peeled: Iterable[int],
+        folds: Iterable[FoldRecord],
+        suppressions: Iterable[Clique],
+        direct: Iterable[Clique],
+        original_vertices: int,
+        original_edges: int,
+        reduced_vertices: int,
+        reduced_edges: int,
+        direct_suppressed: int = 0,
+    ) -> None:
+        self.level = level
+        self.lower_bound = lower_bound
+        self.peeled = tuple(peeled)
+        self.folds = tuple(folds)
+        self.suppressions = frozenset(frozenset(entry) for entry in suppressions)
+        self.direct = tuple(frozenset(entry) for entry in direct)
+        self.original_vertices = original_vertices
+        self.original_edges = original_edges
+        self.reduced_vertices = reduced_vertices
+        self.reduced_edges = reduced_edges
+        self.direct_suppressed = direct_suppressed
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def vertices_removed(self) -> int:
+        """Total vertices removed across both rules."""
+        return len(self.peeled) + len(self.folds)
+
+    @property
+    def edges_removed(self) -> int:
+        """Total edges removed across both rules."""
+        return self.original_edges - self.reduced_edges
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the reduction removed nothing."""
+        return not self.peeled and not self.folds
+
+    # ------------------------------------------------------------------
+    # Replay validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        from repro.reduce.core import LEVELS
+
+        if self.level not in LEVELS:
+            raise ReductionError(
+                f"unknown reduction level {self.level!r} in map; choose from {LEVELS}"
+            )
+        if self.lower_bound < 0 or self.direct_suppressed < 0:
+            raise ReductionError("reduction map counts must be non-negative")
+        peeled_set = set(self.peeled)
+        if len(peeled_set) != len(self.peeled):
+            raise ReductionError("reduction map peels a vertex twice")
+        if self.level == "prune" and self.folds:
+            raise ReductionError("a prune-level map must not contain fold records")
+        removed = set(peeled_set)
+        for record in self.folds:
+            if record.vertex == record.representative:
+                raise ReductionError(
+                    f"fold record collapses vertex {record.vertex} onto itself"
+                )
+            if record.vertex in removed:
+                raise ReductionError(
+                    f"fold record removes vertex {record.vertex} twice"
+                )
+            if record.representative in removed:
+                raise ReductionError(
+                    f"fold representative {record.representative} was already "
+                    "removed when its record was written"
+                )
+            removed.add(record.vertex)
+        for entry in self.suppressions:
+            if not entry:
+                raise ReductionError("empty suppression entry in reduction map")
+        for clique in self.direct:
+            if not clique:
+                raise ReductionError("empty direct clique in reduction map")
+            if not (clique & peeled_set):
+                raise ReductionError(
+                    "direct clique contains no peeled vertex: "
+                    f"{sorted(clique)}"
+                )
+        expected = self.original_vertices - len(self.peeled) - len(self.folds)
+        if expected != self.reduced_vertices:
+            raise ReductionError(
+                "reduction map vertex accounting does not replay: "
+                f"{self.original_vertices} - {len(self.peeled)} peeled - "
+                f"{len(self.folds)} folded != {self.reduced_vertices}"
+            )
+        if not 0 <= self.reduced_edges <= self.original_edges:
+            raise ReductionError("reduction map edge accounting does not replay")
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def reconstruct(
+        self,
+        stream: Iterable[Clique],
+        *,
+        emit_direct: bool = True,
+        on_direct=None,
+        on_suppressed=None,
+    ) -> Iterator[Clique]:
+        """Lift an enumeration of the reduced graph back to the original.
+
+        ``stream`` must be the maximal cliques of the *reduced* graph;
+        the result is exactly the maximal cliques of the original graph
+        (direct emissions first, in canonical order, then the expanded
+        engine stream in engine order).  ``emit_direct=False`` skips the
+        replayed direct cliques — the resumed-run case, where they were
+        already delivered before the first checkpoint.  The optional
+        callbacks let the driver keep its own delivered-clique
+        accounting in step with the wrapper.
+        """
+        bundle = _METRICS()
+        if emit_direct:
+            for clique in self.direct:
+                bundle.direct.inc()
+                if on_direct is not None:
+                    on_direct(clique)
+                yield clique
+        folds = tuple(reversed(self.folds))
+        suppressions = self.suppressions
+        for clique in stream:
+            members = set(clique)
+            for record in folds:
+                if record.representative in members:
+                    if record.vertex in members:
+                        raise ReductionError(
+                            f"fold expansion would add vertex {record.vertex} "
+                            "to a clique that already contains it; the "
+                            "reconstruction map does not match the stream"
+                        )
+                    members.add(record.vertex)
+            candidate = frozenset(members)
+            if candidate in suppressions:
+                bundle.suppressed.inc()
+                if on_suppressed is not None:
+                    on_suppressed(candidate)
+                continue
+            yield candidate
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_spec(self) -> dict:
+        """Plain-data representation, JSON-serialisable and canonical."""
+        return {
+            "version": _VERSION,
+            "level": self.level,
+            "lower_bound": self.lower_bound,
+            "original_vertices": self.original_vertices,
+            "original_edges": self.original_edges,
+            "reduced_vertices": self.reduced_vertices,
+            "reduced_edges": self.reduced_edges,
+            "direct_suppressed": self.direct_suppressed,
+            "peeled": list(self.peeled),
+            "folds": [[record.vertex, record.representative] for record in self.folds],
+            "suppressions": sorted(sorted(entry) for entry in self.suppressions),
+            "direct": [sorted(clique) for clique in self.direct],
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ReductionMap":
+        """Rebuild a map from :meth:`to_spec` output, validating as it goes."""
+        if not isinstance(spec, dict):
+            raise ReductionError("reduction map document is not a JSON object")
+        if spec.get("version") != _VERSION:
+            raise ReductionError(
+                f"unsupported reduction map version {spec.get('version')!r} "
+                f"(expected {_VERSION})"
+            )
+        try:
+            return cls(
+                level=str(spec["level"]),
+                lower_bound=int(spec["lower_bound"]),
+                peeled=[int(v) for v in spec["peeled"]],
+                folds=[
+                    FoldRecord(vertex=int(entry[0]), representative=int(entry[1]))
+                    for entry in spec["folds"]
+                ],
+                suppressions=[
+                    frozenset(int(v) for v in entry) for entry in spec["suppressions"]
+                ],
+                direct=[
+                    frozenset(int(v) for v in entry) for entry in spec["direct"]
+                ],
+                original_vertices=int(spec["original_vertices"]),
+                original_edges=int(spec["original_edges"]),
+                reduced_vertices=int(spec["reduced_vertices"]),
+                reduced_edges=int(spec["reduced_edges"]),
+                direct_suppressed=int(spec["direct_suppressed"]),
+            )
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise ReductionError(f"malformed reduction map document: {exc}") from exc
+
+
+def _draw_reduce_fault(fault_plan: FaultPlan | None, path: Path, data: bytes):
+    """Consult the ``"reduce"`` fault site; return possibly-damaged bytes."""
+    if fault_plan is None:
+        return data
+    fault = fault_plan.draw("reduce", str(path))
+    if fault is None:
+        return data
+    if fault.kind == "io_error":
+        raise StorageIOError("reduce-map access", path, "injected fault")
+    if fault.kind == "latency":
+        time.sleep(fault.latency_seconds)
+        return data
+    if fault.kind == "corrupt":
+        return corrupt_bytes(data, fault.fraction)
+    return data
+
+
+def save_reduction_map(
+    rmap: ReductionMap, path: str | Path, *, fault_plan: FaultPlan | None = None
+) -> Path:
+    """Durably persist ``rmap`` (scratch → fsync → rename → dir fsync).
+
+    The serialization is compact (no insignificant whitespace), so any
+    single-byte damage either breaks the JSON or changes the payload the
+    CRC32 covers — there is no corruption the loader shrugs off as
+    formatting.
+    """
+    path = Path(path)
+    payload = rmap.to_spec()
+    document = {**payload, "crc32": _document_crc(payload)}
+    data = json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    data = _draw_reduce_fault(fault_plan, path, data)
+    scratch = path.with_suffix(path.suffix + ".tmp")
+    try:
+        with open(scratch, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, path)
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError as exc:
+        raise StorageIOError("write", path, str(exc)) from exc
+    return path
+
+
+def load_reduction_map(
+    path: str | Path, *, fault_plan: FaultPlan | None = None
+) -> ReductionMap:
+    """Load, integrity-check and replay-validate a persisted map."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise StorageIOError("read", path, str(exc)) from exc
+    data = _draw_reduce_fault(fault_plan, path, data)
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ReductionError(f"reduction map {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ReductionError(f"reduction map {path} is not a JSON object")
+    stored_crc = document.pop("crc32", None)
+    if stored_crc is None:
+        raise ReductionError(f"reduction map {path} is missing its CRC32")
+    actual = _document_crc(document)
+    if stored_crc != actual:
+        raise ReductionError(
+            f"reduction map {path} failed its integrity check "
+            f"(stored CRC32 {stored_crc}, computed {actual})"
+        )
+    return ReductionMap.from_spec(document)
+
+
+__all__ = [
+    "REDUCTION_MAP_FILENAME",
+    "FoldRecord",
+    "ReductionMap",
+    "load_reduction_map",
+    "save_reduction_map",
+]

@@ -10,7 +10,7 @@ from repro.index import CliqueIndex, CliqueIndexSink, build_index
 from repro.index.format import MANIFEST_FILENAME, MANIFEST_SCHEMA
 
 from tests.differential.harness import run_enumeration
-from tests.helpers import figure1_graph, seeded_gnp
+from tests.helpers import seeded_gnp
 
 INDEX_FILES = ("cliques.dat", "cliques.idx", "postings.dat", "postings.dir")
 
@@ -65,6 +65,26 @@ class TestDeterminism:
                     cid for cid, c in enumerate(canonical) if vertex in c
                 )
                 assert index.cliques_containing(vertex) == expected
+
+    @pytest.mark.parametrize("reduction", ["prune", "full"])
+    def test_reduction_builds_identical_indexes(self, tmp_path, reduction):
+        """Graph reduction must be invisible downstream: the index built
+        from a reduced run's stream is byte-identical to the unreduced
+        one (the builder canonicalises, so the direct-emissions-first
+        ordering of reduced streams cannot leak into the files)."""
+        graph = seeded_gnp(48, 0.25, seed=11)
+        baseline = run_enumeration(
+            graph, tmp_path / "base", kernel="bitset", workers=1, reduction="off"
+        )
+        build_index(baseline.stream, tmp_path / "base_idx")
+        reduced = run_enumeration(
+            graph, tmp_path / reduction, kernel="bitset", workers=1,
+            reduction=reduction,
+        )
+        build_index(reduced.stream, tmp_path / f"idx_{reduction}")
+        assert _file_bytes(tmp_path / f"idx_{reduction}") == _file_bytes(
+            tmp_path / "base_idx"
+        )
 
 
 class TestBuildValidation:

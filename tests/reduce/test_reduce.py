@@ -1,0 +1,286 @@
+"""Unit tests for the reduction rules, lower bound, and map mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError, ReductionError
+from repro.graph.adjacency import AdjacencyGraph
+from repro.reduce import (
+    LEVELS,
+    FoldRecord,
+    ReductionMap,
+    clique_lower_bound,
+    peel_cap,
+    reduce_graph,
+    validate_reduction,
+)
+from tests.helpers import cliques_of, figure1_graph, seeded_gnp
+
+
+def complete_graph(n: int) -> AdjacencyGraph:
+    return AdjacencyGraph.from_edges(
+        [(u, v) for u in range(n) for v in range(u + 1, n)], vertices=range(n)
+    )
+
+
+class TestLevels:
+    def test_levels_tuple(self):
+        assert LEVELS == ("off", "prune", "full")
+
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_validate_accepts_known(self, level):
+        assert validate_reduction(level) == level
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown reduction level"):
+            validate_reduction("aggressive")
+
+
+class TestLowerBound:
+    def test_empty_graph(self):
+        assert clique_lower_bound(AdjacencyGraph()) == 0
+
+    def test_single_vertex(self):
+        assert clique_lower_bound(AdjacencyGraph.from_edges([], vertices=[7])) == 1
+
+    def test_complete_graph_is_tight(self):
+        assert clique_lower_bound(complete_graph(9)) == 9
+
+    def test_figure1(self):
+        # Figure 1's maximum clique is {a, b, c, w, x} (size 5); the
+        # greedy bound grows from the deepest core, so it finds it.
+        assert clique_lower_bound(figure1_graph()) == 5
+
+    def test_never_exceeds_degeneracy_plus_one(self):
+        from repro.graph.cores import degeneracy
+
+        for seed in range(10):
+            graph = seeded_gnp(30, 0.3, seed)
+            assert clique_lower_bound(graph) <= degeneracy(graph) + 1
+
+    def test_peel_cap_clamps(self):
+        assert peel_cap(2) == 2  # floor: isolated/pendant rules always on
+        assert peel_cap(6) == 5
+        assert peel_cap(200) == 8  # constant clamp keeps peeling linear
+        assert peel_cap(200, limit=16) == 16
+
+
+class TestPeelRule:
+    def test_star_graph_fully_peels(self):
+        star = AdjacencyGraph.from_edges([(0, i) for i in range(1, 8)])
+        reduction = reduce_graph(star, "prune")
+        assert reduction.reduced.num_vertices == 0
+        assert cliques_of(reduction.map.direct) == cliques_of(
+            [{0, i} for i in range(1, 8)]
+        )
+
+    def test_path_graph_suppresses_inner_stubs(self):
+        # Peeling d's neighbor c records {d} as extendable; the direct
+        # candidate {d} that peeling d would otherwise emit is suppressed.
+        path = AdjacencyGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        reduction = reduce_graph(path, "prune")
+        assert cliques_of(reduction.map.direct) == cliques_of(
+            [{0, 1}, {1, 2}, {2, 3}]
+        )
+        assert reduction.map.direct_suppressed > 0
+
+    def test_dense_graph_is_untouched_by_prune(self):
+        graph = complete_graph(12)
+        reduction = reduce_graph(graph, "prune")
+        assert reduction.map.is_identity
+        assert reduction.reduced.num_vertices == 12
+
+    def test_peel_respects_the_cap(self):
+        # A 5-clique with lower bound 5 → cap 4: the whole clique peels
+        # (degrees are 4); with an attached K10 the bound is 10 → cap 8,
+        # and only the sparse tail goes.
+        graph = complete_graph(10)
+        for v in (20, 21, 22):
+            graph.add_vertex(v)
+            graph.add_edge(0, v)
+        reduction = reduce_graph(graph, "prune")
+        assert set(reduction.map.peeled) == {20, 21, 22}
+        assert reduction.reduced.num_vertices == 10
+
+
+class TestFoldRule:
+    def test_complete_graph_folds_to_one_vertex(self):
+        reduction = reduce_graph(complete_graph(15), "full")
+        assert reduction.reduced.num_vertices == 1
+        assert len(reduction.map.folds) == 14
+        assert min(v for v in range(15)) not in {
+            record.vertex for record in reduction.map.folds
+        }
+
+    def test_disjoint_blocks_fold_independently(self):
+        # Two disjoint K12 blocks: each folds to its own representative,
+        # and expanding the two singleton cliques restores both blocks.
+        from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+
+        graph = AdjacencyGraph.from_edges(
+            [(u, v) for u in range(12) for v in range(u + 1, 12)]
+            + [(u, v) for u in range(20, 32) for v in range(u + 1, 32)]
+        )
+        reduction = reduce_graph(graph, "full")
+        assert reduction.reduced.num_vertices == 2
+        stream = reduction.map.reconstruct(
+            tomita_maximal_cliques(reduction.reduced)
+        )
+        assert cliques_of(stream) == {
+            frozenset(range(12)),
+            frozenset(range(20, 32)),
+        }
+
+    def test_prune_level_never_folds(self):
+        reduction = reduce_graph(complete_graph(15), "prune")
+        assert reduction.map.folds == ()
+
+    def test_fold_preserves_defective_block_cliques(self):
+        from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+        from repro.core.result import canonical_clique_order
+
+        graph = complete_graph(12)
+        graph.remove_edge(2, 7)  # one defect → two maximal 11-cliques
+        reference = canonical_clique_order(tomita_maximal_cliques(graph))
+        reduction = reduce_graph(graph, "full")
+        assert reduction.map.folds
+        assert reduction.reduced.num_vertices < 12
+        lifted = reduction.map.reconstruct(
+            tomita_maximal_cliques(reduction.reduced)
+        )
+        assert canonical_clique_order(lifted) == reference
+
+
+class TestReductionOff:
+    def test_off_is_identity(self):
+        graph = seeded_gnp(20, 0.3, 1)
+        reduction = reduce_graph(graph, "off")
+        assert reduction.map.is_identity
+        assert reduction.reduced.num_vertices == graph.num_vertices
+        assert reduction.reduced.num_edges == graph.num_edges
+        # The working copy is independent of the input.
+        reduction.reduced.remove_vertex(0)
+        assert 0 in graph
+
+
+class TestMapValidation:
+    def _map(self, **overrides):
+        fields = dict(
+            level="full",
+            lower_bound=3,
+            peeled=(5,),
+            folds=(FoldRecord(vertex=2, representative=1),),
+            suppressions=(frozenset({1, 2}),),
+            direct=(frozenset({5, 1}),),
+            original_vertices=6,
+            original_edges=8,
+            reduced_vertices=4,
+            reduced_edges=5,
+        )
+        fields.update(overrides)
+        return ReductionMap(**fields)
+
+    def test_valid_map_constructs(self):
+        assert self._map().vertices_removed == 2
+
+    def test_double_peel_rejected(self):
+        with pytest.raises(ReductionError, match="twice"):
+            self._map(peeled=(5, 5), original_vertices=7)
+
+    def test_self_fold_rejected(self):
+        with pytest.raises(ReductionError, match="onto itself"):
+            self._map(folds=(FoldRecord(vertex=2, representative=2),))
+
+    def test_fold_of_removed_vertex_rejected(self):
+        with pytest.raises(ReductionError, match="twice"):
+            self._map(
+                folds=(
+                    FoldRecord(vertex=2, representative=1),
+                    FoldRecord(vertex=2, representative=3),
+                ),
+                original_vertices=7,
+            )
+
+    def test_dead_representative_rejected(self):
+        with pytest.raises(ReductionError, match="already"):
+            self._map(
+                folds=(
+                    FoldRecord(vertex=2, representative=1),
+                    FoldRecord(vertex=3, representative=2),
+                ),
+                original_vertices=7,
+            )
+
+    def test_vertex_accounting_must_replay(self):
+        with pytest.raises(ReductionError, match="accounting"):
+            self._map(reduced_vertices=3)
+
+    def test_fold_records_in_prune_map_rejected(self):
+        with pytest.raises(ReductionError, match="prune-level"):
+            self._map(level="prune")
+
+    def test_direct_without_peeled_vertex_rejected(self):
+        with pytest.raises(ReductionError, match="no peeled vertex"):
+            self._map(direct=(frozenset({1, 3}),))
+
+    def test_expansion_collision_is_typed(self):
+        rmap = self._map()
+        with pytest.raises(ReductionError, match="already contains"):
+            list(rmap.reconstruct([frozenset({1, 2})], emit_direct=False))
+
+
+class TestEnumeratorIntegration:
+    def test_tomita_reduction_kwarg(self):
+        from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+
+        graph = figure1_graph()
+        reference = cliques_of(tomita_maximal_cliques(graph))
+        for level in ("prune", "full"):
+            assert cliques_of(
+                tomita_maximal_cliques(graph, reduction=level)
+            ) == reference
+
+    def test_bitset_reduction_kwarg(self):
+        from repro.baselines.bron_kerbosch import tomita_maximal_cliques
+        from repro.kernel import CompactGraph, maximal_cliques_bitset
+
+        graph = figure1_graph()
+        compact = CompactGraph.from_adjacency(graph)
+        reference = cliques_of(tomita_maximal_cliques(graph))
+        for level in ("prune", "full"):
+            assert cliques_of(
+                maximal_cliques_bitset(compact, reduction=level)
+            ) == reference
+
+    def test_bitset_reduction_rejects_subset_mask(self):
+        from repro.kernel import CompactGraph, maximal_cliques_bitset
+
+        compact = CompactGraph.from_adjacency(figure1_graph())
+        with pytest.raises(GraphError, match="subset_mask"):
+            list(maximal_cliques_bitset(compact, subset_mask=3, reduction="full"))
+
+    def test_extmce_config_rejects_unknown_level(self, tmp_path):
+        from repro.core.extmce import ExtMCE, ExtMCEConfig
+        from repro.storage.diskgraph import DiskGraph
+
+        disk = DiskGraph.create(tmp_path / "g.bin", figure1_graph())
+        with pytest.raises(GraphError, match="unknown reduction level"):
+            ExtMCE(disk, ExtMCEConfig(workdir=tmp_path, reduction="bogus"))
+
+
+class TestMetrics:
+    def test_reduce_metrics_populate(self, live_metrics):
+        from repro import metrics
+
+        star = AdjacencyGraph.from_edges([(0, i) for i in range(1, 6)])
+        reduction = reduce_graph(star, "full")
+        list(reduction.map.reconstruct([]))
+        snapshot = live_metrics.snapshot()
+        assert metrics.counter_value(
+            snapshot, "repro_reduce_vertices_removed_total"
+        ) == 6
+        assert metrics.counter_value(snapshot, "repro_reduce_runs_total") == 1
+        assert metrics.counter_value(
+            snapshot, "repro_reduce_cliques_direct_total"
+        ) == len(reduction.map.direct)
